@@ -1,0 +1,47 @@
+"""Ablation (Section 5 note): over-constraining with extra antennas.
+
+"While the minimum number of Rx antennas necessary to resolve a 3D
+location is three, adding more antennas would result in more
+constraints ... and hence add extra robustness to noise."
+
+Monte-Carlo over noisy round trips: the least-squares solver with 3, 4
+and 6 receive antennas. The kernel is the 6-antenna solve.
+"""
+
+import numpy as np
+
+from repro.config import ArrayConfig
+from repro.core.localize import LeastSquaresSolver
+from repro.geometry.antennas import t_array
+
+from conftest import print_header
+
+
+def _median_error(n_rx: int, sigma: float, trials: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    array = t_array(ArrayConfig(num_receivers=n_rx))
+    solver = LeastSquaresSolver(array)
+    p = np.array([0.8, 5.0, 0.2])
+    k = array.round_trip_distances(p)
+    noisy = k[None, :] + rng.normal(0, sigma, (trials, n_rx))
+    result = solver.solve(noisy)
+    errors = np.linalg.norm(
+        result.positions[result.valid] - p[None, :], axis=1
+    )
+    return float(np.median(errors))
+
+
+def test_more_antennas_more_robust(benchmark, config):
+    benchmark(lambda: _median_error(6, 0.03, 20, seed=1))
+
+    trials = 150
+    sigma = 0.03
+    errors = {n: _median_error(n, sigma, trials, seed=2) for n in (3, 4, 6)}
+
+    assert errors[6] < errors[3], "6 Rx must beat 3 Rx under noise"
+    assert errors[4] <= errors[3] * 1.1, "4 Rx should not be worse than 3"
+
+    print_header("Ablation — number of receive antennas (3 cm TOF noise)")
+    for n, err in errors.items():
+        print(f"  {n} Rx antennas: median 3D error {100 * err:6.1f} cm")
+    print(f"improvement 3 -> 6 Rx: {errors[3] / errors[6]:.2f}x")

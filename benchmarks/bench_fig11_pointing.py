@@ -1,0 +1,44 @@
+"""Fig. 11: CDF of the pointing-direction error.
+
+Paper: median 11.2 degrees, 90th percentile 37.9 degrees. Asserted
+shape: gestures are reliably detected and the error distribution lives
+in the paper's band (single-digit-to-tens of degrees median, tail under
+~60 degrees). The kernel is the robust-regression endpoint extraction.
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.core.regression import robust_endpoints
+from repro.eval.figures import fig11_pointing_cdf
+
+from conftest import print_header
+
+
+def test_fig11_pointing_error_cdf(benchmark, config):
+    rng = np.random.default_rng(0)
+    t = np.linspace(0, 0.8, 64)
+    noisy = 9.0 + 0.9 * t + rng.normal(0, 0.05, 64)
+
+    benchmark(lambda: robust_endpoints(t, noisy))
+
+    data = fig11_pointing_cdf(config=config)
+
+    assert data.detected_fraction >= 0.75, "gestures must usually segment"
+    median = data.cdf.median
+    p90 = data.cdf.p90
+    # Same order as the paper (11.2 / 37.9 deg); our synthetic arm is a
+    # little cleaner than a real one, so allow a broad band.
+    assert 1.0 < median < 25.0
+    assert p90 < 65.0
+    assert p90 >= median
+
+    print_header("Fig. 11 — pointing-direction error CDF")
+    print(f"gestures detected : {100 * data.detected_fraction:.0f}%")
+    print(f"median error      : {median:5.1f} deg "
+          f"(paper {constants.PAPER_POINTING_MEDIAN_DEG})")
+    print(f"90th percentile   : {p90:5.1f} deg "
+          f"(paper {constants.PAPER_POINTING_P90_DEG})")
+    print("quantiles:")
+    for q in (25, 50, 75, 90):
+        print(f"  p{q}: {data.cdf.percentile(q):5.1f} deg")

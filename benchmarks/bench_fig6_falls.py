@@ -1,0 +1,57 @@
+"""Fig. 6: tracked elevation vs time for the four activities.
+
+Regenerates the four traces through the full RF pipeline and asserts the
+figure's story: walking and chair-sitting end well above the floor,
+floor-sitting and falling end near it, and only the fall gets there
+fast. The kernel is the fall classifier on a cached trace.
+"""
+
+import numpy as np
+
+from repro.core.falls import FallDetector
+from repro.eval.figures import fig6_fall_elevations
+
+from conftest import print_header
+
+
+def test_fig6_elevation_traces(benchmark, config):
+    data = fig6_fall_elevations(seed=3, config=config)
+    traces = data.traces
+
+    times, fall_elev = traces["fall"]
+    detector = FallDetector()
+    benchmark(lambda: detector.classify(times, fall_elev))
+
+    def final_elevation(label):
+        t, e = traces[label]
+        finite = np.isfinite(e)
+        tail = e[finite][t[finite] >= t[finite][-1] - 3.0]
+        return float(np.median(tail))
+
+    walk_final = final_elevation("walk")
+    chair_final = final_elevation("sit_chair")
+    floor_final = final_elevation("sit_floor")
+    fall_final = final_elevation("fall")
+
+    # Fig. 6's separation: non-ground activities end high...
+    assert walk_final > 0.55
+    assert chair_final > 0.45
+    # ...ground activities end low.
+    assert floor_final < 0.45
+    assert fall_final < 0.45
+
+    # And the fall reaches the ground much faster than the floor-sit.
+    fall_verdict = detector.classify(*traces["fall"])
+    sit_verdict = detector.classify(*traces["sit_floor"])
+    assert fall_verdict.drop_duration_s < sit_verdict.drop_duration_s
+
+    print_header("Fig. 6 — elevation traces (final elevation, drop time)")
+    for label in ("walk", "sit_chair", "sit_floor", "fall"):
+        verdict = detector.classify(*traces[label])
+        duration = (
+            f"{verdict.drop_duration_s:.2f} s"
+            if np.isfinite(verdict.drop_duration_s)
+            else "  -   "
+        )
+        print(f"  {label:9s} final {final_elevation(label):5.2f} m  "
+              f"drop {duration}  -> classified {verdict.activity}")

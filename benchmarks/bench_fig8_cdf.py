@@ -1,0 +1,65 @@
+"""Fig. 8: CDFs of the 3D location error, line-of-sight and through-wall.
+
+Paper medians: LOS (9.9, 8.6, 17.7) cm; through-wall (13.1, 10.3, 21.0)
+cm along (x, y, z). Asserted shape: y best, z worst, through-wall no
+better than LOS, and medians within a generous band of the paper's.
+The kernel is one full tracking pass over cached spectra.
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.core.tracker import WiTrack
+from repro.eval.figures import fig8_error_cdf
+
+from conftest import print_header
+
+
+def _print_panel(name, data, paper_medians):
+    print(f"\n{name}")
+    print("  dim   median     p90      paper median")
+    for axis, (summary, paper) in enumerate(
+        zip((data.summary_x, data.summary_y, data.summary_z), paper_medians)
+    ):
+        print(
+            f"   {'xyz'[axis]}   {100 * summary.median:5.1f} cm  "
+            f"{100 * summary.p90:6.1f} cm   {100 * paper:5.1f} cm"
+        )
+
+
+def test_fig8_location_error_cdfs(benchmark, config, cached_walk):
+    tracker = WiTrack(config)
+    benchmark(
+        lambda: tracker.track(cached_walk.spectra, cached_walk.range_bin_m)
+    )
+
+    los = fig8_error_cdf(through_wall=False, config=config)
+    tw = fig8_error_cdf(through_wall=True, config=config)
+
+    for data in (los, tw):
+        # Dimension ordering of Section 9.1: y best, z worst.
+        assert data.summary_y.median <= data.summary_x.median + 0.02
+        assert data.summary_z.median >= data.summary_y.median
+        # Medians in the right decimeter band (not meters, not mm).
+        for summary in (data.summary_x, data.summary_y, data.summary_z):
+            assert 0.02 < summary.median < 0.45
+
+    # Through-wall is no better than line of sight (extra attenuation).
+    assert tw.summary_x.median >= los.summary_x.median - 0.02
+    assert tw.summary_z.median >= los.summary_z.median - 0.02
+
+    # The paper's 90th-percentile claim: within ~1 ft on x/y, 2 ft on z.
+    assert tw.summary_x.p90 < 0.45
+    assert tw.summary_y.p90 < 0.45
+    assert tw.summary_z.p90 < 0.75
+
+    print_header("Fig. 8 — 3D location-error CDFs")
+    _print_panel(
+        "(a) line of sight", los, constants.PAPER_MEDIAN_ERROR_LOS_M
+    )
+    _print_panel(
+        "(b) through-wall", tw, constants.PAPER_MEDIAN_ERROR_TW_M
+    )
+    print("\nCDF quantiles, through-wall x (cm):")
+    for q in (25, 50, 75, 90):
+        print(f"  p{q}: {100 * tw.cdf_x.percentile(q):5.1f}")

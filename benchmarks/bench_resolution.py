@@ -1,0 +1,88 @@
+"""Eq. 3 / Section 4.1: FMCW range resolution C / 2B = 8.8 cm.
+
+Verifies that two reflectors separated by a bit more than one resolution
+cell appear as distinct spectral peaks, and that reflectors inside one
+cell merge — the physical meaning of Eq. 3. The benchmarked kernel is
+one sweep synthesis + FFT, the per-sweep cost of the front end.
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.config import FMCWConfig
+from repro.rf.frontend import (
+    TimeDomainPath,
+    sweep_spectrum,
+    synthesize_sweep_time_domain,
+)
+
+from conftest import print_header
+
+
+def _peak_count(cfg: FMCWConfig, separation_one_way_m: float) -> int:
+    """Distinct peaks for two reflectors a given one-way distance apart."""
+    base = 8.0
+    paths = [
+        TimeDomainPath(base, 1.0),
+        TimeDomainPath(base + 2 * separation_one_way_m, 1.0),
+    ]
+    # Eq. 3 describes the unwindowed FFT cell; use the rect window so the
+    # Hann main-lobe widening does not obscure the bandwidth limit.
+    spectrum = np.abs(
+        sweep_spectrum(
+            synthesize_sweep_time_domain(paths, cfg), window="rect"
+        )
+    )
+    # Count distinct local maxima above half the global peak.
+    threshold = spectrum.max() * 0.5
+    count = 0
+    for k in range(1, len(spectrum) - 1):
+        if (
+            spectrum[k] >= threshold
+            and spectrum[k] >= spectrum[k - 1]
+            and spectrum[k] > spectrum[k + 1]
+        ):
+            count += 1
+    return count
+
+
+def test_eq3_range_resolution(benchmark, config):
+    cfg = config.fmcw
+
+    def kernel():
+        return sweep_spectrum(
+            synthesize_sweep_time_domain([TimeDomainPath(10.0, 1.0)], cfg)
+        )
+
+    benchmark(kernel)
+
+    resolution = cfg.range_resolution_m
+    assert np.isclose(resolution, 0.0887, atol=5e-4)
+
+    resolved = _peak_count(cfg, 3.0 * resolution)
+    merged = _peak_count(cfg, 0.4 * resolution)
+    assert resolved == 2, "reflectors 3 cells apart must be resolvable"
+    assert merged == 1, "reflectors within one cell must merge"
+
+    print_header("Eq. 3 — FMCW range resolution")
+    print(f"bandwidth B                : {cfg.bandwidth_hz / 1e9:.2f} GHz")
+    print(f"resolution C/2B (paper 8.8): {100 * resolution:.1f} cm")
+    print(f"two reflectors @ 3.0 cells : {resolved} peaks (expect 2)")
+    print(f"two reflectors @ 0.4 cells : {merged} peaks (expect 1)")
+
+
+def test_resolution_scales_inverse_with_bandwidth(benchmark):
+    """Halving the bandwidth doubles the resolution cell."""
+
+    def kernel():
+        return [
+            FMCWConfig(bandwidth_hz=b).range_resolution_m
+            for b in (0.845e9, 1.69e9, 3.38e9)
+        ]
+
+    wide, paper, ultra = benchmark(kernel)
+    assert np.isclose(wide, 2 * paper, rtol=1e-9)
+    assert np.isclose(ultra, paper / 2, rtol=1e-9)
+    print_header("Eq. 3 — resolution vs bandwidth")
+    for b, r in [(0.845, wide), (1.69, paper), (3.38, ultra)]:
+        print(f"  B = {b:5.2f} GHz  ->  {100 * r:5.2f} cm")

@@ -1,0 +1,55 @@
+"""Application 2: elderly fall detection (paper Sections 6.2 and 9.5).
+
+Simulates the four evaluation activities — walking, sitting on a chair,
+sitting on the floor, and a fall — tracks each through the full RF
+pipeline, and classifies the elevation traces with the two-condition
+detector. Prints the per-activity verdicts and a Fig. 6-style elevation
+summary.
+
+Run:
+    python examples/fall_detection.py
+"""
+
+import numpy as np
+
+from repro.eval.harness import run_fall_experiment
+from repro.eval.reporting import format_table
+
+ACTIVITIES = ("walk", "sit_chair", "sit_floor", "fall")
+
+def main() -> None:
+    rows = []
+    print("running four activities through the full pipeline...\n")
+    for i, activity in enumerate(ACTIVITIES):
+        outcome = run_fall_experiment(seed=20 + i, activity=activity)
+        verdict = outcome.verdict
+        elevation = outcome.elevation_trace
+        finite = elevation[np.isfinite(elevation)]
+        rows.append(
+            [
+                activity,
+                verdict.activity,
+                "FALL!" if verdict.is_fall else "-",
+                f"{np.percentile(finite, 90):.2f} m",
+                f"{np.percentile(finite, 5):.2f} m",
+                (
+                    f"{verdict.drop_duration_s:.2f} s"
+                    if np.isfinite(verdict.drop_duration_s)
+                    else "-"
+                ),
+            ]
+        )
+    print(format_table(
+        ["activity", "classified", "alert", "start elev",
+         "final elev", "drop time"],
+        rows,
+    ))
+    print(
+        "\nThe detector requires BOTH a large elevation drop ending near"
+        "\nthe floor AND a fast transition — 'people fall quicker than"
+        "\nthey sit' (Section 6.2). Paper accuracy: 96.9% precision,"
+        "\n93.9% recall over 132 experiments."
+    )
+
+if __name__ == "__main__":
+    main()

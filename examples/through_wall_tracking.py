@@ -1,0 +1,77 @@
+"""Application 1: through-wall 3D motion tracking, stage by stage.
+
+Walks through the Section 4 pipeline on a synthesized through-wall
+session — raw spectrogram (the Flash Effect), background subtraction,
+bottom-contour tracking, de-noising — and prints an ASCII rendering of
+each stage plus the final 3D accuracy. This reproduces the story of the
+paper's Fig. 3.
+
+Run:
+    python examples/through_wall_tracking.py
+"""
+
+import numpy as np
+
+from repro import WiTrack, default_config
+from repro.core.background import background_subtract
+from repro.core.spectrogram import spectrogram_from_sweeps
+from repro.eval.reporting import ascii_series
+from repro.sim import Scenario, random_walk, through_wall_room
+from repro.sim.vicon import DepthCalibration
+
+def describe_spectrogram(title: str, power: np.ndarray, bin_m: float) -> None:
+    """Print which ranges hold the strongest reflectors."""
+    mean_power = power.mean(axis=0)
+    top = np.argsort(mean_power)[-5:][::-1]
+    floor = np.median(mean_power)
+    print(f"\n{title}")
+    print("  strongest ranges (round trip):")
+    for k in top:
+        level_db = 10 * np.log10(mean_power[k] / floor)
+        print(f"    {k * bin_m:5.1f} m   {level_db:+5.1f} dB over floor")
+
+def main() -> None:
+    config = default_config()
+    room = through_wall_room()
+    walk = random_walk(room, np.random.default_rng(3), duration_s=20.0)
+    measured = Scenario(walk, room=room, config=config, seed=4).run()
+
+    # Stage 1: raw spectrogram -- dominated by static clutter stripes.
+    raw = spectrogram_from_sweeps(
+        measured.spectra[0], config.fmcw.sweep_duration_s,
+        measured.range_bin_m, 5,
+    ).crop(30.0)
+    describe_spectrogram(
+        "RAW SPECTROGRAM (Fig. 3a): static clutter dominates", raw.power,
+        raw.range_bin_m,
+    )
+
+    # Stage 2: background subtraction -- the human emerges.
+    subtracted = background_subtract(raw)
+    describe_spectrogram(
+        "AFTER BACKGROUND SUBTRACTION (Fig. 3b): the mover remains",
+        subtracted.power, subtracted.range_bin_m,
+    )
+
+    # Stage 3+4: contour tracking and de-noising, then 3D localization.
+    tracker = WiTrack(config)
+    track = tracker.track(measured.spectra, measured.range_bin_m)
+    est0 = track.tof_estimates[0]
+    print("\nCONTOUR TRACKING (Fig. 3c): round-trip distance vs time")
+    print(ascii_series(
+        est0.frame_times_s, est0.round_trip_m, label="denoised contour (m)"
+    ))
+
+    truth = DepthCalibration().compensate(
+        measured.truth_at(track.frame_times_s), measured.body.torso_depth_m
+    )
+    valid = track.valid_mask
+    err = 100 * np.abs(track.positions[valid] - truth[valid])
+    print("\n3D TRACKING ACCURACY (through-wall)")
+    print("  dim   median    90th pct   (paper: 13.1/10.3/21.0 cm medians)")
+    for i, name in enumerate("xyz"):
+        print(f"   {name}   {np.median(err[:, i]):5.1f} cm  "
+              f"{np.percentile(err[:, i], 90):6.1f} cm")
+
+if __name__ == "__main__":
+    main()

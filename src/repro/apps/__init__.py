@@ -1,0 +1,28 @@
+"""The paper's three applications built on the tracking primitive.
+
+* :mod:`realtime` — streaming 3D tracking with the <75 ms latency budget
+  of Section 7;
+* :mod:`fall_monitor` — elderly fall detection (Section 1, app 2);
+* :mod:`appliances` — pointing-based appliance control with a simulated
+  Insteon-style command bus (Section 6.1).
+"""
+
+from .realtime import LatencyReport, RealtimeTracker
+from .fall_monitor import FallAlert, FallMonitor
+from .appliances import (
+    Appliance,
+    ApplianceRegistry,
+    InsteonBus,
+    PointAndControl,
+)
+
+__all__ = [
+    "LatencyReport",
+    "RealtimeTracker",
+    "FallAlert",
+    "FallMonitor",
+    "Appliance",
+    "ApplianceRegistry",
+    "InsteonBus",
+    "PointAndControl",
+]

@@ -1,0 +1,192 @@
+"""Streaming real-time tracking with latency accounting (Section 7).
+
+"Software processing has a total delay less than 75 ms between when the
+signal is received and a corresponding 3D location is output."
+
+:class:`RealtimeTracker` consumes sweeps one frame (5 sweeps) at a time,
+keeping online state per antenna — previous averaged frame for background
+subtraction, outlier gate, hold-last interpolation, and a running Kalman
+filter — and emits one 3D fix per frame. Wall-clock processing time is
+recorded per frame so the latency benchmark can check the 75 ms budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SystemConfig, default_config
+from ..core.contour import track_bottom_contour
+from ..core.kalman import KalmanFilter1D
+from ..core.localize import make_solver
+from ..geometry.antennas import AntennaArray, t_array
+
+
+@dataclass
+class LatencyReport:
+    """Per-frame processing-time statistics.
+
+    Attributes:
+        latencies_s: wall-clock processing time per frame.
+    """
+
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def median_s(self) -> float:
+        """Median per-frame latency."""
+        return float(np.median(self.latencies_s))
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile per-frame latency."""
+        return float(np.percentile(self.latencies_s, 95))
+
+    @property
+    def max_s(self) -> float:
+        """Worst-case per-frame latency."""
+        return float(np.max(self.latencies_s))
+
+    def within_budget(self, budget_s: float = 0.075) -> bool:
+        """True when the 95th percentile meets the paper's budget."""
+        return self.p95_s <= budget_s
+
+
+class _AntennaState:
+    """Online per-antenna pipeline state."""
+
+    def __init__(self, config: SystemConfig, range_bin_m: float) -> None:
+        pipeline = config.pipeline
+        self.range_bin_m = range_bin_m
+        self.threshold_db = pipeline.contour_threshold_db
+        self.max_jump_m = pipeline.max_jump_m
+        self.confirmation = pipeline.jump_confirmation_frames
+        self.interpolate = pipeline.interpolate_when_static
+        self.previous_frame: np.ndarray | None = None
+        self.last_value: float | None = None
+        self.frames_since_accept = 1
+        self.pending: list[float] = []
+        self.kalman = KalmanFilter1D(
+            pipeline.sweeps_per_frame * config.fmcw.sweep_duration_s,
+            process_noise=pipeline.kalman_process_noise,
+            measurement_noise=pipeline.kalman_measurement_noise,
+        )
+
+    def process_frame(self, frame: np.ndarray) -> float:
+        """One averaged frame in, one smoothed round-trip distance out."""
+        if self.previous_frame is None:
+            self.previous_frame = frame
+            return float("nan")
+        diff = frame - self.previous_frame
+        self.previous_frame = frame
+        power = np.abs(diff[None, :]) ** 2
+        contour = track_bottom_contour(
+            power, self.range_bin_m, threshold_db=self.threshold_db
+        )
+        raw = float(contour.round_trip_m[0])
+        accepted = self._gate(raw)
+        if np.isnan(accepted) and self.interpolate and self.last_value is not None:
+            accepted = self.last_value
+        if np.isnan(accepted):
+            return (
+                self.kalman.predict() if self.kalman.initialized else float("nan")
+            )
+        return self.kalman.update(accepted)
+
+    def _gate(self, raw: float) -> float:
+        """Online version of the Section 4.4 outlier rejection."""
+        if np.isnan(raw):
+            self.frames_since_accept += 1
+            return float("nan")
+        if self.last_value is None:
+            self.last_value = raw
+            self.frames_since_accept = 1
+            return raw
+        allowed = self.max_jump_m * self.frames_since_accept
+        if abs(raw - self.last_value) <= allowed:
+            self.last_value = raw
+            self.frames_since_accept = 1
+            self.pending.clear()
+            return raw
+        self.pending = [
+            v for v in self.pending if abs(v - raw) <= 2 * self.max_jump_m
+        ]
+        self.pending.append(raw)
+        self.frames_since_accept += 1
+        if len(self.pending) >= self.confirmation:
+            self.last_value = raw
+            self.frames_since_accept = 1
+            self.pending.clear()
+            return raw
+        return float("nan")
+
+
+class RealtimeTracker:
+    """Frame-by-frame streaming 3D tracker.
+
+    Args:
+        config: system configuration.
+        range_bin_m: round-trip distance per spectrum bin.
+        array: antenna array override.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        range_bin_m: float = 0.1774,
+        array: AntennaArray | None = None,
+    ) -> None:
+        self.config = config or default_config()
+        self.array = array if array is not None else t_array(self.config.array)
+        self.solver = make_solver(self.array)
+        self.range_bin_m = range_bin_m
+        self._states = [
+            _AntennaState(self.config, range_bin_m)
+            for _ in range(self.array.num_receivers)
+        ]
+        self.latency = LatencyReport()
+
+    @property
+    def sweeps_per_frame(self) -> int:
+        """Sweeps consumed per output fix."""
+        return self.config.pipeline.sweeps_per_frame
+
+    def process_frame(self, sweep_block: np.ndarray) -> np.ndarray:
+        """Process one frame worth of sweeps for all antennas.
+
+        Args:
+            sweep_block: shape ``(n_rx, sweeps_per_frame, n_bins)``.
+
+        Returns:
+            3D position, shape ``(3,)`` (NaN until localizable).
+        """
+        start = time.perf_counter()
+        averaged = sweep_block.mean(axis=1)
+        k = np.array(
+            [
+                state.process_frame(averaged[i])
+                for i, state in enumerate(self._states)
+            ]
+        )
+        if np.any(np.isnan(k)):
+            position = np.full(3, np.nan)
+        else:
+            position = self.solver.solve_one(k)
+        self.latency.latencies_s.append(time.perf_counter() - start)
+        return position
+
+    def run(self, spectra: np.ndarray) -> np.ndarray:
+        """Stream a whole recording; returns ``(n_frames, 3)`` positions."""
+        spectra = np.asarray(spectra)
+        n_rx, n_sweeps, n_bins = spectra.shape
+        if n_rx != self.array.num_receivers:
+            raise ValueError("antenna count mismatch")
+        spf = self.sweeps_per_frame
+        n_frames = n_sweeps // spf
+        positions = np.empty((n_frames, 3))
+        for f in range(n_frames):
+            block = spectra[:, f * spf : (f + 1) * spf, :]
+            positions[f] = self.process_frame(block)
+        return positions

@@ -1,0 +1,176 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples:
+    python -m repro track --duration 15 --seed 3
+    python -m repro fig8 --through-wall
+    python -m repro fig9
+    python -m repro fall-table
+    python -m repro pointing --trials 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .config import default_config
+from .core.tracker import WiTrack
+from .eval import figures
+from .eval.harness import (
+    ExperimentScale,
+    TrackingExperiment,
+    run_pointing_experiment,
+    run_tracking_experiment,
+)
+from .eval.reporting import format_table
+
+
+def _scale(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        num_experiments=args.experiments,
+        duration_s=args.duration,
+        name="cli",
+    )
+
+
+def cmd_track(args: argparse.Namespace) -> int:
+    """One tracking experiment; prints per-dimension accuracy."""
+    outcome = run_tracking_experiment(
+        TrackingExperiment(
+            seed=args.seed,
+            through_wall=args.through_wall,
+            duration_s=args.duration,
+        )
+    )
+    x, y, z = outcome.summaries()
+    print(f"subject: {outcome.body.name}  "
+          f"({'through-wall' if args.through_wall else 'line of sight'})")
+    rows = [
+        [dim, f"{100 * s.median:.1f} cm", f"{100 * s.p90:.1f} cm", s.count]
+        for dim, s in zip("xyz", (x, y, z))
+    ]
+    print(format_table(["dim", "median", "p90", "frames"], rows))
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    """Fig. 8: per-dimension error CDF summaries."""
+    data = figures.fig8_error_cdf(
+        through_wall=args.through_wall, scale=_scale(args)
+    )
+    rows = [
+        [dim, f"{100 * s.median:.1f} cm", f"{100 * s.p90:.1f} cm"]
+        for dim, s in zip(
+            "xyz", (data.summary_x, data.summary_y, data.summary_z)
+        )
+    ]
+    print(format_table(["dim", "median", "p90"], rows))
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    """Fig. 9: error vs distance."""
+    data = figures.fig9_error_vs_distance(scale=_scale(args))
+    rows = [
+        [f"{d:.0f} m"]
+        + [f"{data.median_cm[i, a]:.1f}" for a in range(3)]
+        for i, d in enumerate(data.distances_m)
+    ]
+    print(format_table(["distance", "x med (cm)", "y med", "z med"], rows))
+    return 0
+
+
+def cmd_fig10(args: argparse.Namespace) -> int:
+    """Fig. 10: error vs antenna separation."""
+    data = figures.fig10_error_vs_separation(scale=_scale(args))
+    rows = [
+        [f"{s:.2f} m"]
+        + [f"{data.median_cm[i, a]:.1f}" for a in range(3)]
+        for i, s in enumerate(data.separations_m)
+    ]
+    print(format_table(["separation", "x med (cm)", "y med", "z med"], rows))
+    return 0
+
+
+def cmd_fall_table(args: argparse.Namespace) -> int:
+    """Section 9.5: fall-detection scores."""
+    data = figures.fall_detection_table(scale=_scale(args))
+    s = data.scores
+    print(f"runs/activity: {data.per_activity_runs}")
+    print(f"precision {100 * s.precision:.1f}%  "
+          f"recall {100 * s.recall:.1f}%  F {100 * s.f_measure:.1f}%")
+    return 0
+
+
+def cmd_pointing(args: argparse.Namespace) -> int:
+    """Fig. 11: pointing-direction errors."""
+    errors = []
+    for seed in range(args.trials):
+        outcome = run_pointing_experiment(seed)
+        errors.append(outcome.error_deg)
+    arr = np.asarray(errors)
+    finite = arr[np.isfinite(arr)]
+    print(f"detected : {len(finite)}/{len(arr)}")
+    if finite.size:
+        print(f"median   : {np.median(finite):.1f} deg")
+        print(f"p90      : {np.percentile(finite, 90):.1f} deg")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiTrack reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--experiments", type=int, default=4,
+                       help="experiments per configuration point")
+        p.add_argument("--duration", type=float, default=12.0,
+                       help="seconds per experiment")
+
+    p = sub.add_parser("track", help="one tracking experiment")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=15.0)
+    p.add_argument("--line-of-sight", dest="through_wall",
+                   action="store_false", default=True)
+    p.set_defaults(func=cmd_track)
+
+    p = sub.add_parser("fig8", help="error CDFs (Fig. 8)")
+    common(p)
+    p.add_argument("--line-of-sight", dest="through_wall",
+                   action="store_false", default=True)
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("fig9", help="error vs distance (Fig. 9)")
+    common(p)
+    p.set_defaults(func=cmd_fig9)
+
+    p = sub.add_parser("fig10", help="error vs separation (Fig. 10)")
+    common(p)
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser("fall-table", help="fall detection (Section 9.5)")
+    common(p)
+    p.set_defaults(func=cmd_fall_table)
+
+    p = sub.add_parser("pointing", help="pointing errors (Fig. 11)")
+    p.add_argument("--trials", type=int, default=6)
+    p.set_defaults(func=cmd_pointing)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

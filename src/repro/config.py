@@ -1,0 +1,184 @@
+"""Configuration dataclasses for every subsystem.
+
+A single :class:`SystemConfig` aggregates the radio, array, pipeline and
+simulation settings. All dataclasses are frozen so configurations can be
+shared between threads and used as dictionary keys in caches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from . import constants
+
+
+@dataclass(frozen=True)
+class FMCWConfig:
+    """Parameters of the FMCW sweep (paper Section 4.1 and Section 7)."""
+
+    start_hz: float = constants.SWEEP_START_HZ
+    bandwidth_hz: float = constants.SWEEP_BANDWIDTH_HZ
+    sweep_duration_s: float = constants.SWEEP_DURATION_S
+    sample_rate_hz: float = constants.BASEBAND_SAMPLE_RATE_HZ
+    tx_power_w: float = constants.TX_POWER_W
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth_hz must be positive")
+        if self.sweep_duration_s <= 0:
+            raise ValueError("sweep_duration_s must be positive")
+        if self.sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        if self.tx_power_w <= 0:
+            raise ValueError("tx_power_w must be positive")
+
+    @property
+    def end_hz(self) -> float:
+        """Sweep end frequency (Hz)."""
+        return self.start_hz + self.bandwidth_hz
+
+    @property
+    def center_hz(self) -> float:
+        """Sweep center frequency (Hz)."""
+        return self.start_hz + self.bandwidth_hz / 2.0
+
+    @property
+    def slope_hz_per_s(self) -> float:
+        """Sweep slope: bandwidth / sweep time (Hz/s). Used in Eq. 1."""
+        return self.bandwidth_hz / self.sweep_duration_s
+
+    @property
+    def samples_per_sweep(self) -> int:
+        """Baseband samples captured during one sweep."""
+        return int(round(self.sweep_duration_s * self.sample_rate_hz))
+
+    @property
+    def range_resolution_m(self) -> float:
+        """One-way range resolution C / (2 B) (Eq. 3)."""
+        return constants.SPEED_OF_LIGHT / (2.0 * self.bandwidth_hz)
+
+    @property
+    def sweeps_per_second(self) -> float:
+        """Sweep repetition rate (Hz)."""
+        return 1.0 / self.sweep_duration_s
+
+    def beat_frequency_for_round_trip(self, round_trip_m: float) -> float:
+        """Beat (baseband) frequency for a given round-trip distance (Eq. 1/4)."""
+        tof = round_trip_m / constants.SPEED_OF_LIGHT
+        return self.slope_hz_per_s * tof
+
+    def round_trip_for_beat_frequency(self, beat_hz: float) -> float:
+        """Round-trip distance for a given beat frequency (inverse of Eq. 4)."""
+        return beat_hz / self.slope_hz_per_s * constants.SPEED_OF_LIGHT
+
+    @property
+    def max_unambiguous_round_trip_m(self) -> float:
+        """Largest round-trip distance representable at the Nyquist bin."""
+        return self.round_trip_for_beat_frequency(self.sample_rate_hz / 2.0)
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Geometry of the antenna array (paper Section 5, Fig. 1a).
+
+    The array lives in the x-z plane; the y axis points into the room,
+    orthogonal to the plane of the "T". The transmit antenna sits at the
+    crossing point of the T, two receive antennas at the horizontal edges,
+    and one receive antenna below the transmit antenna.
+    """
+
+    separation_m: float = constants.DEFAULT_ANTENNA_SEPARATION_M
+    height_m: float = constants.DEFAULT_DEVICE_HEIGHT_M
+    #: Directional-beam half-power exponent for the cos^n gain model.
+    beam_exponent: float = 2.0
+    #: Number of receive antennas (3 = the paper's T; more over-constrains).
+    num_receivers: int = 3
+
+    def __post_init__(self) -> None:
+        if self.separation_m <= 0:
+            raise ValueError("separation_m must be positive")
+        if self.num_receivers < 3:
+            raise ValueError("at least 3 receive antennas are required for 3D")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunables of the TOF-estimation pipeline (paper Sections 4.2-4.4, 7)."""
+
+    sweeps_per_frame: int = constants.SWEEPS_PER_FRAME
+    #: Power threshold over the per-frame noise floor for contour peaks (dB).
+    contour_threshold_db: float = 12.0
+    #: Maximum plausible change in *round-trip* distance between frames (m).
+    #: A person cannot move much in 12.5 ms (Section 7); 0.15 m round trip
+    #: per frame corresponds to a 6 m/s body speed.
+    max_jump_m: float = 0.15
+    #: Frames a jump must persist before we accept it as a real relocation.
+    jump_confirmation_frames: int = 4
+    #: Kalman white-acceleration spectral density (m^2/s^3). Must be
+    #: large enough for the filter to follow indoor walking speeds;
+    #: values below ~1 make the filter lag a moving person by meters.
+    kalman_process_noise: float = 10.0
+    #: Kalman measurement-noise variance (m^2) of one contour sample.
+    kalman_measurement_noise: float = 1e-3
+    #: Interpolate (hold) the last position during silence (Section 4.4).
+    interpolate_when_static: bool = True
+    #: Maximum range of interest (m, round trip) for the spectrogram crop.
+    max_range_m: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.sweeps_per_frame < 1:
+            raise ValueError("sweeps_per_frame must be >= 1")
+        if self.max_jump_m <= 0:
+            raise ValueError("max_jump_m must be positive")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Settings of the RF/world simulator (our substitute for hardware)."""
+
+    #: "time" synthesizes baseband sample streams and FFTs them (slow,
+    #: exact); "spectrum" synthesizes per-sweep spectra directly from the
+    #: Dirichlet kernel of each propagation path (fast, benchmark default).
+    signal_model: str = "spectrum"
+    #: One-traversal wall attenuation (dB). 6-inch hollow wall with sheet
+    #: rock over steel studs, ~6 GHz.
+    wall_attenuation_db: float = 5.0
+    #: Receiver noise figure (dB) of the LNA chain.
+    noise_figure_db: float = 8.0
+    #: Residual VCO sweep nonlinearity after the feedback loop (fraction of
+    #: bandwidth; the phase-frequency-detector loop makes this small).
+    vco_nonlinearity: float = 1e-4
+    #: Number of static clutter reflectors to synthesize.
+    num_static_reflectors: int = 18
+    #: Number of dynamic multipath images (body -> wall -> device paths).
+    num_multipath_images: int = 4
+    #: ADC bits for quantization (LFRX-LF 14-bit path).
+    adc_bits: int = 14
+    #: Extra antenna/system losses (dB).
+    system_loss_db: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.signal_model not in ("time", "spectrum"):
+            raise ValueError("signal_model must be 'time' or 'spectrum'")
+        if self.adc_bits < 4:
+            raise ValueError("adc_bits must be at least 4")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Aggregate configuration for a full WiTrack deployment."""
+
+    fmcw: FMCWConfig = field(default_factory=FMCWConfig)
+    array: ArrayConfig = field(default_factory=ArrayConfig)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def replace(self, **kwargs: object) -> "SystemConfig":
+        """Return a copy with the given top-level sections replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+def default_config() -> SystemConfig:
+    """The paper's default deployment: 1 m T-array, through-wall tunables."""
+    return SystemConfig()

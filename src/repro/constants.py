@@ -1,0 +1,91 @@
+"""Physical constants and the WiTrack paper's parameter table.
+
+Every number that appears in the paper text is centralized here so that
+tests and benchmarks can reference the authoritative value instead of
+re-typing magic numbers.
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum (m/s). The paper's C in Eq. 2-4.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant (J/K), used for the thermal-noise floor.
+BOLTZMANN = 1.380649e-23
+
+#: Reference temperature for noise figure calculations (K).
+T0_KELVIN = 290.0
+
+# --- FMCW sweep parameters (Section 4.1 and Section 7) -------------------
+
+#: Sweep start frequency (Hz): "sweeps ... from 5.56 GHz" (Section 4.1).
+SWEEP_START_HZ = 5.56e9
+
+#: Sweep end frequency (Hz): "... to 7.25 GHz" (Section 4.1).
+SWEEP_END_HZ = 7.25e9
+
+#: Total swept bandwidth (Hz): "a total bandwidth of 1.69 GHz".
+SWEEP_BANDWIDTH_HZ = SWEEP_END_HZ - SWEEP_START_HZ
+
+#: Sweep duration (s): "an FFT whose size matches the FMCW sweep period of
+#: 2.5 ms" (Section 7).
+SWEEP_DURATION_S = 2.5e-3
+
+#: Baseband sample rate (S/s): "the LFRX-LF daughterboard on USRP2 which
+#: samples it at 1 MHz" (Section 7).
+BASEBAND_SAMPLE_RATE_HZ = 1.0e6
+
+#: Number of baseband samples in one sweep.
+SAMPLES_PER_SWEEP = int(round(SWEEP_DURATION_S * BASEBAND_SAMPLE_RATE_HZ))
+
+#: Sweep slope (Hz/s): bandwidth divided by sweep time.
+SWEEP_SLOPE_HZ_PER_S = SWEEP_BANDWIDTH_HZ / SWEEP_DURATION_S
+
+#: Consecutive sweeps averaged into one processing frame (Section 4.3):
+#: "we average over five consecutive sweeps, which together span 12.5 ms".
+SWEEPS_PER_FRAME = 5
+
+#: Duration of one averaged frame (s).
+FRAME_DURATION_S = SWEEPS_PER_FRAME * SWEEP_DURATION_S
+
+#: Transmit power (W): "transmits at 0.75 milliWatts" (Section 4.1).
+TX_POWER_W = 0.75e-3
+
+#: Theoretical one-way range resolution (m), Eq. 3: C / (2 B) = 8.87 cm.
+RANGE_RESOLUTION_M = SPEED_OF_LIGHT / (2.0 * SWEEP_BANDWIDTH_HZ)
+
+# --- Default deployment geometry (Section 8b) -----------------------------
+
+#: Default Tx-to-Rx antenna separation (m): "The distance between the
+#: transmit antenna and each receive antenna is 1m".
+DEFAULT_ANTENNA_SEPARATION_M = 1.0
+
+#: Physical antenna aperture (m): "dimension of each antenna: 5cm x 5cm".
+ANTENNA_APERTURE_M = 0.05
+
+#: Height of the antenna plane above the floor (m). The paper mounts the
+#: Tx "about the waist" of a standing person (Section 8a).
+DEFAULT_DEVICE_HEIGHT_M = 1.0
+
+# --- Paper-reported headline results (used by benchmark assertions) -------
+
+#: Median through-wall localization error (m) along x, y, z (Section 9.1).
+PAPER_MEDIAN_ERROR_TW_M = (0.131, 0.1025, 0.210)
+
+#: Median line-of-sight localization error (m) along x, y, z (Section 9.1).
+PAPER_MEDIAN_ERROR_LOS_M = (0.099, 0.086, 0.177)
+
+#: Median / 90th-percentile pointing-direction error (degrees, Section 9.4).
+PAPER_POINTING_MEDIAN_DEG = 11.2
+PAPER_POINTING_P90_DEG = 37.9
+
+#: Fall-detection precision / recall / F-measure (Section 9.5).
+PAPER_FALL_PRECISION = 0.969
+PAPER_FALL_RECALL = 0.939
+PAPER_FALL_F_MEASURE = 0.944
+
+#: End-to-end processing latency bound (s): "less than 75 ms" (Section 7).
+PAPER_LATENCY_BOUND_S = 0.075
+
+#: Claimed 2D accuracy advantage over radio tomographic imaging (Section 2).
+PAPER_RTI_ADVANTAGE_FACTOR = 5.0

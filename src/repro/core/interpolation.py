@@ -1,0 +1,73 @@
+"""Gap interpolation: tracking a person who stops moving (Section 4.4).
+
+"If a person walks around in a room then sits on a chair and remains
+static, the background-subtracted signal would not register any strong
+reflector. In such scenarios, we assume that the person is still in the
+same position and interpolate the latest location estimate throughout
+the period during which we do not observe any motion."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def interpolate_gaps(
+    series: np.ndarray,
+    max_gap_frames: int | None = None,
+) -> np.ndarray:
+    """Fill NaN gaps by holding the last valid estimate.
+
+    Args:
+        series: values with NaN gaps (the de-noised contour).
+        max_gap_frames: if given, only gaps up to this many frames are
+            filled; longer silences stay NaN (useful when the subject may
+            have left the monitored area entirely).
+
+    Returns:
+        A copy with gaps filled. Samples before the first valid estimate
+        are backfilled from it (the tracker has no earlier knowledge).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    out = series.copy()
+    valid = ~np.isnan(series)
+    if not np.any(valid):
+        return out
+
+    first = int(np.argmax(valid))
+    out[:first] = series[first]
+
+    last_value = series[first]
+    gap = 0
+    gap_start = None
+    for i in range(first + 1, len(series)):
+        if np.isnan(series[i]):
+            gap += 1
+            if gap_start is None:
+                gap_start = i
+            continue
+        if gap_start is not None:
+            if max_gap_frames is None or gap <= max_gap_frames:
+                out[gap_start:i] = last_value
+            gap = 0
+            gap_start = None
+        last_value = series[i]
+    if gap_start is not None and (max_gap_frames is None or gap <= max_gap_frames):
+        out[gap_start:] = last_value
+    return out
+
+
+def gap_lengths(series: np.ndarray) -> list[int]:
+    """Lengths of the NaN runs in a series (diagnostics)."""
+    series = np.asarray(series, dtype=np.float64)
+    lengths: list[int] = []
+    run = 0
+    for value in series:
+        if np.isnan(value):
+            run += 1
+        elif run:
+            lengths.append(run)
+            run = 0
+    if run:
+        lengths.append(run)
+    return lengths

@@ -1,0 +1,97 @@
+"""Outlier rejection on the raw contour (paper Section 4.4).
+
+"WiTrack rejects impractical jumps in distance estimates that correspond
+to unnatural human motion over a very short period of time" — e.g. the
+5 m jumps over a few milliseconds in Fig. 3(c). The realtime rule of
+Section 7: "the contour should not jump significantly between two
+successive FFT frames (because a person cannot move much in 12.5 ms)".
+
+One subtlety: a hard gate would lock onto the first estimate forever if
+the tracker ever latched onto a noise peak. We therefore accept a large
+jump once it *persists*: if several consecutive frames agree on the new
+distance, the person genuinely is there and the track relocates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reject_outliers(
+    round_trip_m: np.ndarray,
+    max_jump_m: float = 0.15,
+    confirmation_frames: int = 4,
+    agreement_m: float | None = None,
+) -> np.ndarray:
+    """Remove impractical frame-to-frame jumps from a contour series.
+
+    Args:
+        round_trip_m: raw contour (NaN marks silent frames).
+        max_jump_m: largest believable change per frame (0.15 m round
+            trip per 12.5 ms frame = a 6 m/s body — generous).
+        confirmation_frames: consecutive mutually-consistent far samples
+            needed to accept a relocation.
+        agreement_m: spread tolerance within the confirmation window
+            (defaults to ``2 * max_jump_m``).
+
+    Returns:
+        A copy with rejected samples set to NaN. Gaps widen the accepted
+        jump window proportionally (the person kept moving while we were
+        not tracking her).
+    """
+    if max_jump_m <= 0:
+        raise ValueError("max_jump_m must be positive")
+    if confirmation_frames < 1:
+        raise ValueError("confirmation_frames must be >= 1")
+    if agreement_m is None:
+        agreement_m = 2.0 * max_jump_m
+
+    series = np.asarray(round_trip_m, dtype=np.float64)
+    out = np.full_like(series, np.nan)
+    last_value = np.nan
+    frames_since_accept = 1
+    pending: list[tuple[int, float]] = []
+
+    for i, value in enumerate(series):
+        if np.isnan(value):
+            frames_since_accept += 1
+            continue
+        if np.isnan(last_value):
+            out[i] = value
+            last_value = value
+            frames_since_accept = 1
+            continue
+        allowed = max_jump_m * frames_since_accept
+        if abs(value - last_value) <= allowed:
+            out[i] = value
+            last_value = value
+            frames_since_accept = 1
+            pending.clear()
+            continue
+        # Candidate relocation: require persistence before believing it.
+        pending = [(j, v) for j, v in pending if abs(v - value) <= agreement_m]
+        pending.append((i, value))
+        frames_since_accept += 1
+        if len(pending) >= confirmation_frames:
+            for j, v in pending:
+                out[j] = v
+            last_value = value
+            frames_since_accept = 1
+            pending.clear()
+    return out
+
+
+def jump_statistics(round_trip_m: np.ndarray) -> dict[str, float]:
+    """Summary of frame-to-frame jumps (diagnostics for Fig. 3c).
+
+    Returns the max and 99th-percentile absolute jump between valid
+    consecutive samples, plus the fraction of NaN samples.
+    """
+    series = np.asarray(round_trip_m, dtype=np.float64)
+    valid = ~np.isnan(series)
+    jumps = np.abs(np.diff(series[valid])) if valid.sum() > 1 else np.array([0.0])
+    return {
+        "max_jump_m": float(np.max(jumps)) if jumps.size else 0.0,
+        "p99_jump_m": float(np.percentile(jumps, 99)) if jumps.size else 0.0,
+        "nan_fraction": float(np.mean(~valid)),
+    }

@@ -1,0 +1,120 @@
+"""Robust regression used by the pointing estimator (Section 6.1).
+
+"We perform robust regression on the location estimates of the moving
+hand, and we use the start and end points of the regression from all of
+the antennas to solve for the initial and final position of the hand."
+
+Two estimators are provided: Theil-Sen (median of pairwise slopes —
+breakdown point 29%, the default) and Huber IRLS (iteratively reweighted
+least squares with the Huber loss), both pure numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted line ``y = slope * x + intercept``.
+
+    Attributes:
+        slope: fitted slope.
+        intercept: fitted intercept.
+    """
+
+    slope: float
+    intercept: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the line."""
+        out = self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+        return float(out) if np.isscalar(x) else out
+
+
+def theil_sen(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Theil-Sen estimator: median of all pairwise slopes.
+
+    O(n^2) pairs — fine for gesture segments (tens of frames). NaNs in
+    ``y`` are ignored.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    mask = np.isfinite(x) & np.isfinite(y)
+    x, y = x[mask], y[mask]
+    n = len(x)
+    if n < 2:
+        raise ValueError("need at least two finite points")
+    dx = x[None, :] - x[:, None]
+    dy = y[None, :] - y[:, None]
+    upper = np.triu_indices(n, k=1)
+    dxu, dyu = dx[upper], dy[upper]
+    keep = np.abs(dxu) > 1e-12
+    if not np.any(keep):
+        raise ValueError("all x values are identical")
+    slope = float(np.median(dyu[keep] / dxu[keep]))
+    intercept = float(np.median(y - slope * x))
+    return LinearFit(slope=slope, intercept=intercept)
+
+
+def huber_regression(
+    x: np.ndarray,
+    y: np.ndarray,
+    delta: float | None = None,
+    max_iter: int = 50,
+    tol: float = 1e-10,
+) -> LinearFit:
+    """Huber-loss linear fit via iteratively reweighted least squares.
+
+    Args:
+        x, y: data (NaNs in y ignored).
+        delta: Huber transition point; defaults to 1.345 * MAD-sigma of
+            the initial OLS residuals (the classical 95%-efficiency tuning).
+        max_iter: IRLS iteration cap.
+        tol: convergence tolerance on the parameters.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    mask = np.isfinite(x) & np.isfinite(y)
+    x, y = x[mask], y[mask]
+    if len(x) < 2:
+        raise ValueError("need at least two finite points")
+
+    design = np.column_stack([x, np.ones_like(x)])
+    params, *_ = np.linalg.lstsq(design, y, rcond=None)
+    for _ in range(max_iter):
+        residuals = y - design @ params
+        mad = np.median(np.abs(residuals - np.median(residuals)))
+        sigma = max(1.4826 * mad, 1e-12)
+        d = delta if delta is not None else 1.345 * sigma
+        abs_r = np.abs(residuals)
+        weights = np.where(abs_r <= d, 1.0, d / np.maximum(abs_r, 1e-12))
+        w_design = design * weights[:, None]
+        new_params, *_ = np.linalg.lstsq(w_design.T @ design, w_design.T @ y, rcond=None)
+        if np.max(np.abs(new_params - params)) < tol:
+            params = new_params
+            break
+        params = new_params
+    return LinearFit(slope=float(params[0]), intercept=float(params[1]))
+
+
+def robust_endpoints(
+    times_s: np.ndarray,
+    values: np.ndarray,
+    method: str = "theil_sen",
+) -> tuple[float, float]:
+    """Robust start/end values of a noisy monotone segment.
+
+    Fits a robust line over the segment and evaluates it at the first and
+    last timestamps — exactly how the pointing estimator extracts the
+    initial and final hand distance per antenna.
+    """
+    if method == "theil_sen":
+        fit = theil_sen(times_s, values)
+    elif method == "huber":
+        fit = huber_regression(times_s, values)
+    else:
+        raise ValueError(f"unknown robust regression method: {method!r}")
+    return float(fit.predict(times_s[0])), float(fit.predict(times_s[-1]))

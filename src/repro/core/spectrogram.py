@@ -1,0 +1,114 @@
+"""Sweep FFTs and frame averaging (paper Sections 4.1 and 7).
+
+"The signal from each receiving antenna is transformed to the frequency
+domain using an FFT whose size matches the FMCW sweep period of 2.5 ms.
+To improve resilience to noise, every five consecutive sweeps are
+averaged creating one FFT frame."
+
+Averaging is *coherent* (complex): over 12.5 ms a human is effectively
+static, so her reflection adds in phase while noise adds incoherently,
+buying ~7 dB of SNR (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Spectrogram:
+    """Averaged FFT frames for one receive antenna.
+
+    Attributes:
+        frames: complex averaged spectra, shape ``(n_frames, n_bins)``.
+        frame_times_s: center time of each frame.
+        range_bin_m: round-trip distance covered by one bin.
+    """
+
+    frames: np.ndarray
+    frame_times_s: np.ndarray
+    range_bin_m: float
+
+    def __post_init__(self) -> None:
+        if len(self.frames) != len(self.frame_times_s):
+            raise ValueError("frames and frame_times_s must align")
+        if self.range_bin_m <= 0:
+            raise ValueError("range_bin_m must be positive")
+
+    @property
+    def num_frames(self) -> int:
+        """Number of averaged frames."""
+        return self.frames.shape[0]
+
+    @property
+    def num_bins(self) -> int:
+        """Number of range bins per frame."""
+        return self.frames.shape[1]
+
+    @property
+    def power(self) -> np.ndarray:
+        """Per-bin power ``|frame|^2``, shape ``(n_frames, n_bins)``."""
+        return np.abs(self.frames) ** 2
+
+    @property
+    def range_bins_m(self) -> np.ndarray:
+        """Round-trip distance at each bin center."""
+        return np.arange(self.num_bins) * self.range_bin_m
+
+    def power_db(self, floor: float = 1e-30) -> np.ndarray:
+        """Per-bin power in dB (floored to avoid log of zero)."""
+        return 10.0 * np.log10(np.maximum(self.power, floor))
+
+    def crop(self, max_range_m: float) -> "Spectrogram":
+        """Restrict the spectrogram to ranges up to ``max_range_m``."""
+        bins = int(np.ceil(max_range_m / self.range_bin_m)) + 1
+        bins = min(bins, self.num_bins)
+        return Spectrogram(
+            frames=self.frames[:, :bins],
+            frame_times_s=self.frame_times_s,
+            range_bin_m=self.range_bin_m,
+        )
+
+
+def average_frames(
+    sweep_spectra: np.ndarray, sweeps_per_frame: int
+) -> np.ndarray:
+    """Coherently average consecutive sweeps into frames.
+
+    Trailing sweeps that do not fill a frame are dropped, as the realtime
+    implementation would wait for a full frame.
+
+    Args:
+        sweep_spectra: complex spectra, shape ``(n_sweeps, n_bins)``.
+        sweeps_per_frame: sweeps per averaged frame (paper: 5).
+
+    Returns:
+        Averaged frames, shape ``(n_sweeps // sweeps_per_frame, n_bins)``.
+    """
+    if sweeps_per_frame < 1:
+        raise ValueError("sweeps_per_frame must be >= 1")
+    n_sweeps, n_bins = sweep_spectra.shape
+    n_frames = n_sweeps // sweeps_per_frame
+    if n_frames == 0:
+        raise ValueError(
+            f"need at least {sweeps_per_frame} sweeps, got {n_sweeps}"
+        )
+    trimmed = sweep_spectra[: n_frames * sweeps_per_frame]
+    return trimmed.reshape(n_frames, sweeps_per_frame, n_bins).mean(axis=1)
+
+
+def spectrogram_from_sweeps(
+    sweep_spectra: np.ndarray,
+    sweep_duration_s: float,
+    range_bin_m: float,
+    sweeps_per_frame: int = 5,
+) -> Spectrogram:
+    """Build the averaged :class:`Spectrogram` from raw sweep spectra."""
+    frames = average_frames(sweep_spectra, sweeps_per_frame)
+    frame_duration = sweeps_per_frame * sweep_duration_s
+    times = (np.arange(len(frames)) + 0.5) * frame_duration
+    return Spectrogram(
+        frames=frames, frame_times_s=times, range_bin_m=range_bin_m
+    )

@@ -1,0 +1,148 @@
+"""WiTrack: the public 3D-tracking API (paper Sections 3-5 assembled).
+
+:class:`WiTrack` is the class a downstream user instantiates: feed it the
+per-antenna sweep spectra (from hardware or from :mod:`repro.sim`) and it
+returns the 3D track of the moving person.
+
+Example:
+    >>> from repro import WiTrack, default_config
+    >>> from repro.sim import Scenario, random_walk, through_wall_room
+    >>> import numpy as np
+    >>> room = through_wall_room()
+    >>> walk = random_walk(room, np.random.default_rng(0), duration_s=10)
+    >>> output = Scenario(walk, room=room, seed=1).run()
+    >>> track = WiTrack(output.config).track(output.spectra, output.range_bin_m)
+    >>> track.positions.shape[1]
+    3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig, default_config
+from ..geometry.antennas import AntennaArray, t_array
+from .localize import LeastSquaresSolver, TGeometrySolver, make_solver
+from .tof import TOFEstimate, TOFEstimator
+
+
+@dataclass(frozen=True)
+class TrackResult:
+    """A 3D track and its per-antenna intermediates.
+
+    Attributes:
+        frame_times_s: timestamp of each output frame (12.5 ms cadence).
+        positions: 3D positions, shape ``(n_frames, 3)``; NaN rows mark
+            frames that could not be localized.
+        round_trips_m: clean per-antenna round-trip distances, shape
+            ``(n_rx, n_frames)``.
+        tof_estimates: full per-antenna pipeline outputs (spectrograms,
+            raw contours) for inspection and for the pointing pipeline.
+        motion_mask: frames where at least one antenna saw actual motion
+            (False during interpolated stillness).
+    """
+
+    frame_times_s: np.ndarray
+    positions: np.ndarray
+    round_trips_m: np.ndarray
+    tof_estimates: tuple[TOFEstimate, ...]
+    motion_mask: np.ndarray
+
+    @property
+    def num_frames(self) -> int:
+        """Number of output frames."""
+        return len(self.frame_times_s)
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        """Frames with a finite 3D fix."""
+        return np.isfinite(self.positions).all(axis=1)
+
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Interpolate the track at arbitrary times (valid frames only)."""
+        times_s = np.asarray(times_s, dtype=np.float64)
+        mask = self.valid_mask
+        if mask.sum() < 2:
+            raise ValueError("not enough valid frames to interpolate")
+        out = np.empty((len(times_s), 3))
+        for axis in range(3):
+            out[:, axis] = np.interp(
+                times_s,
+                self.frame_times_s[mask],
+                self.positions[mask, axis],
+            )
+        return out
+
+
+class WiTrack:
+    """The 3D motion-tracking system.
+
+    Args:
+        config: full system configuration (radio + array + pipeline).
+        array: antenna array override; defaults to the configured T.
+        solver_method: "auto", "closed_form" or "least_squares".
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        array: AntennaArray | None = None,
+        solver_method: str = "auto",
+    ) -> None:
+        self.config = config or default_config()
+        self.array = array if array is not None else t_array(self.config.array)
+        self.solver: TGeometrySolver | LeastSquaresSolver = make_solver(
+            self.array, method=solver_method
+        )
+
+    def track(
+        self, spectra: np.ndarray, range_bin_m: float
+    ) -> TrackResult:
+        """Track the moving person through a block of sweep spectra.
+
+        Args:
+            spectra: complex sweep spectra per antenna, shape
+                ``(n_rx, n_sweeps, n_bins)``.
+            range_bin_m: round-trip distance per spectrum bin.
+
+        Returns:
+            The 3D :class:`TrackResult`.
+        """
+        spectra = np.asarray(spectra)
+        if spectra.ndim != 3:
+            raise ValueError("spectra must have shape (n_rx, n_sweeps, n_bins)")
+        n_rx = spectra.shape[0]
+        if n_rx != self.array.num_receivers:
+            raise ValueError(
+                f"got {n_rx} antenna streams for a "
+                f"{self.array.num_receivers}-receiver array"
+            )
+        estimator = TOFEstimator(
+            self.config.fmcw.sweep_duration_s,
+            range_bin_m,
+            self.config.pipeline,
+        )
+        estimates = tuple(estimator.estimate(spectra[i]) for i in range(n_rx))
+        return self.localize_estimates(estimates)
+
+    def localize_estimates(
+        self, estimates: tuple[TOFEstimate, ...]
+    ) -> TrackResult:
+        """Turn per-antenna TOF estimates into a 3D track."""
+        n_frames = min(e.num_frames for e in estimates)
+        round_trips = np.stack(
+            [e.round_trip_m[:n_frames] for e in estimates]
+        )
+        result = self.solver.solve(round_trips.T)
+        motion = np.any(
+            np.stack([e.motion_mask[:n_frames] for e in estimates]), axis=0
+        )
+        return TrackResult(
+            frame_times_s=estimates[0].frame_times_s[:n_frames],
+            positions=result.positions,
+            round_trips_m=round_trips,
+            tof_estimates=estimates,
+            motion_mask=motion,
+        )

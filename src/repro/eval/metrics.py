@@ -1,0 +1,172 @@
+"""Error metrics: CDFs, percentiles, and classification scores.
+
+The paper reports per-dimension location-error CDFs (Fig. 8, 11), median
+and 90th-percentile errors (Fig. 9, 10), and precision/recall/F-measure
+for fall detection (Section 9.5). These are the exact statistics
+implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF.
+
+    Attributes:
+        values: sorted sample values.
+        fractions: fraction of measurements at or below each value.
+    """
+
+    values: np.ndarray
+    fractions: np.ndarray
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` (0-100)."""
+        return float(np.percentile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        """50th percentile."""
+        return self.percentile(50.0)
+
+    @property
+    def p90(self) -> float:
+        """90th percentile."""
+        return self.percentile(90.0)
+
+    def fraction_below(self, value: float) -> float:
+        """Fraction of measurements at or below ``value``."""
+        return float(np.searchsorted(self.values, value, side="right")) / max(
+            len(self.values), 1
+        )
+
+
+def error_cdf(errors: np.ndarray) -> Cdf:
+    """Build an empirical CDF from error samples (NaNs dropped)."""
+    errors = np.asarray(errors, dtype=np.float64)
+    finite = np.sort(errors[np.isfinite(errors)])
+    if finite.size == 0:
+        raise ValueError("no finite error samples")
+    fractions = np.arange(1, len(finite) + 1) / len(finite)
+    return Cdf(values=finite, fractions=fractions)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Median / 90th percentile / mean of an error population.
+
+    Attributes:
+        median: 50th-percentile error.
+        p90: 90th-percentile error.
+        mean: mean error.
+        count: number of samples.
+    """
+
+    median: float
+    p90: float
+    mean: float
+    count: int
+
+    def scaled(self, factor: float) -> "ErrorSummary":
+        """Unit conversion helper (e.g. meters -> centimeters)."""
+        return ErrorSummary(
+            median=self.median * factor,
+            p90=self.p90 * factor,
+            mean=self.mean * factor,
+            count=self.count,
+        )
+
+
+def summarize_errors(errors: np.ndarray) -> ErrorSummary:
+    """Summarize an error population (NaNs dropped)."""
+    errors = np.asarray(errors, dtype=np.float64)
+    finite = errors[np.isfinite(errors)]
+    if finite.size == 0:
+        raise ValueError("no finite error samples")
+    return ErrorSummary(
+        median=float(np.median(finite)),
+        p90=float(np.percentile(finite, 90)),
+        mean=float(np.mean(finite)),
+        count=int(finite.size),
+    )
+
+
+@dataclass(frozen=True)
+class ClassificationScores:
+    """Precision / recall / F-measure of a binary detector.
+
+    Attributes:
+        true_positives: detected real events.
+        false_positives: detections with no real event.
+        false_negatives: missed real events.
+        true_negatives: correctly ignored non-events.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was detected."""
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there were no real events."""
+        real = self.true_positives + self.false_negatives
+        return self.true_positives / real if real else 1.0
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of all decisions that were correct."""
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+        correct = self.true_positives + self.true_negatives
+        return correct / total if total else 1.0
+
+
+def classification_scores(
+    predictions: list[bool], labels: list[bool]
+) -> ClassificationScores:
+    """Score binary predictions against ground-truth labels."""
+    if len(predictions) != len(labels):
+        raise ValueError("predictions and labels must have equal length")
+    tp = sum(1 for p, l in zip(predictions, labels) if p and l)
+    fp = sum(1 for p, l in zip(predictions, labels) if p and not l)
+    fn = sum(1 for p, l in zip(predictions, labels) if not p and l)
+    tn = sum(1 for p, l in zip(predictions, labels) if not p and not l)
+    return ClassificationScores(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )
+
+
+def per_dimension_errors(
+    estimated: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Absolute per-axis errors, shape ``(n, 3)`` (the Fig. 8 quantity)."""
+    estimated = np.asarray(estimated, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimated.shape != truth.shape:
+        raise ValueError("estimated and truth must have the same shape")
+    return np.abs(estimated - truth)

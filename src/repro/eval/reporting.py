@@ -1,0 +1,94 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .metrics import Cdf, ErrorSummary
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+
+    def render_row(cells: Sequence[object]) -> str:
+        return "  ".join(
+            str(cell).rjust(width) for cell, width in zip(cells, widths)
+        )
+
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def render_summary_rows(
+    labels: Sequence[str],
+    summaries: Sequence[ErrorSummary],
+    unit: str = "cm",
+    factor: float = 100.0,
+) -> str:
+    """Render median/p90 error summaries as a table."""
+    rows = [
+        [
+            label,
+            f"{s.median * factor:.1f} {unit}",
+            f"{s.p90 * factor:.1f} {unit}",
+            s.count,
+        ]
+        for label, s in zip(labels, summaries)
+    ]
+    return format_table(["dimension", "median", "90th pct", "samples"], rows)
+
+
+def render_cdf(
+    cdf: Cdf,
+    quantiles: Sequence[float] = (10, 25, 50, 75, 90, 95),
+    unit: str = "cm",
+    factor: float = 100.0,
+) -> str:
+    """Render chosen quantiles of a CDF as a table row set."""
+    rows = [
+        [f"p{int(q)}", f"{cdf.percentile(q) * factor:.1f} {unit}"]
+        for q in quantiles
+    ]
+    return format_table(["quantile", "value"], rows)
+
+
+def ascii_series(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Tiny ASCII plot for example scripts (no matplotlib dependency)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    finite = np.isfinite(x) & np.isfinite(y)
+    x, y = x[finite], y[finite]
+    if x.size == 0:
+        return "(no data)"
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    for xi, yi in zip(x, y):
+        col = int((xi - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    header = f"{label}  [y: {y_lo:.2f}..{y_hi:.2f}]  [x: {x_lo:.2f}..{x_hi:.2f}]"
+    return "\n".join([header] + lines)

@@ -1,0 +1,20 @@
+"""Geometric primitives: vectors, ellipsoids, and antenna layouts."""
+
+from .vec import Vec3, angle_between_deg, direction, distance, norm, unit
+from .ellipsoid import Ellipsoid, ellipse_points_2d, round_trip_distance
+from .antennas import Antenna, AntennaArray, t_array
+
+__all__ = [
+    "Vec3",
+    "angle_between_deg",
+    "direction",
+    "distance",
+    "norm",
+    "unit",
+    "Ellipsoid",
+    "ellipse_points_2d",
+    "round_trip_distance",
+    "Antenna",
+    "AntennaArray",
+    "t_array",
+]

@@ -1,0 +1,137 @@
+"""Ellipsoid algebra for TOF-based localization (paper Section 5).
+
+A round-trip distance measured between the transmit antenna and a receive
+antenna constrains the reflector to an *ellipsoid of revolution* whose two
+foci are the antennas and whose major axis equals the round-trip distance.
+This module provides that ellipsoid as a first-class object plus the small
+amount of conic algebra the localization solvers and tests need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .vec import distance, unit
+
+
+def round_trip_distance(tx: np.ndarray, point: np.ndarray, rx: np.ndarray) -> float:
+    """Round-trip path length Tx -> point -> Rx (the ellipsoid constraint)."""
+    return float(distance(tx, point) + distance(point, rx))
+
+
+@dataclass(frozen=True)
+class Ellipsoid:
+    """Prolate spheroid defined by two foci and a major-axis length.
+
+    Attributes:
+        focus_a: first focus (transmit antenna position), shape ``(3,)``.
+        focus_b: second focus (receive antenna position), shape ``(3,)``.
+        major_axis: the round-trip distance; must exceed the focal distance.
+    """
+
+    focus_a: np.ndarray
+    focus_b: np.ndarray
+    major_axis: float
+
+    def __post_init__(self) -> None:
+        focal = float(distance(self.focus_a, self.focus_b))
+        if self.major_axis <= focal:
+            raise ValueError(
+                f"major axis {self.major_axis:.3f} m must exceed the focal "
+                f"separation {focal:.3f} m; the TOF is shorter than the "
+                "direct Tx->Rx path"
+            )
+
+    @property
+    def focal_distance(self) -> float:
+        """Distance between the two foci (the antenna separation)."""
+        return float(distance(self.focus_a, self.focus_b))
+
+    @property
+    def semi_major(self) -> float:
+        """Semi-major axis a = major_axis / 2."""
+        return self.major_axis / 2.0
+
+    @property
+    def semi_minor(self) -> float:
+        """Semi-minor axis b = sqrt(a^2 - c^2) with c half the focal dist."""
+        a = self.semi_major
+        c = self.focal_distance / 2.0
+        return float(np.sqrt(a * a - c * c))
+
+    @property
+    def center(self) -> np.ndarray:
+        """Midpoint between the foci."""
+        return (np.asarray(self.focus_a) + np.asarray(self.focus_b)) / 2.0
+
+    @property
+    def eccentricity(self) -> float:
+        """Eccentricity c / a in [0, 1)."""
+        return (self.focal_distance / 2.0) / self.semi_major
+
+    def contains(self, point: np.ndarray, tol_m: float = 1e-9) -> bool:
+        """True if ``point`` lies on the ellipsoid surface within ``tol_m``."""
+        return abs(self.residual(point)) <= tol_m
+
+    def residual(self, point: np.ndarray) -> float:
+        """Signed surface residual: sum-of-focal-distances minus major axis.
+
+        Positive outside the ellipsoid, negative inside. This is the
+        quantity the least-squares localizer drives to zero.
+        """
+        total = round_trip_distance(self.focus_a, point, self.focus_b)
+        return total - self.major_axis
+
+    def point_at(self, theta: float, phi: float) -> np.ndarray:
+        """Surface point at spheroidal angles (theta about axis, phi around).
+
+        ``theta`` is the polar angle from the major axis and ``phi`` the
+        azimuth about it. Used by tests to sample valid surface points.
+        """
+        a = self.semi_major
+        b = self.semi_minor
+        axis = unit(np.asarray(self.focus_b) - np.asarray(self.focus_a))
+        # Build an orthonormal frame (axis, u, v).
+        helper = np.array([0.0, 0.0, 1.0])
+        if abs(np.dot(axis, helper)) > 0.9:
+            helper = np.array([0.0, 1.0, 0.0])
+        u = unit(np.cross(axis, helper))
+        v = np.cross(axis, u)
+        local = (
+            a * np.cos(theta) * axis
+            + b * np.sin(theta) * np.cos(phi) * u
+            + b * np.sin(theta) * np.sin(phi) * v
+        )
+        return self.center + local
+
+
+def ellipse_points_2d(
+    focus_a: np.ndarray,
+    focus_b: np.ndarray,
+    major_axis: float,
+    num_points: int = 360,
+) -> np.ndarray:
+    """Sample the 2D ellipse (x-y plane) with the given foci.
+
+    Used by the examples to draw the Fig. 4(a) construction. Returns an
+    array of shape ``(num_points, 2)``.
+    """
+    fa = np.asarray(focus_a, dtype=np.float64)[:2]
+    fb = np.asarray(focus_b, dtype=np.float64)[:2]
+    c = float(np.linalg.norm(fb - fa)) / 2.0
+    a = major_axis / 2.0
+    if a <= c:
+        raise ValueError("major axis must exceed the focal separation")
+    b = float(np.sqrt(a * a - c * c))
+    center = (fa + fb) / 2.0
+    axis = (fb - fa) / (2.0 * c) if c > 0 else np.array([1.0, 0.0])
+    perp = np.array([-axis[1], axis[0]])
+    t = np.linspace(0.0, 2.0 * np.pi, num_points, endpoint=False)
+    pts = (
+        center[None, :]
+        + a * np.cos(t)[:, None] * axis[None, :]
+        + b * np.sin(t)[:, None] * perp[None, :]
+    )
+    return pts

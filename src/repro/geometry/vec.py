@@ -1,0 +1,79 @@
+"""Small 3D vector helpers built on numpy arrays.
+
+Positions throughout the library are numpy arrays of shape ``(3,)`` (or
+``(n, 3)`` for trajectories) in the device reference frame of the paper:
+the antenna "T" lies in the x-z plane, y points into the room, and z is up.
+:class:`Vec3` is a thin convenience constructor; all math accepts plain
+arrays so callers are never forced through a wrapper type.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def Vec3(x: float, y: float, z: float) -> np.ndarray:
+    """Build a float64 3-vector. Named like a class for readability."""
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def norm(v: np.ndarray) -> float | np.ndarray:
+    """Euclidean norm along the last axis."""
+    return np.linalg.norm(v, axis=-1)
+
+
+def distance(a: np.ndarray, b: np.ndarray) -> float | np.ndarray:
+    """Euclidean distance between points (broadcasts over leading axes)."""
+    return np.linalg.norm(np.asarray(a) - np.asarray(b), axis=-1)
+
+
+def unit(v: np.ndarray) -> np.ndarray:
+    """Unit vector in the direction of ``v``.
+
+    Raises:
+        ValueError: if ``v`` has (near-)zero length.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    n = np.linalg.norm(v, axis=-1, keepdims=True)
+    if np.any(n < 1e-12):
+        raise ValueError("cannot normalize a zero-length vector")
+    return v / n
+
+
+def direction(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Unit vector pointing from ``src`` to ``dst``."""
+    return unit(np.asarray(dst) - np.asarray(src))
+
+
+def angle_between_deg(a: np.ndarray, b: np.ndarray) -> float:
+    """Angle between two vectors in degrees, in [0, 180].
+
+    Robust to slight numerical overshoot of the cosine outside [-1, 1].
+    """
+    ua = unit(a)
+    ub = unit(b)
+    cosine = float(np.clip(np.dot(ua, ub), -1.0, 1.0))
+    return float(np.degrees(np.arccos(cosine)))
+
+
+def centroid(points: Iterable[np.ndarray]) -> np.ndarray:
+    """Mean of a collection of points."""
+    stacked = np.asarray(list(points), dtype=np.float64)
+    if stacked.size == 0:
+        raise ValueError("centroid of an empty point set is undefined")
+    return stacked.mean(axis=0)
+
+
+def project_onto_plane(v: np.ndarray, plane_normal: np.ndarray) -> np.ndarray:
+    """Project vector ``v`` onto the plane with the given normal."""
+    n = unit(plane_normal)
+    return np.asarray(v, dtype=np.float64) - np.dot(v, n) * n
+
+
+def rotate_about_z(v: np.ndarray, angle_rad: float) -> np.ndarray:
+    """Rotate a vector (or ``(n, 3)`` stack) about the z axis."""
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    rot = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    return np.asarray(v, dtype=np.float64) @ rot.T

@@ -1,0 +1,128 @@
+"""FMCW chirp mathematics (paper Section 4.1).
+
+FMCW transmits a narrowband tone whose carrier sweeps linearly across a
+wide band. A reflection delayed by TOF appears, after mixing with the
+transmitted chirp, as a baseband tone at ``beat = slope * TOF`` (Eq. 1).
+An FFT over one sweep therefore resolves reflectors in range with
+resolution ``C / 2B`` (Eq. 3). This module holds those relations plus the
+FFT range axis and the Dirichlet (periodic sinc) kernel that describes how
+a single path's energy spreads across FFT bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..config import FMCWConfig
+
+
+def beat_frequency(round_trip_m: float | np.ndarray, config: FMCWConfig) -> float | np.ndarray:
+    """Baseband beat frequency for a round-trip path length (Eq. 1 and 4).
+
+    ``TOF = round_trip / C`` and ``beat = slope * TOF``.
+    """
+    tof = np.asarray(round_trip_m, dtype=np.float64) / constants.SPEED_OF_LIGHT
+    out = config.slope_hz_per_s * tof
+    return float(out) if np.isscalar(round_trip_m) else out
+
+
+def round_trip_from_beat(beat_hz: float | np.ndarray, config: FMCWConfig) -> float | np.ndarray:
+    """Inverse of :func:`beat_frequency`: round-trip distance from beat."""
+    out = np.asarray(beat_hz, dtype=np.float64) / config.slope_hz_per_s * constants.SPEED_OF_LIGHT
+    return float(out) if np.isscalar(beat_hz) else out
+
+
+@dataclass(frozen=True)
+class RangeAxis:
+    """Mapping between FFT bins and round-trip distance.
+
+    The pipeline takes a real FFT of each 2.5 ms sweep (2500 samples at
+    1 MS/s), so bin spacing is ``1 / T_sweep = 400 Hz``, i.e. one bin per
+    ``C / B ~= 17.7 cm`` of *round-trip* distance (= 8.87 cm one-way, the
+    Eq. 3 resolution).
+
+    Attributes:
+        num_bins: number of rFFT bins (``N // 2 + 1``).
+        bin_spacing_hz: frequency width of one bin.
+        round_trip_per_bin_m: round-trip distance per bin.
+    """
+
+    num_bins: int
+    bin_spacing_hz: float
+    round_trip_per_bin_m: float
+
+    @property
+    def round_trips_m(self) -> np.ndarray:
+        """Round-trip distance at each bin center, shape ``(num_bins,)``."""
+        return np.arange(self.num_bins) * self.round_trip_per_bin_m
+
+    @property
+    def max_round_trip_m(self) -> float:
+        """Round-trip distance of the last (Nyquist) bin."""
+        return (self.num_bins - 1) * self.round_trip_per_bin_m
+
+    def bin_of(self, round_trip_m: float) -> float:
+        """Fractional bin index of a round-trip distance."""
+        return round_trip_m / self.round_trip_per_bin_m
+
+    def round_trip_of(self, bin_index: float | np.ndarray) -> float | np.ndarray:
+        """Round-trip distance at a (possibly fractional) bin index."""
+        out = np.asarray(bin_index, dtype=np.float64) * self.round_trip_per_bin_m
+        return float(out) if np.isscalar(bin_index) else out
+
+    def crop_bins(self, max_round_trip_m: float) -> int:
+        """Number of bins needed to cover ranges up to ``max_round_trip_m``."""
+        needed = int(np.ceil(max_round_trip_m / self.round_trip_per_bin_m)) + 1
+        return min(needed, self.num_bins)
+
+
+def range_axis(config: FMCWConfig) -> RangeAxis:
+    """Build the :class:`RangeAxis` for a sweep configuration."""
+    n = config.samples_per_sweep
+    num_bins = n // 2 + 1
+    bin_hz = config.sample_rate_hz / n
+    per_bin = bin_hz / config.slope_hz_per_s * constants.SPEED_OF_LIGHT
+    return RangeAxis(
+        num_bins=num_bins,
+        bin_spacing_hz=bin_hz,
+        round_trip_per_bin_m=per_bin,
+    )
+
+
+def dirichlet_kernel(offsets: np.ndarray, n_samples: int) -> np.ndarray:
+    """Normalized Dirichlet kernel D(delta) of an N-point DFT.
+
+    ``offsets`` is the distance (in bins) between a tone's true fractional
+    bin and the bin being evaluated. Returns complex leakage coefficients
+    with ``D(0) = 1``; the magnitude falls off as ``sin(pi d) / (N sin(pi
+    d / N))`` and the phase term accounts for the half-sample offset of a
+    non-integer tone. Vectorized over any shape.
+    """
+    d = np.asarray(offsets, dtype=np.float64)
+    num = np.sin(np.pi * d)
+    den = n_samples * np.sin(np.pi * d / n_samples)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mag = np.where(np.abs(den) < 1e-30, 1.0, num / np.where(den == 0, 1.0, den))
+    # Integer offsets give exact zeros except at d == 0.
+    mag = np.where(np.isclose(d % n_samples, 0.0, atol=1e-12), 1.0, mag)
+    phase = np.exp(-1j * np.pi * d * (n_samples - 1) / n_samples)
+    return mag * phase
+
+
+def sweep_instantaneous_frequency(
+    t: np.ndarray, config: FMCWConfig, nonlinearity: float = 0.0
+) -> np.ndarray:
+    """Instantaneous transmitted frequency over one sweep (Fig. 2).
+
+    ``nonlinearity`` is the residual fractional bow left after the
+    phase-frequency-detector feedback loop (Section 7): we model it as a
+    quadratic deviation peaking mid-sweep at ``nonlinearity * B``.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    tau = np.clip(t / config.sweep_duration_s, 0.0, 1.0)
+    linear = config.start_hz + config.bandwidth_hz * tau
+    bow = nonlinearity * config.bandwidth_hz * 4.0 * tau * (1.0 - tau)
+    return linear + bow

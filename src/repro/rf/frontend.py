@@ -1,0 +1,150 @@
+"""Time-domain front-end simulation: VCO, mixer, high-pass filter, ADC.
+
+This mirrors the analog daughterboard of paper Fig. 7. The transmitted
+chirp comes from a feedback-linearized VCO (we keep a small residual
+quadratic nonlinearity); the received signal is a sum of delayed copies;
+the mixer multiplies the two, leaving a baseband beat tone per path; a
+high-pass filter suppresses the DC/Tx-leakage ridge; and the 1 MS/s ADC
+quantizes the result.
+
+The time-domain model is exact but slow, so the benchmarks default to the
+spectrum-domain synthesizer in :mod:`repro.rf.receiver`; unit tests cross
+check the two models against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from .. import constants
+from ..config import FMCWConfig
+
+
+@dataclass(frozen=True)
+class TimeDomainPath:
+    """A single propagation path for the exact time-domain model.
+
+    Attributes:
+        round_trip_m: Tx -> reflector -> Rx path length at sweep start.
+        amplitude: linear voltage amplitude at the receiver.
+    """
+
+    round_trip_m: float
+    amplitude: float
+
+
+def vco_phase(
+    t: np.ndarray, config: FMCWConfig, nonlinearity: float = 0.0
+) -> np.ndarray:
+    """Integrated phase of the swept carrier at times ``t`` within a sweep.
+
+    The phase is the integral of the instantaneous frequency
+    ``f0 + slope * t`` plus the quadratic bow term of the residual VCO
+    nonlinearity (integrated analytically).
+    """
+    t = np.asarray(t, dtype=np.float64)
+    tau = t / config.sweep_duration_s
+    linear = config.start_hz * t + 0.5 * config.slope_hz_per_s * t**2
+    # Integral of 4 * nl * B * tau * (1 - tau) dt.
+    bow = (
+        nonlinearity
+        * config.bandwidth_hz
+        * config.sweep_duration_s
+        * (2.0 * tau**2 - (4.0 / 3.0) * tau**3)
+    )
+    return 2.0 * np.pi * (linear + bow)
+
+
+def synthesize_sweep_time_domain(
+    paths: Sequence[TimeDomainPath],
+    config: FMCWConfig,
+    nonlinearity: float = 0.0,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Produce the complex baseband samples of one sweep, post-mixer.
+
+    Mixing the received chirp (delayed by ``tof``) against the transmitted
+    chirp leaves ``exp(j (phi(t) - phi(t - tof)))`` per path, whose
+    instantaneous frequency is the beat tone ``slope * tof`` of Eq. 1.
+    """
+    n = config.samples_per_sweep
+    t = np.arange(n) / config.sample_rate_hz
+    phase_tx = vco_phase(t, config, nonlinearity)
+    out = np.zeros(n, dtype=np.complex128)
+    for path in paths:
+        tof = path.round_trip_m / constants.SPEED_OF_LIGHT
+        phase_rx = vco_phase(t - tof, config, nonlinearity)
+        out += path.amplitude * np.exp(1j * (phase_tx - phase_rx))
+    if noise_std > 0.0:
+        if rng is None:
+            raise ValueError("rng is required when noise_std > 0")
+        out += (noise_std / np.sqrt(2.0)) * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        )
+    return out
+
+
+def high_pass_filter(
+    samples: np.ndarray,
+    config: FMCWConfig,
+    cutoff_hz: float = 1.0e3,
+    order: int = 4,
+) -> np.ndarray:
+    """High-pass the baseband to suppress Tx leakage near DC (Fig. 7).
+
+    A reflector closer than ``cutoff / slope * C`` round trip is inside the
+    stopband; with the paper's parameters a 1 kHz cutoff corresponds to a
+    44 cm round trip, i.e. only the antenna-coupling ridge is removed.
+    """
+    nyquist = config.sample_rate_hz / 2.0
+    sos = sp_signal.butter(order, cutoff_hz / nyquist, btype="high", output="sos")
+    return sp_signal.sosfilt(sos, samples)
+
+
+def adc_quantize(
+    samples: np.ndarray, bits: int, full_scale: float
+) -> np.ndarray:
+    """Quantize complex samples to a ``bits``-deep ADC with clipping.
+
+    Models the LFRX-LF capture path. Real and imaginary rails are
+    quantized independently, as two ADC channels would.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if full_scale <= 0:
+        raise ValueError("full_scale must be positive")
+    levels = 2 ** (bits - 1)
+    step = full_scale / levels
+
+    def quantize_rail(x: np.ndarray) -> np.ndarray:
+        clipped = np.clip(x, -full_scale, full_scale - step)
+        return np.round(clipped / step) * step
+
+    return quantize_rail(samples.real) + 1j * quantize_rail(samples.imag)
+
+
+def sweep_spectrum(samples: np.ndarray, window: str = "hann") -> np.ndarray:
+    """Windowed FFT of one sweep, scaled so a unit tone peaks at 1.0.
+
+    Only the non-negative-frequency half is returned (beat frequencies of
+    physical reflections are positive). The Hann window trades the -13 dB
+    Dirichlet sidelobes for -31 dB ones so that a strong far reflector
+    cannot masquerade as a *closer* one in the bottom-contour stage; the
+    coherent-gain rescale keeps tone peaks at their input amplitude.
+    """
+    n = len(samples)
+    if window == "hann":
+        taper = np.hanning(n)
+        scale = 1.0 / taper.mean()
+        samples = samples * taper
+    elif window == "rect":
+        scale = 1.0
+    else:
+        raise ValueError("window must be 'hann' or 'rect'")
+    spectrum = scale * np.fft.fft(samples) / n
+    return spectrum[: n // 2 + 1]

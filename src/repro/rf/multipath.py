@@ -1,0 +1,148 @@
+"""Static clutter and dynamic multipath synthesis (paper Sections 4.2-4.3).
+
+Two distinct phenomena corrupt the spectrogram:
+
+* **Static multipath** ("the Flash Effect"): walls and furniture reflect
+  far more strongly than a human, producing the horizontal stripes of
+  Fig. 3(a). Their TOF is constant, so background subtraction removes
+  them (Section 4.2).
+* **Dynamic multipath**: signals that bounce off the human *and then* off
+  a wall. Their TOF changes with the human, so they survive background
+  subtraction — but they always travel a *longer* path than the direct
+  body reflection, which is why tracking the bottom contour defeats them
+  (Section 4.3).
+
+Dynamic multipath is generated with the image method: reflecting the
+receive antenna across each wall plane yields a virtual antenna; the
+body -> wall -> Rx path length equals the body -> image distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.vec import Vec3
+
+
+@dataclass(frozen=True)
+class StaticClutter:
+    """A set of stationary reflectors (walls, furniture, fixtures).
+
+    Attributes:
+        round_trips_m: round-trip distance of each clutter path.
+        amplitudes: linear voltage amplitude of each path.
+        phases_rad: carrier phase of each path.
+    """
+
+    round_trips_m: np.ndarray
+    amplitudes: np.ndarray
+    phases_rad: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.round_trips_m)
+        if len(self.amplitudes) != n or len(self.phases_rad) != n:
+            raise ValueError("clutter arrays must have matching lengths")
+
+    @property
+    def num_reflectors(self) -> int:
+        """Number of static clutter paths."""
+        return len(self.round_trips_m)
+
+
+def make_static_clutter(
+    rng: np.random.Generator,
+    num_reflectors: int,
+    min_round_trip_m: float = 2.0,
+    max_round_trip_m: float = 28.0,
+    human_amplitude: float = 1.0,
+    flash_factor_db: tuple[float, float] = (10.0, 30.0),
+) -> StaticClutter:
+    """Synthesize static clutter 10-30 dB *stronger* than the human echo.
+
+    "Typically, reflections from walls and furniture are much stronger
+    than reflections from a human" (Section 4.2). ``human_amplitude``
+    anchors the scale: each clutter path is drawn ``flash_factor_db``
+    above it, at a uniform round-trip distance.
+    """
+    if num_reflectors <= 0:
+        return StaticClutter(
+            round_trips_m=np.empty(0),
+            amplitudes=np.empty(0),
+            phases_rad=np.empty(0),
+        )
+    lo_db, hi_db = flash_factor_db
+    round_trips = rng.uniform(min_round_trip_m, max_round_trip_m, num_reflectors)
+    boost_db = rng.uniform(lo_db, hi_db, num_reflectors)
+    amplitudes = human_amplitude * 10.0 ** (boost_db / 20.0)
+    phases = rng.uniform(0.0, 2.0 * np.pi, num_reflectors)
+    return StaticClutter(
+        round_trips_m=np.sort(round_trips),
+        amplitudes=amplitudes[np.argsort(round_trips)],
+        phases_rad=phases,
+    )
+
+
+def mirror_point(point: np.ndarray, wall_point: np.ndarray, wall_normal: np.ndarray) -> np.ndarray:
+    """Mirror a point across a wall plane (the image method)."""
+    p = np.asarray(point, dtype=np.float64)
+    n = np.asarray(wall_normal, dtype=np.float64)
+    n = n / np.linalg.norm(n)
+    d = np.dot(p - np.asarray(wall_point, dtype=np.float64), n)
+    return p - 2.0 * d * n
+
+
+@dataclass(frozen=True)
+class MultipathImage:
+    """A virtual receive antenna created by one wall bounce.
+
+    The dynamic multipath path length for a body at ``p`` is
+    ``|p - tx| + |p - image_position|``, always greater than or equal to
+    the direct ``|p - tx| + |p - rx|`` (triangle inequality through the
+    bounce point) — the invariant the bottom-contour tracker relies on.
+    """
+
+    image_position: np.ndarray
+    reflection_loss_db: float
+    wall_name: str = "wall"
+
+
+def mirror_images(
+    rx_position: np.ndarray,
+    walls: Sequence[tuple[np.ndarray, np.ndarray, str]],
+    reflection_loss_db: float = 6.0,
+) -> list[MultipathImage]:
+    """Build one virtual antenna per wall for a given receiver.
+
+    ``walls`` is a sequence of ``(point_on_wall, normal, name)``. Bounce
+    paths lose ``reflection_loss_db`` relative to a specular mirror.
+    """
+    images = []
+    for wall_point, wall_normal, name in walls:
+        images.append(
+            MultipathImage(
+                image_position=mirror_point(rx_position, wall_point, wall_normal),
+                reflection_loss_db=reflection_loss_db,
+                wall_name=name,
+            )
+        )
+    return images
+
+
+def default_side_walls(
+    room_width_m: float = 8.0,
+    room_depth_m: float = 12.0,
+) -> list[tuple[np.ndarray, np.ndarray, str]]:
+    """Side/back wall planes of a generic room centered on the device.
+
+    Returns ``(point, normal, name)`` triples for the left, right and back
+    walls, which produce the dominant body->wall->device bounce paths.
+    """
+    half = room_width_m / 2.0
+    return [
+        (Vec3(-half, 0.0, 0.0), Vec3(1.0, 0.0, 0.0), "left"),
+        (Vec3(+half, 0.0, 0.0), Vec3(-1.0, 0.0, 0.0), "right"),
+        (Vec3(0.0, room_depth_m, 0.0), Vec3(0.0, -1.0, 0.0), "back"),
+    ]

@@ -1,0 +1,82 @@
+"""Receiver noise models: thermal floor, noise figure, phase noise.
+
+The paper's accuracy analysis notes that Eq. 3's resolution "neglects the
+impact of noise" and that the practical system is noise-limited. We model
+the receive chain's noise with the standard ``kTB`` thermal floor raised
+by the LNA noise figure, plus a small multiplicative phase-noise term on
+each path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+
+
+def db_to_power(db: float | np.ndarray) -> float | np.ndarray:
+    """Convert decibels to a linear power ratio."""
+    return 10.0 ** (np.asarray(db, dtype=np.float64) / 10.0)
+
+
+def power_to_db(power: float | np.ndarray) -> float | np.ndarray:
+    """Convert a linear power ratio to decibels."""
+    return 10.0 * np.log10(np.asarray(power, dtype=np.float64))
+
+
+def db_to_amplitude(db: float | np.ndarray) -> float | np.ndarray:
+    """Convert decibels to a linear amplitude (voltage) ratio."""
+    return 10.0 ** (np.asarray(db, dtype=np.float64) / 20.0)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Thermal + oscillator noise of the receive chain.
+
+    Attributes:
+        noise_figure_db: LNA/chain noise figure (dB).
+        bandwidth_hz: noise bandwidth of one FFT bin (1/T_sweep).
+        phase_noise_std_rad: per-sweep RMS residual phase jitter. Small
+            by construction: dechirping mixes the received signal with
+            the *same* chirp that produced it, so oscillator phase noise
+            mostly cancels for short delays (the range-correlation
+            effect); what remains is the PLL's residual jitter.
+        temperature_k: physical temperature.
+    """
+
+    noise_figure_db: float = 8.0
+    bandwidth_hz: float = 400.0
+    phase_noise_std_rad: float = 3e-4
+    temperature_k: float = constants.T0_KELVIN
+
+    @property
+    def noise_power_w(self) -> float:
+        """Noise power in one FFT bin: ``k T B F`` (Watts)."""
+        ktb = constants.BOLTZMANN * self.temperature_k * self.bandwidth_hz
+        return float(ktb * db_to_power(self.noise_figure_db))
+
+    @property
+    def noise_amplitude(self) -> float:
+        """RMS noise amplitude per complex FFT bin (sqrt of power)."""
+        return float(np.sqrt(self.noise_power_w))
+
+    def complex_noise(
+        self, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Circularly-symmetric complex Gaussian noise of the floor power."""
+        sigma = self.noise_amplitude / np.sqrt(2.0)
+        return sigma * (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        )
+
+    def phase_jitter(
+        self, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Multiplicative unit-magnitude phase jitter samples."""
+        return np.exp(1j * self.phase_noise_std_rad * rng.standard_normal(shape))
+
+    def snr_db(self, signal_power_w: float) -> float:
+        """SNR of a signal against the per-bin noise floor (dB)."""
+        return float(power_to_db(signal_power_w / self.noise_power_w))

@@ -1,0 +1,45 @@
+"""World simulation: rooms, human bodies, motion, and ground truth.
+
+These modules substitute for the paper's physical experiment apparatus:
+the VICON room with its 6-inch hollow wall, the eleven human subjects,
+and the VICON motion-capture ground truth (see DESIGN.md Section 2).
+"""
+
+from .room import Room, through_wall_room, line_of_sight_room
+from .body import HumanBody, ReflectionModel, sample_population
+from .motion import (
+    Trajectory,
+    fall_trace,
+    random_walk,
+    sit_on_chair_trace,
+    sit_on_floor_trace,
+    stand_still,
+    walk_trace,
+    waypoint_walk,
+)
+from .gestures import PointingGesture, pointing_session
+from .scenario import Scenario, ScenarioOutput
+from .vicon import DepthCalibration, ViconSystem
+
+__all__ = [
+    "Room",
+    "through_wall_room",
+    "line_of_sight_room",
+    "HumanBody",
+    "ReflectionModel",
+    "sample_population",
+    "Trajectory",
+    "fall_trace",
+    "random_walk",
+    "sit_on_chair_trace",
+    "sit_on_floor_trace",
+    "stand_still",
+    "walk_trace",
+    "waypoint_walk",
+    "PointingGesture",
+    "pointing_session",
+    "Scenario",
+    "ScenarioOutput",
+    "DepthCalibration",
+    "ViconSystem",
+]

@@ -1,0 +1,194 @@
+"""Human body model: radar cross-section and reflection-surface behaviour.
+
+WiTrack measures "the 3D location of the body surface where the signal
+reflects" (Section 8a), not the body center. Two properties of that
+surface drive the paper's error structure:
+
+* the dominant scattering center wanders over the torso as the person
+  moves, more along the body's large vertical extent than across it —
+  "the accuracy along the z-dimension is worse ... the result of the
+  human body being larger along the z dimension" (Section 9.1);
+* the surface sits some depth in front of the body center, which the
+  evaluation calibrates out per person exactly as the paper does with
+  VICON (Section 8a).
+
+The wander is modelled as a mean-reverting (AR(1)/Ornstein-Uhlenbeck)
+walk so that consecutive frames see a *consistent* reflection point —
+uncorrelated jitter would average away and underestimate the error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HumanBody:
+    """Physical parameters of one tracked person.
+
+    Attributes:
+        height_m: standing height; sets the torso extent along z.
+        torso_rcs_m2: radar cross-section of the torso at ~6 GHz.
+        arm_rcs_m2: radar cross-section of one arm (Section 6.1 relies on
+            the arm reflecting far less than the whole body).
+        torso_depth_m: distance from body center to the reflecting front
+            surface (the depth the evaluation compensates).
+        waist_height_m: height of the torso reflection center above floor.
+        name: subject label.
+    """
+
+    height_m: float = 1.75
+    torso_rcs_m2: float = 0.50
+    arm_rcs_m2: float = 0.05
+    torso_depth_m: float = 0.12
+    waist_height_m: float = 1.0
+    name: str = "subject"
+
+    def __post_init__(self) -> None:
+        if not 1.2 <= self.height_m <= 2.2:
+            raise ValueError("height_m outside plausible human range")
+        if self.torso_rcs_m2 <= 0 or self.arm_rcs_m2 <= 0:
+            raise ValueError("radar cross sections must be positive")
+
+    @property
+    def torso_halfheight_m(self) -> float:
+        """Half the torso's vertical extent (sets z reflection wander)."""
+        return 0.16 * self.height_m
+
+    @property
+    def torso_halfwidth_m(self) -> float:
+        """Half the torso's horizontal extent (sets x/y wander)."""
+        return 0.055 * self.height_m
+
+
+@dataclass
+class ReflectionModel:
+    """Generates the per-sweep reflection-surface point for a body.
+
+    The reflection point is the body center, pushed ``torso_depth``
+    toward the device in the x-y plane, plus a mean-reverting surface
+    wander whose per-axis scale follows the torso extents. The wander is
+    what ultimately bounds WiTrack's accuracy in each dimension.
+
+    Args:
+        body: the tracked person.
+        correlation_time_s: time constant of the AR(1) wander.
+        scale: multiplier on the wander amplitudes (1.0 = calibrated
+            default; 0 disables wander for geometry-only tests).
+    """
+
+    body: HumanBody
+    correlation_time_s: float = 0.4
+    scale: float = 1.0
+
+    def wander_stds(self) -> np.ndarray:
+        """Stationary std of the wander along (x, y, z), in meters."""
+        return self.scale * np.array(
+            [
+                0.68 * self.body.torso_halfwidth_m * 2.0,
+                0.42 * self.body.torso_halfwidth_m * 2.0,
+                0.72 * self.body.torso_halfheight_m,
+            ]
+        )
+
+    def surface_points(
+        self,
+        centers: np.ndarray,
+        dt_s: float,
+        rng: np.random.Generator,
+        device_position: np.ndarray | None = None,
+        floor_z: float | None = None,
+    ) -> np.ndarray:
+        """Reflection-surface trajectory for body-center trajectory.
+
+        Args:
+            centers: body-center positions, shape ``(n, 3)``.
+            dt_s: sampling interval of the trajectory.
+            rng: random source.
+            device_position: point the surface faces (default: origin).
+            floor_z: floor height in the device frame. When given, the
+                vertical wander shrinks as the torso approaches the floor
+                — a lying or seated body presents a much smaller vertical
+                scattering extent than a standing one.
+
+        Returns:
+            Surface points, shape ``(n, 3)``.
+        """
+        centers = np.asarray(centers, dtype=np.float64)
+        n = len(centers)
+        device = (
+            np.zeros(3)
+            if device_position is None
+            else np.asarray(device_position, dtype=np.float64)
+        )
+        # Depth offset toward the device, horizontal only.
+        toward = device[None, :2] - centers[:, :2]
+        dist = np.linalg.norm(toward, axis=1, keepdims=True)
+        dist = np.where(dist < 1e-9, 1.0, dist)
+        offset_xy = self.body.torso_depth_m * toward / dist
+
+        stds = self.wander_stds()
+        rho = float(np.exp(-dt_s / self.correlation_time_s))
+        innovation = np.sqrt(max(1.0 - rho * rho, 0.0))
+        # The scattering center wanders because gait and posture change
+        # while the person moves; a still body keeps a (nearly) fixed
+        # reflection point — which is what makes her vanish under
+        # background subtraction (paper Sections 4.4 and 10).
+        if n > 1 and dt_s > 0:
+            step = np.linalg.norm(np.diff(centers, axis=0), axis=1)
+            speed = np.concatenate([step[:1], step]) / dt_s
+        else:
+            speed = np.zeros(n)
+        # Fully frozen at zero speed: even millimetre-scale random motion
+        # per sweep would decorrelate the ~5 cm carrier and keep a still
+        # person visible after background subtraction.
+        activity = np.clip(speed / 0.5, 0.0, 1.0)
+        wander = np.empty((n, 3))
+        state = rng.standard_normal(3)
+        for i in range(n):
+            wander[i] = state
+            # Scale the *whole* OU update (mean reversion and noise) by
+            # the activity level: a still body freezes its scattering
+            # center instead of relaxing it toward the torso center.
+            state = state + activity[i] * (
+                (rho - 1.0) * state + innovation * rng.standard_normal(3)
+            )
+        wander *= stds[None, :]
+        if floor_z is not None:
+            # Vertical extent shrinks with torso height above the floor:
+            # full wander when standing (torso ~1 m up), ~30% when lying.
+            height = np.clip(centers[:, 2] - floor_z, 0.0, None)
+            shrink = np.clip(height / 1.0, 0.3, 1.0)
+            wander[:, 2] *= shrink
+
+        surface = centers.copy()
+        surface[:, :2] += offset_xy
+        surface += wander
+        return surface
+
+
+def sample_population(
+    rng: np.random.Generator, count: int = 11
+) -> list[HumanBody]:
+    """Draw a population like the paper's subject pool (Section 8c).
+
+    "eleven human subjects: two females and nine males ... of different
+    heights and builds ... age range of 22 to 56 years."
+    """
+    bodies = []
+    for i in range(count):
+        height = float(np.clip(rng.normal(1.74, 0.09), 1.55, 1.98))
+        build = float(np.clip(rng.normal(1.0, 0.18), 0.6, 1.5))
+        bodies.append(
+            HumanBody(
+                height_m=height,
+                torso_rcs_m2=0.5 * build,
+                arm_rcs_m2=0.05 * build,
+                torso_depth_m=float(np.clip(rng.normal(0.12, 0.02), 0.07, 0.2)),
+                waist_height_m=0.57 * height,
+                name=f"subject-{i + 1:02d}",
+            )
+        )
+    return bodies

@@ -1,0 +1,159 @@
+"""Arm-pointing gesture kinematics (paper Section 6.1).
+
+The gesture: "the user starts from a state where her arm is rested next
+to her body. She raises the arm in a direction of her choice ... and then
+drops her hand to the first position", with ~1 s of stillness before,
+between, and after the lift and drop phases (the segmentation in Section
+6.1 depends on those silences).
+
+The hand trajectory is what the radio sees during the gesture — the rest
+of the body is static and vanishes under background subtraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.vec import unit
+
+
+@dataclass(frozen=True)
+class PointingGesture:
+    """One lift-hold-drop pointing gesture.
+
+    Attributes:
+        body_position: standing body-center position, shape ``(3,)``.
+        direction: unit pointing direction (3D) of the extended arm.
+        arm_length_m: shoulder-to-hand distance when extended.
+        lift_duration_s: duration of the raise phase.
+        hold_duration_s: stillness between raise and drop.
+        drop_duration_s: duration of the drop phase.
+        lead_in_s: stillness before the raise (segmentation needs >= 1 s).
+        lead_out_s: stillness after the drop.
+        shoulder_offset: shoulder position relative to body center.
+    """
+
+    body_position: np.ndarray
+    direction: np.ndarray
+    arm_length_m: float = 0.68
+    lift_duration_s: float = 0.8
+    hold_duration_s: float = 1.2
+    drop_duration_s: float = 0.8
+    lead_in_s: float = 1.5
+    lead_out_s: float = 1.5
+    shoulder_offset: np.ndarray = field(
+        default_factory=lambda: np.array([0.18, 0.0, 0.45])
+    )
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.direction, dtype=np.float64)
+        if np.linalg.norm(d) < 1e-9:
+            raise ValueError("pointing direction must be non-zero")
+
+    @property
+    def duration_s(self) -> float:
+        """Total gesture duration including lead-in/out stillness."""
+        return (
+            self.lead_in_s
+            + self.lift_duration_s
+            + self.hold_duration_s
+            + self.drop_duration_s
+            + self.lead_out_s
+        )
+
+    @property
+    def shoulder(self) -> np.ndarray:
+        """Absolute shoulder position."""
+        return np.asarray(self.body_position, dtype=np.float64) + np.asarray(
+            self.shoulder_offset
+        )
+
+    @property
+    def rest_hand(self) -> np.ndarray:
+        """Hand position with the arm rested next to the body."""
+        return self.shoulder + np.array([0.05, 0.02, -self.arm_length_m])
+
+    @property
+    def extended_hand(self) -> np.ndarray:
+        """Hand position with the arm extended along the direction."""
+        return self.shoulder + self.arm_length_m * unit(self.direction)
+
+    def hand_positions(self, times_s: np.ndarray) -> np.ndarray:
+        """Hand trajectory at the given times (gesture-local clock).
+
+        The raise and drop follow a smoothstep arc between the rest and
+        extended positions; lead-in/hold/lead-out phases are static.
+        Returns shape ``(n, 3)``.
+        """
+        times_s = np.asarray(times_s, dtype=np.float64)
+        t1 = self.lead_in_s
+        t2 = t1 + self.lift_duration_s
+        t3 = t2 + self.hold_duration_s
+        t4 = t3 + self.drop_duration_s
+        rest = self.rest_hand
+        ext = self.extended_hand
+
+        out = np.empty((len(times_s), 3))
+        for i, t in enumerate(times_s):
+            if t < t1:
+                frac = 0.0
+            elif t < t2:
+                u = (t - t1) / self.lift_duration_s
+                frac = u * u * (3.0 - 2.0 * u)
+            elif t < t3:
+                frac = 1.0
+            elif t < t4:
+                u = (t - t3) / self.drop_duration_s
+                u = 1.0 - u
+                frac = u * u * (3.0 - 2.0 * u)
+            else:
+                frac = 0.0
+            out[i] = rest + frac * (ext - rest)
+        return out
+
+    def hand_is_moving(self, times_s: np.ndarray) -> np.ndarray:
+        """Boolean mask of times during the lift or drop phases."""
+        times_s = np.asarray(times_s, dtype=np.float64)
+        t1 = self.lead_in_s
+        t2 = t1 + self.lift_duration_s
+        t3 = t2 + self.hold_duration_s
+        t4 = t3 + self.drop_duration_s
+        lifting = (times_s >= t1) & (times_s < t2)
+        dropping = (times_s >= t3) & (times_s < t4)
+        return lifting | dropping
+
+    def true_direction(self) -> np.ndarray:
+        """Ground-truth pointing direction (unit vector)."""
+        return unit(np.asarray(self.extended_hand) - np.asarray(self.rest_hand))
+
+
+def pointing_session(
+    body_position: np.ndarray,
+    rng: np.random.Generator,
+    azimuth_range_deg: tuple[float, float] = (-60.0, 60.0),
+    elevation_range_deg: tuple[float, float] = (-10.0, 45.0),
+) -> PointingGesture:
+    """Draw a random pointing gesture like the Section 9.4 protocol.
+
+    Subjects "stand in random different locations ... and point in a
+    direction of their choice". Directions are confined to the frontal
+    hemisphere the instrumented appliances occupy.
+    """
+    az = np.radians(rng.uniform(*azimuth_range_deg))
+    el = np.radians(rng.uniform(*elevation_range_deg))
+    direction = np.array(
+        [
+            np.sin(az) * np.cos(el),
+            np.cos(az) * np.cos(el),
+            np.sin(el),
+        ]
+    )
+    return PointingGesture(
+        body_position=np.asarray(body_position, dtype=np.float64),
+        direction=direction,
+        lift_duration_s=float(rng.uniform(0.6, 1.0)),
+        hold_duration_s=float(rng.uniform(1.0, 1.5)),
+        drop_duration_s=float(rng.uniform(0.6, 1.0)),
+    )

@@ -1,0 +1,321 @@
+"""Human motion models: trajectories for every paper workload.
+
+All evaluation workloads reduce to a body-center trajectory sampled on a
+uniform time grid: free walking (Fig. 8-10), standing still (pointing,
+Section 9.4), and the four fall-detection activities of Fig. 6 — walk,
+sit on a chair, sit on the floor, and a (simulated) fall.
+
+Trajectories respect the paper's physical assumptions: indoor human
+speeds (~0.5-2 m/s), continuous motion, and the speed asymmetry between
+falling and sitting that the fall detector exploits ("people fall quicker
+than they sit", Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.vec import Vec3
+from .room import Room
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A body-center trajectory on a uniform time grid.
+
+    Attributes:
+        times_s: sample times, shape ``(n,)``, uniformly spaced.
+        positions: body-center positions, shape ``(n, 3)`` (device frame;
+            z is the height of the torso center above the device plane).
+        label: workload name ("walk", "fall", ...), used by the fall
+            benchmarks as the classification ground truth.
+    """
+
+    times_s: np.ndarray
+    positions: np.ndarray
+    label: str = "walk"
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.positions):
+            raise ValueError("times and positions must have equal length")
+        if len(self.times_s) < 2:
+            raise ValueError("a trajectory needs at least two samples")
+
+    @property
+    def dt_s(self) -> float:
+        """Sampling interval."""
+        return float(self.times_s[1] - self.times_s[0])
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration."""
+        return float(self.times_s[-1] - self.times_s[0])
+
+    def resample(self, times_s: np.ndarray) -> np.ndarray:
+        """Linearly interpolate positions at arbitrary times."""
+        times_s = np.asarray(times_s, dtype=np.float64)
+        out = np.empty((len(times_s), 3))
+        for axis in range(3):
+            out[:, axis] = np.interp(
+                times_s, self.times_s, self.positions[:, axis]
+            )
+        return out
+
+    def speeds(self) -> np.ndarray:
+        """Instantaneous speed magnitude per interval, shape ``(n-1,)``."""
+        deltas = np.diff(self.positions, axis=0)
+        return np.linalg.norm(deltas, axis=1) / self.dt_s
+
+    def with_label(self, label: str) -> "Trajectory":
+        """Copy with a different workload label."""
+        return Trajectory(self.times_s, self.positions, label)
+
+
+def _time_grid(duration_s: float, dt_s: float) -> np.ndarray:
+    n = max(int(round(duration_s / dt_s)) + 1, 2)
+    return np.arange(n) * dt_s
+
+
+def _smooth(values: np.ndarray, window: int) -> np.ndarray:
+    """Moving-average smoothing used to keep synthetic paths human-like."""
+    if window <= 1:
+        return values
+    kernel = np.ones(window) / window
+    out = np.empty_like(values)
+    for axis in range(values.shape[1]):
+        padded = np.concatenate(
+            [
+                np.full(window // 2, values[0, axis]),
+                values[:, axis],
+                np.full(window - window // 2 - 1, values[-1, axis]),
+            ]
+        )
+        out[:, axis] = np.convolve(padded, kernel, mode="valid")
+    return out
+
+
+def waypoint_walk(
+    waypoints: np.ndarray,
+    speed_mps: float = 1.0,
+    dt_s: float = 0.0125,
+    torso_z: float = 0.0,
+    label: str = "walk",
+) -> Trajectory:
+    """Walk through waypoints at constant speed (piecewise linear).
+
+    ``torso_z`` is the standing torso-center height in the device frame
+    (0 when the torso center is level with the antennas).
+    """
+    waypoints = np.asarray(waypoints, dtype=np.float64)
+    if waypoints.ndim != 2 or waypoints.shape[1] != 2:
+        raise ValueError("waypoints must have shape (k, 2) in the x-y plane")
+    if len(waypoints) < 2:
+        raise ValueError("need at least two waypoints")
+    if speed_mps <= 0:
+        raise ValueError("speed must be positive")
+    segments = np.diff(waypoints, axis=0)
+    seg_lengths = np.linalg.norm(segments, axis=1)
+    cum = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+    total_time = cum[-1] / speed_mps
+    times = _time_grid(total_time, dt_s)
+    arc = np.minimum(times * speed_mps, cum[-1])
+    xy = np.empty((len(times), 2))
+    xy[:, 0] = np.interp(arc, cum, waypoints[:, 0])
+    xy[:, 1] = np.interp(arc, cum, waypoints[:, 1])
+    positions = np.column_stack([xy, np.full(len(times), torso_z)])
+    return Trajectory(times, _smooth(positions, 16), label)
+
+
+def random_walk(
+    room: Room,
+    rng: np.random.Generator,
+    duration_s: float = 60.0,
+    dt_s: float = 0.0125,
+    speed_range_mps: tuple[float, float] = (0.5, 1.6),
+    area: tuple[tuple[float, float], tuple[float, float]] | None = None,
+    torso_z: float = 0.0,
+    label: str = "walk",
+) -> Trajectory:
+    """Move "at will" inside the room (the Fig. 8-10 workload).
+
+    The walker picks a random waypoint inside ``area`` (default: the
+    VICON 6 x 5 m capture area starting 2.5 m behind the wall, Section
+    9.1), walks to it at a random speed, pauses briefly, and repeats.
+    """
+    if area is None:
+        y0 = (room.front_wall_y or 0.0) + 2.5
+        area = ((-3.0, 3.0), (y0, y0 + 5.0))
+    (x_lo, x_hi), (y_lo, y_hi) = area
+    times = _time_grid(duration_s, dt_s)
+    positions = np.empty((len(times), 3))
+    positions[:, 2] = torso_z
+
+    current = Vec3(
+        rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi), torso_z
+    )
+    target = current.copy()
+    speed = rng.uniform(*speed_range_mps)
+    pause_left = 0.0
+    for i, __ in enumerate(times):
+        to_target = target[:2] - current[:2]
+        remaining = float(np.linalg.norm(to_target))
+        if pause_left > 0.0:
+            pause_left -= dt_s
+        elif remaining < speed * dt_s:
+            current[:2] = target[:2]
+            target = Vec3(rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi), torso_z)
+            target[:2] = room.clamp(target)[:2]
+            speed = rng.uniform(*speed_range_mps)
+            if rng.random() < 0.15:
+                pause_left = rng.uniform(0.3, 1.2)
+        else:
+            step = speed * dt_s * to_target / remaining
+            current[:2] += step
+        positions[i, :2] = current[:2]
+    return Trajectory(times, _smooth(positions, 24), label)
+
+
+def stand_still(
+    position: np.ndarray,
+    duration_s: float = 5.0,
+    dt_s: float = 0.0125,
+    label: str = "stand",
+) -> Trajectory:
+    """Stand at a fixed position (used around pointing gestures)."""
+    times = _time_grid(duration_s, dt_s)
+    positions = np.tile(np.asarray(position, dtype=np.float64), (len(times), 1))
+    return Trajectory(times, positions, label)
+
+
+def _elevation_profile(
+    times: np.ndarray,
+    start_s: float,
+    transition_s: float,
+    z_start: float,
+    z_end: float,
+) -> np.ndarray:
+    """Smoothstep elevation transition from z_start to z_end."""
+    t = np.clip((times - start_s) / transition_s, 0.0, 1.0)
+    smooth = t * t * (3.0 - 2.0 * t)
+    return z_start + (z_end - z_start) * smooth
+
+
+def _activity_trace(
+    position_xy: np.ndarray,
+    duration_s: float,
+    dt_s: float,
+    walk_in_s: float,
+    transition_start_s: float,
+    transition_s: float,
+    z_stand: float,
+    z_final: float,
+    label: str,
+    rng: np.random.Generator,
+) -> Trajectory:
+    """Shared skeleton: walk in, then change elevation, then rest."""
+    times = _time_grid(duration_s, dt_s)
+    x0, y0 = float(position_xy[0]), float(position_xy[1])
+    entry = waypoint_walk(
+        np.array([[x0 - 2.0, y0], [x0, y0]]), speed_mps=1.0, dt_s=dt_s
+    )
+    positions = np.empty((len(times), 3))
+    walk_mask = times <= walk_in_s
+    walk_times = np.minimum(times, entry.duration_s)
+    entry_pos = entry.resample(walk_times)
+    positions[:, 0] = np.where(walk_mask, entry_pos[:, 0], x0)
+    positions[:, 1] = np.where(walk_mask, entry_pos[:, 1], y0)
+    positions[:, 2] = _elevation_profile(
+        times, transition_start_s, transition_s, z_stand, z_final
+    )
+    # Small sway while resting keeps the reflector detectable.
+    sway = 0.01 * rng.standard_normal((len(times), 2))
+    positions[:, :2] += _smooth(sway, 40)
+    return Trajectory(times, positions, label)
+
+
+def walk_trace(
+    room: Room,
+    rng: np.random.Generator,
+    duration_s: float = 30.0,
+    dt_s: float = 0.0125,
+    torso_z: float = 0.0,
+) -> Trajectory:
+    """Plain walking (fall-detection negative class)."""
+    return random_walk(
+        room, rng, duration_s=duration_s, dt_s=dt_s, torso_z=torso_z,
+        label="walk",
+    )
+
+
+def sit_on_chair_trace(
+    position_xy: np.ndarray,
+    rng: np.random.Generator,
+    duration_s: float = 30.0,
+    dt_s: float = 0.0125,
+    torso_z_stand: float = 0.0,
+) -> Trajectory:
+    """Walk in and sit on a chair: torso drops ~0.4 m over ~1.5 s."""
+    return _activity_trace(
+        position_xy,
+        duration_s,
+        dt_s,
+        walk_in_s=4.0,
+        transition_start_s=6.0,
+        transition_s=float(rng.uniform(1.2, 1.8)),
+        z_stand=torso_z_stand,
+        z_final=torso_z_stand - 0.40,
+        label="sit_chair",
+        rng=rng,
+    )
+
+
+def sit_on_floor_trace(
+    position_xy: np.ndarray,
+    rng: np.random.Generator,
+    duration_s: float = 30.0,
+    dt_s: float = 0.0125,
+    torso_z_stand: float = 0.0,
+    device_height_m: float = 1.0,
+) -> Trajectory:
+    """Walk in and sit on the floor: torso ends ~0.3 m above the floor.
+
+    The *descent* is voluntary and slow (~2-3 s) — the property that
+    separates it from a fall (Section 6.2).
+    """
+    return _activity_trace(
+        position_xy,
+        duration_s,
+        dt_s,
+        walk_in_s=4.0,
+        transition_start_s=6.0,
+        transition_s=float(rng.uniform(2.5, 3.5)),
+        z_stand=torso_z_stand,
+        z_final=-device_height_m + 0.30,
+        label="sit_floor",
+        rng=rng,
+    )
+
+
+def fall_trace(
+    position_xy: np.ndarray,
+    rng: np.random.Generator,
+    duration_s: float = 30.0,
+    dt_s: float = 0.0125,
+    torso_z_stand: float = 0.0,
+    device_height_m: float = 1.0,
+) -> Trajectory:
+    """Walk in and fall: torso crashes to ~0.15 m above floor in <0.7 s."""
+    return _activity_trace(
+        position_xy,
+        duration_s,
+        dt_s,
+        walk_in_s=4.0,
+        transition_start_s=6.0,
+        transition_s=float(rng.uniform(0.3, 0.55)),
+        z_stand=torso_z_stand,
+        z_final=-device_height_m + 0.15,
+        label="fall",
+        rng=rng,
+    )

@@ -1,0 +1,406 @@
+"""Scenario composition: room + body + motion -> received sweep spectra.
+
+This is the top of the simulation substrate. A :class:`Scenario` wires a
+room, a human body, a body-center trajectory and (optionally) a pointing
+gesture to the antenna array, resolves every propagation path per sweep —
+direct body reflection, dynamic multipath images off the side/back walls
+and ceiling, static clutter, the moving hand — and synthesizes the
+per-antenna spectra the WiTrack pipeline consumes.
+
+All physical effects the paper's pipeline exists to fight are present:
+
+* static clutter 10-30 dB above the body echo (the Flash Effect, §4.2);
+* dynamic multipath that can be *stronger* than the attenuated direct
+  path but always arrives later (§4.3);
+* through-wall attenuation on every front-wall traversal (§9.1);
+* thermal noise, phase jitter, and body-surface wander (§9.1-9.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig, default_config
+from ..geometry.antennas import Antenna, AntennaArray, t_array
+from ..rf.multipath import make_static_clutter, mirror_point
+from ..rf.noise import NoiseModel
+from ..rf.propagation import wavelength
+from ..rf.receiver import Path, SweepSynthesizer
+from .body import HumanBody, ReflectionModel
+from .gestures import PointingGesture
+from .motion import Trajectory
+from .room import Room
+
+
+def _vector_gain(
+    position: np.ndarray,
+    boresight: np.ndarray,
+    points: np.ndarray,
+    exponent: float,
+) -> np.ndarray:
+    """cos^n antenna power gain toward each of ``points`` (vectorized)."""
+    offsets = points - position[None, :]
+    dist = np.linalg.norm(offsets, axis=1)
+    dist = np.where(dist < 1e-9, 1.0, dist)
+    cosine = offsets @ boresight / dist
+    return np.where(cosine > 0.0, np.maximum(cosine, 0.0) ** exponent, 0.0)
+
+
+def _segment_lengths(position: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Distance from a fixed position to each point (vectorized)."""
+    return np.linalg.norm(points - position[None, :], axis=1)
+
+
+@dataclass
+class ScenarioOutput:
+    """Everything a pipeline run and its evaluation need.
+
+    Attributes:
+        spectra: complex sweep spectra, shape ``(n_rx, n_sweeps, n_bins)``.
+        sweep_times_s: time of each sweep, shape ``(n_sweeps,)``.
+        range_bin_m: round-trip distance per spectrum bin.
+        truth: the body-center ground-truth trajectory.
+        surface_truth: per-sweep reflection-surface points ``(n_sweeps, 3)``.
+        hand_truth: per-sweep hand positions or ``None`` (no gesture).
+        true_round_trips: ideal per-antenna round-trip distances of the
+            body surface, shape ``(n_rx, n_sweeps)``.
+        config: the system configuration used.
+        room: the room simulated.
+        body: the subject simulated.
+    """
+
+    spectra: np.ndarray
+    sweep_times_s: np.ndarray
+    range_bin_m: float
+    truth: Trajectory
+    surface_truth: np.ndarray
+    hand_truth: np.ndarray | None
+    true_round_trips: np.ndarray
+    config: SystemConfig
+    room: Room
+    body: HumanBody
+
+    @property
+    def num_sweeps(self) -> int:
+        """Number of sweeps synthesized."""
+        return self.spectra.shape[1]
+
+    @property
+    def num_rx(self) -> int:
+        """Number of receive antennas."""
+        return self.spectra.shape[0]
+
+    def truth_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Ground-truth body-center positions at arbitrary times."""
+        return self.truth.resample(times_s)
+
+
+class Scenario:
+    """A complete simulated experiment.
+
+    Args:
+        trajectory: body-center trajectory in the device frame.
+        room: room geometry; defaults to the paper's through-wall room.
+        body: subject model; defaults to an average adult.
+        config: full system configuration.
+        gesture: optional pointing gesture performed during the session.
+        gesture_start_s: session time at which the gesture's clock starts.
+        seed: seed for every random draw in the scenario.
+        array: override antenna array (defaults to the configured T).
+    """
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        room: Room | None = None,
+        body: HumanBody | None = None,
+        config: SystemConfig | None = None,
+        gesture: PointingGesture | None = None,
+        gesture_start_s: float = 0.0,
+        seed: int = 0,
+        array: AntennaArray | None = None,
+    ) -> None:
+        self.trajectory = trajectory
+        self.room = room if room is not None else Room()
+        self.body = body or HumanBody()
+        self.config = config or default_config()
+        self.gesture = gesture
+        self.gesture_start_s = gesture_start_s
+        self.seed = seed
+        self.array = array if array is not None else t_array(self.config.array)
+
+    def run(self) -> ScenarioOutput:
+        """Synthesize the received spectra for the whole session."""
+        cfg = self.config
+        fmcw = cfg.fmcw
+        rng = np.random.default_rng(self.seed)
+
+        n_sweeps = max(int(self.trajectory.duration_s / fmcw.sweep_duration_s), 2)
+        sweep_times = np.arange(n_sweeps) * fmcw.sweep_duration_s
+
+        centers = self.trajectory.resample(sweep_times)
+        reflection = ReflectionModel(self.body)
+        surface = reflection.surface_points(
+            centers,
+            fmcw.sweep_duration_s,
+            rng,
+            self.array.tx.position,
+            floor_z=self.room.floor_z,
+        )
+
+        hand = self._hand_positions(sweep_times)
+
+        noise = NoiseModel(
+            noise_figure_db=cfg.simulation.noise_figure_db,
+            bandwidth_hz=1.0 / fmcw.sweep_duration_s,
+        )
+        synthesizer = SweepSynthesizer(
+            fmcw, noise, max_range_m=cfg.pipeline.max_range_m
+        )
+
+        clutter = self._clutter(rng)
+        spectra = np.empty(
+            (self.array.num_receivers, n_sweeps, synthesizer.num_bins),
+            dtype=np.complex128,
+        )
+        true_round_trips = np.empty((self.array.num_receivers, n_sweeps))
+        step = np.linalg.norm(np.diff(centers, axis=0), axis=1)
+        speed = np.concatenate([step[:1], step]) / fmcw.sweep_duration_s
+        activity = np.clip(speed / 0.5, 0.0, 1.0)
+
+        for i, rx in enumerate(self.array.rx):
+            rx_rng = np.random.default_rng(self.seed * 7919 + i + 1)
+            wall_jitter = self._wall_jitter(
+                n_sweeps, fmcw.sweep_duration_s, rx_rng, activity
+            )
+            paths = self._paths_for_antenna(
+                rx, surface, hand, clutter, wall_jitter
+            )
+            spectra[i] = synthesizer.synthesize(paths, n_sweeps, rx_rng)
+            true_round_trips[i] = _segment_lengths(
+                self.array.tx.position, surface
+            ) + _segment_lengths(rx.position, surface)
+
+        return ScenarioOutput(
+            spectra=spectra,
+            sweep_times_s=sweep_times,
+            range_bin_m=synthesizer.axis.round_trip_per_bin_m,
+            truth=self.trajectory,
+            surface_truth=surface,
+            hand_truth=hand,
+            true_round_trips=true_round_trips,
+            config=cfg,
+            room=self.room,
+            body=self.body,
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _hand_positions(self, sweep_times: np.ndarray) -> np.ndarray | None:
+        """Per-sweep hand positions during a gesture session, else None.
+
+        Like the torso, the moving arm's dominant scattering center
+        wanders over its surface (forearm vs hand vs elbow), so an
+        activity-gated mean-reverting jitter rides on the kinematic hand
+        path. This is what keeps the simulated pointing accuracy at the
+        paper's level rather than implausibly perfect.
+        """
+        if self.gesture is None:
+            return None
+        local = sweep_times - self.gesture_start_s
+        positions = self.gesture.hand_positions(np.clip(local, 0.0, None))
+        before = local < 0.0
+        positions[before] = self.gesture.rest_hand
+
+        rng = np.random.default_rng(self.seed * 31 + 5)
+        dt = float(sweep_times[1] - sweep_times[0])
+        step = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+        speed = np.concatenate([step[:1], step]) / dt
+        activity = np.clip(speed / 0.5, 0.0, 1.0)
+        rho = float(np.exp(-dt / 0.25))
+        innovation = np.sqrt(max(1.0 - rho * rho, 0.0))
+        stds = np.array([0.055, 0.04, 0.07])
+        state = rng.standard_normal(3)
+        wander = np.empty_like(positions)
+        for i in range(len(positions)):
+            wander[i] = state
+            state = state + activity[i] * (
+                (rho - 1.0) * state + innovation * rng.standard_normal(3)
+            )
+        return positions + wander * stds[None, :]
+
+    def _wall_jitter(
+        self,
+        n_sweeps: int,
+        dt_s: float,
+        rng: np.random.Generator,
+        activity: np.ndarray,
+    ) -> np.ndarray:
+        """Excess round-trip delay from in-wall wavefront distortion.
+
+        A mean-reverting (AR(1)) walk: the wall-traversal point moves as
+        the person moves, so the excess delay is temporally correlated —
+        and frozen while she is still (a static geometry has a constant
+        wall delay, which background subtraction must cancel). Zero in
+        line-of-sight rooms.
+        """
+        std = self.room.wall_tof_jitter_std_m if self.room.is_through_wall else 0.0
+        if std <= 0.0:
+            return np.zeros(n_sweeps)
+        rho = float(np.exp(-dt_s / 0.5))
+        innovation = np.sqrt(max(1.0 - rho * rho, 0.0))
+        out = np.empty(n_sweeps)
+        state = rng.standard_normal()
+        for i in range(n_sweeps):
+            out[i] = state
+            state = state + activity[i] * (
+                (rho - 1.0) * state + innovation * rng.standard_normal()
+            )
+        return std * out
+
+    def _wall_traversals(self) -> int:
+        """Front-wall crossings of one segment (device side <-> room side)."""
+        return 1 if self.room.is_through_wall else 0
+
+    def _amplitudes(
+        self,
+        tx: Antenna,
+        rx_position: np.ndarray,
+        rx_boresight: np.ndarray,
+        points: np.ndarray,
+        rcs_m2: float,
+        extra_loss_db: float,
+    ) -> np.ndarray:
+        """Vectorized bistatic radar amplitude toward each point."""
+        cfg = self.config
+        lam = wavelength(cfg.fmcw)
+        beam = cfg.array.beam_exponent
+        g_tx = _vector_gain(tx.position, tx.boresight, points, beam)
+        g_rx = _vector_gain(rx_position, rx_boresight, points, beam)
+        d_tx = np.maximum(_segment_lengths(tx.position, points), 0.1)
+        d_rx = np.maximum(_segment_lengths(rx_position, points), 0.1)
+        total_loss_db = (
+            extra_loss_db
+            + cfg.simulation.system_loss_db
+            + 2 * self._wall_traversals() * self.room.wall_attenuation_db
+        )
+        power = (
+            cfg.fmcw.tx_power_w
+            * g_tx
+            * g_rx
+            * lam**2
+            * rcs_m2
+            / ((4.0 * np.pi) ** 3 * d_tx**2 * d_rx**2)
+        )
+        return np.sqrt(power) * 10.0 ** (-total_loss_db / 20.0)
+
+    def _reference_human_amplitude(self) -> float:
+        """Body-echo amplitude at a reference 5 m range (anchors clutter)."""
+        cfg = self.config
+        lam = wavelength(cfg.fmcw)
+        d = 5.0
+        power = (
+            cfg.fmcw.tx_power_w
+            * lam**2
+            * self.body.torso_rcs_m2
+            / ((4.0 * np.pi) ** 3 * d**4)
+        )
+        loss_db = (
+            cfg.simulation.system_loss_db
+            + 2 * self._wall_traversals() * self.room.wall_attenuation_db
+        )
+        return float(np.sqrt(power) * 10.0 ** (-loss_db / 20.0))
+
+    def _clutter(self, rng: np.random.Generator) -> list[Path]:
+        """Static clutter paths shared across antennas (fresh phases each)."""
+        clutter = make_static_clutter(
+            rng,
+            self.config.simulation.num_static_reflectors,
+            human_amplitude=self._reference_human_amplitude(),
+            max_round_trip_m=self.config.pipeline.max_range_m - 2.0,
+        )
+        return [
+            Path(
+                round_trip_m=np.float64(rt),
+                amplitude=np.float64(amp),
+                phase0_rad=float(ph),
+                name=f"clutter-{k}",
+            )
+            for k, (rt, amp, ph) in enumerate(
+                zip(clutter.round_trips_m, clutter.amplitudes, clutter.phases_rad)
+            )
+        ]
+
+    def _paths_for_antenna(
+        self,
+        rx: Antenna,
+        surface: np.ndarray,
+        hand: np.ndarray | None,
+        clutter: list[Path],
+        wall_jitter: np.ndarray,
+    ) -> list[Path]:
+        """Resolve every propagation path seen by one receive antenna.
+
+        ``wall_jitter`` is added to the round trip of every path that
+        traverses the front wall (all body-related paths in the
+        through-wall setting); static clutter keeps its exact delay so
+        background subtraction still cancels it.
+        """
+        tx = self.array.tx
+        paths: list[Path] = list(clutter)
+
+        # Direct body reflection.
+        d_tx = _segment_lengths(tx.position, surface)
+        d_rx = _segment_lengths(rx.position, surface)
+        paths.append(
+            Path(
+                round_trip_m=d_tx + d_rx + wall_jitter,
+                amplitude=self._amplitudes(
+                    tx, rx.position, rx.boresight, surface,
+                    self.body.torso_rcs_m2, extra_loss_db=0.0,
+                ),
+                name="body-direct",
+            )
+        )
+
+        # Dynamic multipath: body -> wall -> Rx via image antennas.
+        planes = self.room.bounce_planes[
+            : self.config.simulation.num_multipath_images
+        ]
+        for wall_point, wall_normal, wall_name in planes:
+            image_pos = mirror_point(rx.position, wall_point, wall_normal)
+            image_boresight = rx.boresight - 2.0 * np.dot(
+                rx.boresight, wall_normal
+            ) * np.asarray(wall_normal)
+            d_img = _segment_lengths(image_pos, surface)
+            paths.append(
+                Path(
+                    round_trip_m=d_tx + d_img + wall_jitter,
+                    amplitude=self._amplitudes(
+                        tx, image_pos, image_boresight, surface,
+                        self.body.torso_rcs_m2,
+                        extra_loss_db=self.room.side_wall_reflection_loss_db,
+                    ),
+                    name=f"multipath-{wall_name}",
+                )
+            )
+
+        # The moving hand during a pointing gesture.
+        if hand is not None:
+            paths.append(
+                Path(
+                    round_trip_m=(
+                        _segment_lengths(tx.position, hand)
+                        + _segment_lengths(rx.position, hand)
+                        + wall_jitter
+                    ),
+                    amplitude=self._amplitudes(
+                        tx, rx.position, rx.boresight, hand,
+                        self.body.arm_rcs_m2, extra_loss_db=0.0,
+                    ),
+                    name="hand",
+                )
+            )
+        return paths

@@ -1,0 +1,71 @@
+"""Shared fixtures: configurations and pre-computed scenario outputs.
+
+Scenario synthesis is the expensive part of the suite, so short canonical
+sessions (a through-wall walk, a line-of-sight walk, a pointing session)
+are computed once per test run and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig, default_config
+from repro.geometry.antennas import t_array
+from repro.sim.body import sample_population
+from repro.sim.gestures import pointing_session
+from repro.sim.motion import random_walk, stand_still
+from repro.sim.room import line_of_sight_room, through_wall_room
+from repro.sim.scenario import Scenario, ScenarioOutput
+
+
+@pytest.fixture(scope="session")
+def config() -> SystemConfig:
+    """The paper's default system configuration."""
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def array(config):
+    """The default 1 m T antenna array."""
+    return t_array(config.array)
+
+
+@pytest.fixture(scope="session")
+def tw_walk_output(config) -> ScenarioOutput:
+    """A 10 s through-wall random walk, synthesized once."""
+    room = through_wall_room()
+    walk = random_walk(room, np.random.default_rng(42), duration_s=10.0)
+    return Scenario(walk, room=room, config=config, seed=43).run()
+
+
+@pytest.fixture(scope="session")
+def los_walk_output(config) -> ScenarioOutput:
+    """A 10 s line-of-sight random walk, synthesized once."""
+    room = line_of_sight_room()
+    walk = random_walk(room, np.random.default_rng(42), duration_s=10.0)
+    return Scenario(walk, room=room, config=config, seed=43).run()
+
+
+@pytest.fixture(scope="session")
+def pointing_output(config) -> tuple[ScenarioOutput, object]:
+    """A pointing session (stand, lift, hold, drop, stand)."""
+    rng = np.random.default_rng(7)
+    body = sample_population(rng, count=11)[3]
+    room = through_wall_room()
+    position = np.array([0.8, 4.5, 0.0])
+    gesture = pointing_session(position, rng)
+    lead = 1.0
+    stand = stand_still(
+        position, duration_s=lead + gesture.duration_s + 1.0, label="point"
+    )
+    output = Scenario(
+        stand,
+        room=room,
+        body=body,
+        config=config,
+        gesture=gesture,
+        gesture_start_s=lead,
+        seed=8,
+    ).run()
+    return output, gesture

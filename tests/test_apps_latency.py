@@ -1,0 +1,71 @@
+"""Tests for the latency accounting of the streaming tracker."""
+
+import numpy as np
+import pytest
+
+from repro.apps.realtime import LatencyReport, RealtimeTracker, _AntennaState
+from repro.config import default_config
+
+
+class TestLatencyReport:
+    def test_statistics(self):
+        report = LatencyReport(latencies_s=[0.001, 0.002, 0.003, 0.1])
+        assert report.median_s == pytest.approx(0.0025)
+        assert report.max_s == pytest.approx(0.1)
+        assert report.p95_s > report.median_s
+
+    def test_budget(self):
+        fast = LatencyReport(latencies_s=[0.001] * 100)
+        slow = LatencyReport(latencies_s=[0.2] * 100)
+        assert fast.within_budget(0.075)
+        assert not slow.within_budget(0.075)
+
+
+class TestAntennaState:
+    @pytest.fixture
+    def state(self):
+        return _AntennaState(default_config(), range_bin_m=0.1774)
+
+    def test_first_frame_returns_nan(self, state):
+        frame = np.zeros(171, dtype=np.complex128)
+        assert np.isnan(state.process_frame(frame))
+
+    def test_detects_moving_tone(self, state):
+        rng = np.random.default_rng(0)
+        values = []
+        for i in range(60):
+            frame = 1e-9 * (
+                rng.standard_normal(171) + 1j * rng.standard_normal(171)
+            )
+            # A strong reflector drifting outward ~1 bin every 4 frames.
+            bin_idx = 40 + i // 4
+            frame[bin_idx] += 1e-5 * np.exp(1j * 2.1 * i)
+            values.append(state.process_frame(frame))
+        tail = np.array(values[-10:])
+        assert np.all(np.isfinite(tail))
+        expected = (40 + 59 // 4) * 0.1774
+        assert np.median(tail) == pytest.approx(expected, abs=0.5)
+
+    def test_online_gate_blocks_spike(self, state):
+        rng = np.random.default_rng(1)
+        base = 45
+        out = []
+        for i in range(40):
+            frame = 1e-9 * (
+                rng.standard_normal(171) + 1j * rng.standard_normal(171)
+            )
+            bin_idx = 10 if i == 20 else base  # one absurd spike frame
+            frame[bin_idx] += 1e-5 * np.exp(1j * 2.1 * i)
+            out.append(state.process_frame(frame))
+        # The spike frame must not yank the track to bin 10.
+        assert abs(out[20] - base * 0.1774) < 1.0
+
+
+class TestRunValidation:
+    def test_run_output_shape(self, tw_walk_output):
+        tracker = RealtimeTracker(
+            default_config(), range_bin_m=tw_walk_output.range_bin_m
+        )
+        positions = tracker.run(tw_walk_output.spectra[:, :500, :])
+        assert positions.shape == (100, 3)
+        assert len(tracker.latency.latencies_s) == 100

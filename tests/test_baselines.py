@@ -1,0 +1,113 @@
+"""Tests for the comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.peak_tracker import (
+    DominantPeakTOFEstimator,
+    DominantPeakTracker,
+)
+from repro.baselines.rti import (
+    RTITracker,
+    perimeter_network,
+    simulate_rti_tracking,
+)
+from repro.core.tracker import WiTrack
+
+
+class TestDominantPeakTracker:
+    def test_runs_end_to_end(self, tw_walk_output, config):
+        tracker = DominantPeakTracker(config)
+        track = tracker.track(
+            tw_walk_output.spectra, tw_walk_output.range_bin_m
+        )
+        assert track.positions.shape[1] == 3
+        assert track.valid_mask.any()
+
+    def test_contour_beats_peak_tracking(self, tw_walk_output, config):
+        """The Section 4.3 claim: bottom-contour tracking is more robust
+        than dominant-peak tracking under dynamic multipath."""
+        out = tw_walk_output
+        truth = out.truth_at
+        contour_track = WiTrack(config).track(out.spectra, out.range_bin_m)
+        peak_track = DominantPeakTracker(config).track(
+            out.spectra, out.range_bin_m
+        )
+
+        def median_error(track):
+            valid = track.valid_mask
+            t = truth(track.frame_times_s)
+            return np.median(
+                np.linalg.norm(track.positions[valid] - t[valid], axis=1)
+            )
+
+        assert median_error(contour_track) < median_error(peak_track)
+
+    def test_rejects_bad_shape(self, config):
+        with pytest.raises(ValueError):
+            DominantPeakTracker(config).track(np.zeros((5, 4)), 0.177)
+
+    def test_estimator_outputs_align(self, tw_walk_output):
+        est = DominantPeakTOFEstimator(
+            2.5e-3, tw_walk_output.range_bin_m
+        ).estimate(tw_walk_output.spectra[0])
+        assert len(est.round_trip_m) == len(est.frame_times_s)
+
+
+class TestRTI:
+    def test_network_geometry(self):
+        net = perimeter_network(nodes_per_side=5)
+        assert net.num_nodes == 2 * 5 + 2 * 3
+        assert len(net.links) == net.num_nodes * (net.num_nodes - 1) // 2
+
+    def test_link_shadowing_strongest_on_link(self):
+        net = perimeter_network()
+        # Body on the line between two nodes shadows that link strongly.
+        a = net.node_positions[0]
+        b = net.node_positions[1]
+        midpoint = (a + b) / 2
+        shadow = net.link_shadowing(midpoint)
+        links = net.links
+        direct = np.where((links[:, 0] == 0) & (links[:, 1] == 1))[0][0]
+        assert shadow[direct] == shadow.max()
+        assert shadow[direct] > 0.9 * net.shadow_db
+
+    def test_far_body_no_shadow(self):
+        net = perimeter_network()
+        shadow = net.link_shadowing(np.array([100.0, 100.0]))
+        assert np.allclose(shadow, 0.0)
+
+    def test_tracker_locates_to_voxel_scale(self):
+        net = perimeter_network()
+        tracker = RTITracker(net)
+        rng = np.random.default_rng(0)
+        body = np.array([1.0, 5.0])
+        errors = []
+        for _ in range(20):
+            est = tracker.locate(net.measure(body, rng))
+            errors.append(np.linalg.norm(est - body))
+        # RTI is coarse (decimeters), but must find the right region.
+        assert np.median(errors) < 1.0
+
+    def test_simulate_tracking_errors(self):
+        t = np.linspace(0, 1, 40)
+        traj = np.column_stack([2 * t - 1, 4 + 2 * t])
+        outcome = simulate_rti_tracking(traj, seed=1)
+        assert outcome.errors_m.shape == (40,)
+        assert np.median(outcome.errors_m) < 1.5
+
+    def test_rti_much_coarser_than_witrack(self, tw_walk_output, config):
+        """The Section 2 comparison on identical trajectories."""
+        out = tw_walk_output
+        track = WiTrack(config).track(out.spectra, out.range_bin_m)
+        valid = track.valid_mask
+        truth = out.truth_at(track.frame_times_s)
+        witrack_2d = np.median(
+            np.linalg.norm(
+                track.positions[valid, :2] - truth[valid, :2], axis=1
+            )
+        )
+        # RTI at its native (much lower) rate on the same walk.
+        times = track.frame_times_s[:: 40]
+        rti = simulate_rti_tracking(out.truth_at(times)[:, :2], seed=2)
+        assert np.median(rti.errors_m) > 2.0 * witrack_2d

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_track_defaults(self):
+        args = build_parser().parse_args(["track"])
+        assert args.through_wall is True
+        assert args.seed == 0
+
+    def test_line_of_sight_flag(self):
+        args = build_parser().parse_args(["fig8", "--line-of-sight"])
+        assert args.through_wall is False
+
+    def test_all_commands_parse(self):
+        for command in ("track", "fig8", "fig9", "fig10",
+                        "fall-table", "pointing"):
+            args = build_parser().parse_args([command])
+            assert callable(args.func)
+
+
+class TestExecution:
+    def test_track_runs(self, capsys):
+        code = main(["track", "--duration", "6", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "median" in out
+        assert "cm" in out
+
+    def test_pointing_runs(self, capsys):
+        code = main(["pointing", "--trials", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detected" in out

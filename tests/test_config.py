@@ -1,0 +1,114 @@
+"""Tests for the configuration dataclasses."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import (
+    ArrayConfig,
+    FMCWConfig,
+    PipelineConfig,
+    SimulationConfig,
+    SystemConfig,
+    default_config,
+)
+
+
+class TestFMCWConfig:
+    def test_defaults_match_paper(self):
+        cfg = FMCWConfig()
+        assert cfg.start_hz == constants.SWEEP_START_HZ
+        assert cfg.samples_per_sweep == 2500
+        assert np.isclose(cfg.range_resolution_m, 0.0887, atol=5e-4)
+
+    def test_end_and_center(self):
+        cfg = FMCWConfig()
+        assert np.isclose(cfg.end_hz, 7.25e9)
+        assert np.isclose(cfg.center_hz, (5.56e9 + 7.25e9) / 2)
+
+    def test_beat_round_trip_inverse(self):
+        cfg = FMCWConfig()
+        rt = 12.34
+        beat = cfg.beat_frequency_for_round_trip(rt)
+        assert np.isclose(cfg.round_trip_for_beat_frequency(beat), rt)
+
+    def test_sweeps_per_second(self):
+        assert np.isclose(FMCWConfig().sweeps_per_second, 400.0)
+
+    def test_max_unambiguous_range_exceeds_room_scale(self):
+        # The Nyquist bin must cover far more than the 30 m of interest.
+        assert FMCWConfig().max_unambiguous_round_trip_m > 60.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("bandwidth_hz", -1.0),
+            ("sweep_duration_s", 0.0),
+            ("sample_rate_hz", -5.0),
+            ("tx_power_w", 0.0),
+        ],
+    )
+    def test_rejects_nonpositive(self, field, value):
+        with pytest.raises(ValueError):
+            FMCWConfig(**{field: value})
+
+
+class TestArrayConfig:
+    def test_default_separation(self):
+        assert ArrayConfig().separation_m == 1.0
+
+    def test_rejects_too_few_receivers(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(num_receivers=2)
+
+    def test_rejects_nonpositive_separation(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(separation_m=0.0)
+
+
+class TestPipelineConfig:
+    def test_defaults(self):
+        cfg = PipelineConfig()
+        assert cfg.sweeps_per_frame == 5
+        assert cfg.interpolate_when_static
+
+    def test_rejects_bad_frames(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(sweeps_per_frame=0)
+
+    def test_rejects_bad_jump(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(max_jump_m=-0.1)
+
+
+class TestSimulationConfig:
+    def test_default_model_is_spectrum(self):
+        assert SimulationConfig().signal_model == "spectrum"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(signal_model="magic")
+
+    def test_rejects_tiny_adc(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(adc_bits=2)
+
+
+class TestSystemConfig:
+    def test_default_config_builds(self):
+        cfg = default_config()
+        assert isinstance(cfg, SystemConfig)
+        assert cfg.fmcw.bandwidth_hz == constants.SWEEP_BANDWIDTH_HZ
+
+    def test_replace_swaps_sections(self):
+        cfg = default_config()
+        new = cfg.replace(array=ArrayConfig(separation_m=2.0))
+        assert new.array.separation_m == 2.0
+        assert cfg.array.separation_m == 1.0  # original untouched
+
+    def test_frozen(self):
+        cfg = default_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.fmcw = FMCWConfig()  # type: ignore[misc]

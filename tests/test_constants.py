@@ -1,0 +1,55 @@
+"""Tests for the paper parameter table in repro.constants."""
+
+import numpy as np
+
+from repro import constants
+
+
+class TestSweepParameters:
+    def test_bandwidth_is_1_69_ghz(self):
+        assert np.isclose(constants.SWEEP_BANDWIDTH_HZ, 1.69e9)
+
+    def test_sweep_covers_paper_band(self):
+        assert constants.SWEEP_START_HZ == 5.56e9
+        assert constants.SWEEP_END_HZ == 7.25e9
+
+    def test_samples_per_sweep(self):
+        # 2.5 ms at 1 MS/s.
+        assert constants.SAMPLES_PER_SWEEP == 2500
+
+    def test_slope(self):
+        assert np.isclose(
+            constants.SWEEP_SLOPE_HZ_PER_S, 1.69e9 / 2.5e-3
+        )
+
+    def test_frame_duration_is_12_5_ms(self):
+        assert np.isclose(constants.FRAME_DURATION_S, 12.5e-3)
+
+
+class TestResolution:
+    def test_range_resolution_matches_eq3(self):
+        # C / 2B = 8.87 cm; the paper rounds to 8.8 cm.
+        assert np.isclose(constants.RANGE_RESOLUTION_M, 0.0887, atol=5e-4)
+
+    def test_resolution_halves_when_bandwidth_doubles(self):
+        res_2b = constants.SPEED_OF_LIGHT / (2 * 2 * constants.SWEEP_BANDWIDTH_HZ)
+        assert np.isclose(res_2b, constants.RANGE_RESOLUTION_M / 2)
+
+
+class TestHeadlineNumbers:
+    def test_tx_power_is_sub_milliwatt_scale(self):
+        assert constants.TX_POWER_W == 0.75e-3
+
+    def test_paper_error_tuples_are_ordered_y_x_z(self):
+        for medians in (
+            constants.PAPER_MEDIAN_ERROR_TW_M,
+            constants.PAPER_MEDIAN_ERROR_LOS_M,
+        ):
+            x, y, z = medians
+            assert y < x < z
+
+    def test_fall_f_measure_consistent(self):
+        p = constants.PAPER_FALL_PRECISION
+        r = constants.PAPER_FALL_RECALL
+        f = 2 * p * r / (p + r)
+        assert abs(f - constants.PAPER_FALL_F_MEASURE) < 0.01

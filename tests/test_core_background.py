@@ -1,0 +1,66 @@
+"""Tests for background subtraction (the Flash Effect removal)."""
+
+import numpy as np
+import pytest
+
+from repro.core.background import background_subtract, static_residual_power
+from repro.core.spectrogram import Spectrogram
+
+
+def _spectrogram(frames):
+    frames = np.asarray(frames, dtype=np.complex128)
+    times = (np.arange(len(frames)) + 0.5) * 12.5e-3
+    return Spectrogram(frames=frames, frame_times_s=times, range_bin_m=0.177)
+
+
+class TestBackgroundSubtract:
+    def test_static_component_cancels(self):
+        static = np.tile(
+            np.exp(1j * np.linspace(0, 3, 16))[None, :] * 5.0, (10, 1)
+        )
+        sub = background_subtract(_spectrogram(static))
+        assert np.allclose(sub.frames, 0.0)
+
+    def test_moving_component_survives(self):
+        frames = np.zeros((10, 16), dtype=np.complex128)
+        for i in range(10):
+            frames[i, 3 + (i % 2)] = 1.0  # alternating bin = motion
+        sub = background_subtract(_spectrogram(frames))
+        assert np.max(np.abs(sub.frames)) > 0.9
+
+    def test_phase_rotation_survives(self):
+        """A reflector at fixed range whose phase rotates (sub-bin motion)
+        must survive subtraction — this is how slow motion is detected."""
+        n = 10
+        frames = np.zeros((n, 8), dtype=np.complex128)
+        for i in range(n):
+            frames[i, 4] = np.exp(1j * 0.8 * i)
+        sub = background_subtract(_spectrogram(frames))
+        expected = abs(np.exp(1j * 0.8) - 1.0)
+        assert np.allclose(np.abs(sub.frames[:, 4]), expected, atol=1e-12)
+
+    def test_one_fewer_frame(self):
+        sub = background_subtract(_spectrogram(np.zeros((5, 4))))
+        assert sub.num_frames == 4
+
+    def test_timestamps_are_later_frames(self):
+        spec = _spectrogram(np.zeros((5, 4)))
+        sub = background_subtract(spec)
+        assert np.allclose(sub.frame_times_s, spec.frame_times_s[1:])
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            background_subtract(_spectrogram(np.zeros((1, 4))))
+
+
+class TestResidualPower:
+    def test_zero_for_static(self):
+        static = np.ones((6, 8), dtype=np.complex128)
+        sub = background_subtract(_spectrogram(static))
+        assert static_residual_power(sub) == 0.0
+
+    def test_positive_for_motion(self):
+        frames = np.zeros((6, 8), dtype=np.complex128)
+        frames[::2, 2] = 1.0
+        sub = background_subtract(_spectrogram(frames))
+        assert static_residual_power(sub) > 0.0

@@ -1,0 +1,106 @@
+"""Tests for the fall detector (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.falls import FallDetector, FallVerdict, median_filter
+
+
+def _trace(duration_s=24.0, dt=0.0125):
+    t = np.arange(0, duration_s, dt)
+    return t
+
+
+def _elevation(t, start_s, transition_s, z0, z1, noise=0.0, rng=None):
+    u = np.clip((t - start_s) / transition_s, 0.0, 1.0)
+    smooth = u * u * (3 - 2 * u)
+    e = z0 + (z1 - z0) * smooth
+    if noise > 0:
+        e = e + (rng or np.random.default_rng(0)).normal(0, noise, len(t))
+    return e
+
+
+class TestMedianFilter:
+    def test_removes_spikes(self):
+        x = np.ones(100)
+        x[50] = 10.0
+        assert median_filter(x, 9)[50] == 1.0
+
+    def test_window_one_is_identity(self):
+        x = np.arange(10.0)
+        assert np.allclose(median_filter(x, 1), x)
+
+    def test_nan_aware(self):
+        x = np.ones(50)
+        x[10:13] = np.nan
+        out = median_filter(x, 7)
+        assert np.isfinite(out[11])
+
+
+class TestClassification:
+    def test_detects_fast_fall_to_ground(self):
+        t = _trace()
+        e = _elevation(t, 8.0, 0.5, 1.0, 0.12, noise=0.08)
+        verdict = FallDetector().classify(t, e)
+        assert verdict.is_fall
+        assert verdict.activity == "fall"
+
+    def test_slow_sit_on_floor_is_not_fall(self):
+        t = _trace()
+        e = _elevation(t, 8.0, 3.0, 1.0, 0.25, noise=0.08)
+        verdict = FallDetector().classify(t, e)
+        assert not verdict.is_fall
+        assert verdict.activity == "sit_floor"
+
+    def test_sit_on_chair_not_fall(self):
+        t = _trace()
+        e = _elevation(t, 8.0, 1.5, 1.0, 0.62, noise=0.05)
+        verdict = FallDetector().classify(t, e)
+        assert not verdict.is_fall
+        assert verdict.activity == "sit_chair"
+
+    def test_walking_not_fall(self):
+        t = _trace()
+        rng = np.random.default_rng(1)
+        e = 1.0 + rng.normal(0, 0.1, len(t))
+        verdict = FallDetector().classify(t, e)
+        assert not verdict.is_fall
+        assert verdict.activity == "walk"
+
+    def test_fast_fall_verdict_reports_duration(self):
+        t = _trace()
+        e = _elevation(t, 8.0, 0.5, 1.0, 0.12)
+        verdict = FallDetector().classify(t, e)
+        assert verdict.drop_duration_s < 1.4
+
+    def test_drop_fraction_reported(self):
+        t = _trace()
+        e = _elevation(t, 8.0, 0.5, 1.0, 0.12)
+        verdict = FallDetector().classify(t, e)
+        assert verdict.drop_fraction > 0.5
+
+    def test_noisy_z_does_not_trigger_false_fall(self):
+        """WiTrack's z is its noisiest dimension; transient dips must
+        not read as falls (the reason for percentile statistics)."""
+        t = _trace()
+        rng = np.random.default_rng(2)
+        e = 1.0 + rng.normal(0, 0.18, len(t))
+        e[800] = 0.1  # one wild sample
+        verdict = FallDetector().classify(t, e)
+        assert not verdict.is_fall
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FallDetector(min_drop_fraction=1.5)
+        with pytest.raises(ValueError):
+            FallDetector(max_fall_duration_s=0.0)
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(ValueError):
+            FallDetector().classify(np.arange(5.0), np.ones(5))
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            FallDetector().classify(np.arange(20.0), np.ones(10))

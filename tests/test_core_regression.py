@@ -1,0 +1,95 @@
+"""Tests for the robust regression used by the pointing estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import (
+    huber_regression,
+    robust_endpoints,
+    theil_sen,
+)
+
+
+def _noisy_line(rng, n=60, slope=2.0, intercept=1.0, noise=0.05):
+    x = np.linspace(0, 1, n)
+    y = slope * x + intercept + rng.normal(0, noise, n)
+    return x, y
+
+
+class TestTheilSen:
+    def test_recovers_clean_line(self):
+        x = np.linspace(0, 1, 20)
+        fit = theil_sen(x, 3.0 * x - 2.0)
+        assert fit.slope == pytest.approx(3.0, abs=1e-9)
+        assert fit.intercept == pytest.approx(-2.0, abs=1e-9)
+
+    def test_resists_30pct_outliers(self):
+        rng = np.random.default_rng(0)
+        x, y = _noisy_line(rng)
+        idx = rng.choice(len(x), len(x) * 3 // 10, replace=False)
+        y[idx] += rng.uniform(3, 10, len(idx))
+        fit = theil_sen(x, y)
+        assert fit.slope == pytest.approx(2.0, abs=0.3)
+
+    def test_ignores_nans(self):
+        x = np.linspace(0, 1, 10)
+        y = 2.0 * x
+        y[3] = np.nan
+        fit = theil_sen(x, y)
+        assert fit.slope == pytest.approx(2.0, abs=1e-9)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            theil_sen(np.array([1.0]), np.array([2.0]))
+        with pytest.raises(ValueError):
+            theil_sen(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+
+class TestHuber:
+    def test_recovers_clean_line(self):
+        x = np.linspace(0, 1, 30)
+        fit = huber_regression(x, -1.5 * x + 0.4)
+        assert fit.slope == pytest.approx(-1.5, abs=1e-6)
+
+    def test_resists_outliers_better_than_ols(self):
+        rng = np.random.default_rng(1)
+        x, y = _noisy_line(rng)
+        y[5] += 20.0
+        y[25] -= 15.0
+        huber = huber_regression(x, y)
+        ols = np.polyfit(x, y, 1)[0]
+        assert abs(huber.slope - 2.0) < abs(ols - 2.0)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            huber_regression(np.array([1.0]), np.array([1.0]))
+
+
+class TestEndpoints:
+    def test_endpoints_of_ramp(self):
+        t = np.linspace(0, 1, 50)
+        v = 5.0 + 1.0 * t
+        start, end = robust_endpoints(t, v)
+        assert start == pytest.approx(5.0, abs=1e-6)
+        assert end == pytest.approx(6.0, abs=1e-6)
+
+    def test_endpoint_outlier_resistance(self):
+        """The exact reason the paper uses robust regression: a corrupted
+        first/last sample must not corrupt the gesture endpoints."""
+        rng = np.random.default_rng(2)
+        t = np.linspace(0, 1, 50)
+        v = 5.0 + 1.0 * t + rng.normal(0, 0.01, 50)
+        v[0] += 3.0   # corrupted first sample
+        v[-1] -= 3.0  # corrupted last sample
+        start, end = robust_endpoints(t, v)
+        assert start == pytest.approx(5.0, abs=0.1)
+        assert end == pytest.approx(6.0, abs=0.1)
+
+    def test_method_selection(self):
+        t = np.linspace(0, 1, 20)
+        v = 2.0 * t
+        s1, e1 = robust_endpoints(t, v, method="theil_sen")
+        s2, e2 = robust_endpoints(t, v, method="huber")
+        assert s1 == pytest.approx(s2, abs=1e-6)
+        with pytest.raises(ValueError):
+            robust_endpoints(t, v, method="magic")

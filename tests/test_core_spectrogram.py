@@ -1,0 +1,97 @@
+"""Tests for sweep FFT framing and averaging."""
+
+import numpy as np
+import pytest
+
+from repro.core.spectrogram import (
+    Spectrogram,
+    average_frames,
+    spectrogram_from_sweeps,
+)
+
+
+def _tone_sweeps(n_sweeps, n_bins, bin_index, amplitude=1.0, phase=0.0):
+    out = np.zeros((n_sweeps, n_bins), dtype=np.complex128)
+    out[:, bin_index] = amplitude * np.exp(1j * phase)
+    return out
+
+
+class TestAverageFrames:
+    def test_shape(self):
+        frames = average_frames(_tone_sweeps(12, 64, 5), 5)
+        assert frames.shape == (2, 64)  # 12 // 5 = 2, trailing dropped
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            average_frames(_tone_sweeps(10, 8, 1), 0)
+
+    def test_rejects_too_few_sweeps(self):
+        with pytest.raises(ValueError):
+            average_frames(_tone_sweeps(3, 8, 1), 5)
+
+    def test_coherent_signal_preserved(self):
+        """Equal-phase sweeps average to the same amplitude."""
+        frames = average_frames(_tone_sweeps(10, 16, 3, amplitude=2.0), 5)
+        assert np.allclose(np.abs(frames[:, 3]), 2.0)
+
+    def test_incoherent_noise_reduced(self):
+        rng = np.random.default_rng(0)
+        noise = rng.standard_normal((5000, 4)) + 1j * rng.standard_normal(
+            (5000, 4)
+        )
+        frames = average_frames(noise, 5)
+        # Averaging 5 incoherent samples reduces power by 5.
+        assert np.mean(np.abs(frames) ** 2) == pytest.approx(
+            np.mean(np.abs(noise) ** 2) / 5, rel=0.1
+        )
+
+    def test_averaging_gain_is_the_papers_motivation(self):
+        """Signal-to-noise improves by the averaging factor (4.3)."""
+        rng = np.random.default_rng(1)
+        signal = _tone_sweeps(500, 8, 2, amplitude=1.0)
+        noise = 1.0 * (
+            rng.standard_normal((500, 8)) + 1j * rng.standard_normal((500, 8))
+        )
+        frames = average_frames(signal + noise, 5)
+        snr_before = 1.0 / np.mean(np.abs(noise[:, 3]) ** 2)
+        snr_after = np.mean(np.abs(frames[:, 2]) ** 2) / np.mean(
+            np.abs(frames[:, 3]) ** 2
+        )
+        assert snr_after > 3 * snr_before
+
+
+class TestSpectrogram:
+    def test_from_sweeps(self):
+        spec = spectrogram_from_sweeps(_tone_sweeps(20, 32, 4), 2.5e-3, 0.177)
+        assert spec.num_frames == 4
+        assert spec.num_bins == 32
+        assert np.allclose(np.diff(spec.frame_times_s), 12.5e-3)
+
+    def test_power_db_floor(self):
+        spec = spectrogram_from_sweeps(_tone_sweeps(5, 8, 1), 2.5e-3, 0.177)
+        db = spec.power_db()
+        assert np.all(np.isfinite(db))
+
+    def test_crop(self):
+        spec = spectrogram_from_sweeps(_tone_sweeps(5, 100, 1), 2.5e-3, 0.2)
+        cropped = spec.crop(5.0)
+        assert cropped.num_bins == 26  # ceil(5/0.2) + 1
+        assert cropped.range_bins_m[-1] >= 5.0
+
+    def test_crop_is_idempotent_beyond_size(self):
+        spec = spectrogram_from_sweeps(_tone_sweeps(5, 10, 1), 2.5e-3, 0.2)
+        assert spec.crop(1e6).num_bins == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Spectrogram(
+                frames=np.zeros((3, 4), dtype=complex),
+                frame_times_s=np.zeros(2),
+                range_bin_m=0.1,
+            )
+        with pytest.raises(ValueError):
+            Spectrogram(
+                frames=np.zeros((2, 4), dtype=complex),
+                frame_times_s=np.zeros(2),
+                range_bin_m=-1.0,
+            )

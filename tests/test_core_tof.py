@@ -1,0 +1,74 @@
+"""Tests for the assembled per-antenna TOF estimator (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig
+from repro.core.tof import TOFEstimator
+
+
+@pytest.fixture
+def estimator(tw_walk_output):
+    return TOFEstimator(
+        2.5e-3, tw_walk_output.range_bin_m, PipelineConfig()
+    )
+
+
+class TestEstimate:
+    def test_output_shapes(self, estimator, tw_walk_output):
+        est = estimator.estimate(tw_walk_output.spectra[0])
+        assert est.num_frames == len(est.round_trip_m)
+        assert est.num_frames == len(est.raw_contour_m)
+        assert est.num_frames == len(est.motion_mask)
+
+    def test_tracks_true_round_trip(self, estimator, tw_walk_output):
+        out = tw_walk_output
+        est = estimator.estimate(out.spectra[0])
+        spf = 5
+        n = est.num_frames
+        truth = (
+            out.true_round_trips[0][: (n + 1) * spf]
+            .reshape(-1, spf)
+            .mean(axis=1)[1 : n + 1]
+        )
+        err = np.abs(est.round_trip_m - truth)
+        assert np.nanmedian(err) < 0.12  # within ~one range bin
+        assert np.nanpercentile(err, 90) < 0.5
+
+    def test_no_impossible_jumps_after_denoise(self, estimator, tw_walk_output):
+        est = estimator.estimate(tw_walk_output.spectra[0])
+        jumps = np.abs(np.diff(est.round_trip_m))
+        # Kalman-smoothed output must respect human motion limits
+        # (0.15 m per 12.5 ms frame = 6 m/s, with margin for relocks).
+        assert np.nanpercentile(jumps, 99) < 0.3
+
+    def test_interpolation_fills_everything(self, estimator, tw_walk_output):
+        est = estimator.estimate(tw_walk_output.spectra[0])
+        # Default config interpolates when static: no NaNs after start.
+        assert np.isfinite(est.round_trip_m).all()
+
+    def test_interpolation_can_be_disabled(self, tw_walk_output):
+        cfg = PipelineConfig(interpolate_when_static=False)
+        estimator = TOFEstimator(2.5e-3, tw_walk_output.range_bin_m, cfg)
+        est = estimator.estimate(tw_walk_output.spectra[0])
+        assert est.num_frames > 0  # still runs
+
+    def test_frame_cadence(self, estimator, tw_walk_output):
+        est = estimator.estimate(tw_walk_output.spectra[0])
+        assert np.allclose(np.diff(est.frame_times_s), 12.5e-3)
+
+    def test_valid_mask(self, estimator, tw_walk_output):
+        est = estimator.estimate(tw_walk_output.spectra[0])
+        assert est.valid_mask.any()
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            TOFEstimator(0.0, 0.177)
+        with pytest.raises(ValueError):
+            TOFEstimator(2.5e-3, -1.0)
+
+    def test_frame_duration(self):
+        est = TOFEstimator(2.5e-3, 0.177)
+        assert est.frame_duration_s == pytest.approx(12.5e-3)

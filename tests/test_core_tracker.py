@@ -1,0 +1,65 @@
+"""Tests for the WiTrack public API (end-to-end 3D tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracker import WiTrack
+from repro.sim.vicon import DepthCalibration
+
+
+@pytest.fixture(scope="module")
+def tw_track(tw_walk_output, config):
+    return WiTrack(config).track(
+        tw_walk_output.spectra, tw_walk_output.range_bin_m
+    )
+
+
+class TestTrack:
+    def test_positions_shape(self, tw_track):
+        assert tw_track.positions.shape == (tw_track.num_frames, 3)
+        assert tw_track.round_trips_m.shape == (3, tw_track.num_frames)
+
+    def test_mostly_valid(self, tw_track):
+        assert tw_track.valid_mask.mean() > 0.9
+
+    def test_median_error_sub_30cm(self, tw_track, tw_walk_output):
+        truth_centers = tw_walk_output.truth_at(tw_track.frame_times_s)
+        truth = DepthCalibration().compensate(
+            truth_centers, tw_walk_output.body.torso_depth_m
+        )
+        valid = tw_track.valid_mask
+        err = np.abs(tw_track.positions[valid] - truth[valid])
+        med = np.median(err, axis=0)
+        assert med[0] < 0.30 and med[1] < 0.30 and med[2] < 0.45
+
+    def test_positions_inside_room(self, tw_track, tw_walk_output):
+        valid = tw_track.valid_mask
+        pos = tw_track.positions[valid]
+        assert np.all(pos[:, 1] > 0)  # in front of the array
+        assert np.percentile(np.abs(pos[:, 0]), 95) < 4.5
+
+    def test_positions_at_interpolates(self, tw_track):
+        times = np.array([1.0, 2.0, 3.0])
+        pos = tw_track.positions_at(times)
+        assert pos.shape == (3, 3)
+
+    def test_motion_mask_mostly_true_during_walk(self, tw_track):
+        assert tw_track.motion_mask.mean() > 0.5
+
+
+class TestValidation:
+    def test_rejects_wrong_rank(self, config):
+        tracker = WiTrack(config)
+        with pytest.raises(ValueError):
+            tracker.track(np.zeros((10, 5)), 0.177)
+
+    def test_rejects_wrong_antenna_count(self, config, tw_walk_output):
+        tracker = WiTrack(config)
+        with pytest.raises(ValueError):
+            tracker.track(tw_walk_output.spectra[:2], tw_walk_output.range_bin_m)
+
+    def test_solver_method_selectable(self, config):
+        tracker = WiTrack(config, solver_method="least_squares")
+        from repro.core.localize import LeastSquaresSolver
+
+        assert isinstance(tracker.solver, LeastSquaresSolver)

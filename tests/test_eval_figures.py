@@ -1,0 +1,54 @@
+"""Smoke + shape tests for the per-figure data generators."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import (
+    FALL_ACTIVITIES,
+    fig3_tof_pipeline,
+    fig5_gesture,
+    fig6_fall_elevations,
+)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def data(self, config):
+        return fig3_tof_pipeline(seed=1, duration_s=8.0, config=config)
+
+    def test_panels_align(self, data):
+        assert data.subtracted.num_frames == data.raw.num_frames - 1
+        assert len(data.contour_m) == data.subtracted.num_frames
+        assert len(data.denoised_m) == len(data.truth_m)
+
+    def test_subtraction_removes_power(self, data):
+        assert data.subtracted.power.mean() < data.raw.power.mean()
+
+    def test_denoised_tracks_truth(self, data):
+        err = np.abs(data.denoised_m - data.truth_m)
+        assert np.nanmedian(err) < 0.2
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def data(self, config):
+        return fig5_gesture(seed=1, config=config)
+
+    def test_masks_disjoint(self, data):
+        assert not np.any(data.walk_frames & data.gesture_frames)
+
+    def test_extent_separation(self, data):
+        walk = np.nanmedian(data.extent_m[data.walk_frames])
+        arm_vals = data.extent_m[data.gesture_frames]
+        arm_vals = arm_vals[np.isfinite(arm_vals)]
+        assert arm_vals.size > 0
+        assert walk > np.median(arm_vals)
+
+
+class TestFig6:
+    def test_all_activities_present(self, config):
+        data = fig6_fall_elevations(seed=1, config=config)
+        assert set(data.traces) == set(FALL_ACTIVITIES)
+        for times, elevation in data.traces.values():
+            assert len(times) == len(elevation)
+            assert np.isfinite(elevation).mean() > 0.5

@@ -1,0 +1,99 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    classification_scores,
+    error_cdf,
+    per_dimension_errors,
+    summarize_errors,
+)
+
+
+class TestCdf:
+    def test_monotone(self):
+        cdf = error_cdf(np.random.default_rng(0).uniform(0, 1, 100))
+        assert np.all(np.diff(cdf.values) >= 0)
+        assert np.all(np.diff(cdf.fractions) > 0)
+        assert cdf.fractions[-1] == 1.0
+
+    def test_percentiles(self):
+        cdf = error_cdf(np.arange(101, dtype=float))
+        assert cdf.median == pytest.approx(50.0)
+        assert cdf.p90 == pytest.approx(90.0)
+
+    def test_fraction_below(self):
+        cdf = error_cdf(np.arange(10, dtype=float))
+        assert cdf.fraction_below(4.5) == pytest.approx(0.5)
+        assert cdf.fraction_below(100.0) == 1.0
+
+    def test_nans_dropped(self):
+        cdf = error_cdf(np.array([1.0, np.nan, 3.0]))
+        assert len(cdf.values) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            error_cdf(np.array([np.nan]))
+
+
+class TestSummaries:
+    def test_summary_values(self):
+        s = summarize_errors(np.arange(101, dtype=float))
+        assert s.median == pytest.approx(50.0)
+        assert s.p90 == pytest.approx(90.0)
+        assert s.mean == pytest.approx(50.0)
+        assert s.count == 101
+
+    def test_scaled(self):
+        s = summarize_errors(np.array([0.1, 0.2, 0.3])).scaled(100)
+        assert s.median == pytest.approx(20.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_errors(np.array([]))
+
+
+class TestClassificationScores:
+    def test_perfect(self):
+        s = classification_scores([True, False], [True, False])
+        assert s.precision == 1.0 and s.recall == 1.0 and s.f_measure == 1.0
+
+    def test_paper_like_numbers(self):
+        """Recreate Section 9.5's arithmetic: 33 falls, 31 detected,
+        1 false positive -> precision 31/32, recall 31/33."""
+        labels = [True] * 33 + [False] * 99
+        predictions = (
+            [True] * 31 + [False] * 2 + [True] * 1 + [False] * 98
+        )
+        s = classification_scores(predictions, labels)
+        assert s.precision == pytest.approx(31 / 32)
+        assert s.recall == pytest.approx(31 / 33)
+        assert s.f_measure == pytest.approx(0.9538, abs=1e-3)
+
+    def test_no_detections_precision_one(self):
+        s = classification_scores([False, False], [True, False])
+        assert s.precision == 1.0
+        assert s.recall == 0.0
+
+    def test_accuracy(self):
+        s = classification_scores(
+            [True, False, True, False], [True, False, False, True]
+        )
+        assert s.accuracy == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_scores([True], [True, False])
+
+
+class TestPerDimension:
+    def test_absolute_errors(self):
+        est = np.array([[1.0, 2.0, 3.0]])
+        truth = np.array([[0.5, 2.5, 3.0]])
+        err = per_dimension_errors(est, truth)
+        assert np.allclose(err, [[0.5, 0.5, 0.0]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            per_dimension_errors(np.zeros((2, 3)), np.zeros((3, 3)))

@@ -1,0 +1,53 @@
+"""Tests for text reporting helpers."""
+
+import numpy as np
+
+from repro.eval.metrics import error_cdf, summarize_errors
+from repro.eval.reporting import (
+    ascii_series,
+    format_table,
+    render_cdf,
+    render_summary_rows,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_contains_values(self):
+        table = format_table(["x"], [[42]])
+        assert "42" in table
+
+
+class TestRenderers:
+    def test_summary_rows(self):
+        s = summarize_errors(np.array([0.1, 0.2, 0.3]))
+        text = render_summary_rows(["x"], [s])
+        assert "20.0 cm" in text
+        assert "dimension" in text
+
+    def test_render_cdf(self):
+        cdf = error_cdf(np.linspace(0, 1, 101))
+        text = render_cdf(cdf)
+        assert "p50" in text
+        assert "50.0 cm" in text
+
+    def test_ascii_series(self):
+        x = np.linspace(0, 10, 50)
+        plot = ascii_series(x, np.sin(x), label="sine")
+        assert "sine" in plot
+        assert "*" in plot
+
+    def test_ascii_series_empty(self):
+        assert ascii_series(np.array([]), np.array([])) == "(no data)"
+
+    def test_ascii_series_handles_nan(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([1.0, np.nan, 3.0])
+        plot = ascii_series(x, y)
+        assert "*" in plot

@@ -1,0 +1,78 @@
+"""Tests for antenna and array geometry."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArrayConfig
+from repro.geometry.antennas import Antenna, AntennaArray, t_array
+from repro.geometry.vec import Vec3
+
+
+class TestAntenna:
+    def test_boresight_gain_is_one(self):
+        ant = Antenna(position=Vec3(0, 0, 0))
+        assert np.isclose(ant.gain_towards(Vec3(0, 5, 0)), 1.0)
+
+    def test_gain_falls_off_axis(self):
+        ant = Antenna(position=Vec3(0, 0, 0), beam_exponent=2.0)
+        on_axis = ant.gain_towards(Vec3(0, 5, 0))
+        off_axis = ant.gain_towards(Vec3(3, 5, 0))
+        assert off_axis < on_axis
+
+    def test_nothing_behind_the_antenna(self):
+        ant = Antenna(position=Vec3(0, 0, 0))
+        assert ant.gain_towards(Vec3(0, -1, 0)) == 0.0
+        assert not ant.in_beam(Vec3(1, -2, 0))
+
+    def test_gain_at_own_position(self):
+        ant = Antenna(position=Vec3(0, 0, 0))
+        assert ant.gain_towards(Vec3(0, 0, 0)) == 1.0
+
+    def test_narrower_beam_with_higher_exponent(self):
+        target = Vec3(2, 5, 0)
+        wide = Antenna(position=Vec3(0, 0, 0), beam_exponent=1.0)
+        narrow = Antenna(position=Vec3(0, 0, 0), beam_exponent=6.0)
+        assert narrow.gain_towards(target) < wide.gain_towards(target)
+
+
+class TestTArray:
+    def test_default_layout(self):
+        arr = t_array()
+        assert arr.num_receivers == 3
+        rx = arr.rx_positions
+        assert np.allclose(rx[0], [-1, 0, 0])
+        assert np.allclose(rx[1], [1, 0, 0])
+        assert np.allclose(rx[2], [0, 0, -1])
+        assert np.allclose(arr.tx.position, [0, 0, 0])
+
+    def test_custom_separation(self):
+        arr = t_array(ArrayConfig(separation_m=0.25))
+        assert np.allclose(arr.rx_positions[1], [0.25, 0, 0])
+
+    def test_extra_receivers(self):
+        arr = t_array(ArrayConfig(num_receivers=5))
+        assert arr.num_receivers == 5
+
+    def test_too_many_receivers_rejected(self):
+        with pytest.raises(ValueError):
+            t_array(ArrayConfig(num_receivers=7))
+
+    def test_round_trip_distances_match_hand_calc(self):
+        arr = t_array()
+        p = Vec3(0, 4, 0)
+        k = arr.round_trip_distances(p)
+        d_tx = 4.0
+        d_rx1 = np.sqrt(1 + 16)
+        assert np.isclose(k[0], d_tx + d_rx1)
+        assert np.isclose(k[1], d_tx + d_rx1)  # symmetric
+        assert np.isclose(k[2], d_tx + np.sqrt(16 + 1))
+
+    def test_in_beam_requires_all_antennas(self):
+        arr = t_array()
+        assert arr.in_beam(Vec3(0, 5, 0))
+        assert not arr.in_beam(Vec3(0, -5, 0))
+
+    def test_requires_three_receivers(self):
+        tx = Antenna(position=Vec3(0, 0, 0))
+        with pytest.raises(ValueError):
+            AntennaArray(tx=tx, rx=(tx, tx))

@@ -1,0 +1,79 @@
+"""Tests for the ellipsoid algebra behind Section 5."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.ellipsoid import (
+    Ellipsoid,
+    ellipse_points_2d,
+    round_trip_distance,
+)
+from repro.geometry.vec import Vec3
+
+
+@pytest.fixture
+def ellipsoid() -> Ellipsoid:
+    return Ellipsoid(
+        focus_a=Vec3(0, 0, 0), focus_b=Vec3(1, 0, 0), major_axis=4.0
+    )
+
+
+class TestConstruction:
+    def test_rejects_major_axis_below_focal_distance(self):
+        with pytest.raises(ValueError):
+            Ellipsoid(Vec3(0, 0, 0), Vec3(2, 0, 0), major_axis=1.5)
+
+    def test_semi_axes(self, ellipsoid):
+        assert np.isclose(ellipsoid.semi_major, 2.0)
+        # b = sqrt(a^2 - c^2) with c = 0.5.
+        assert np.isclose(ellipsoid.semi_minor, np.sqrt(4.0 - 0.25))
+
+    def test_eccentricity_in_range(self, ellipsoid):
+        assert 0.0 < ellipsoid.eccentricity < 1.0
+
+    def test_center_is_midpoint(self, ellipsoid):
+        assert np.allclose(ellipsoid.center, [0.5, 0, 0])
+
+
+class TestSurface:
+    def test_point_at_lies_on_surface(self, ellipsoid):
+        for theta in np.linspace(0.1, np.pi - 0.1, 7):
+            for phi in np.linspace(0, 2 * np.pi, 5):
+                p = ellipsoid.point_at(theta, phi)
+                assert ellipsoid.contains(p, tol_m=1e-9)
+
+    def test_residual_sign(self, ellipsoid):
+        outside = Vec3(10, 10, 10)
+        inside = ellipsoid.center
+        assert ellipsoid.residual(outside) > 0
+        assert ellipsoid.residual(inside) < 0
+
+    def test_round_trip_distance_is_the_constraint(self, ellipsoid):
+        p = ellipsoid.point_at(1.0, 2.0)
+        total = round_trip_distance(ellipsoid.focus_a, p, ellipsoid.focus_b)
+        assert np.isclose(total, ellipsoid.major_axis)
+
+    def test_squashing_with_separation(self):
+        """Fig. 10 intuition: larger focal separation at fixed major axis
+        shrinks the semi-minor axis (smaller solution region)."""
+        small = Ellipsoid(Vec3(0, 0, 0), Vec3(0.25, 0, 0), 4.0)
+        large = Ellipsoid(Vec3(0, 0, 0), Vec3(2.0, 0, 0), 4.0)
+        assert large.semi_minor < small.semi_minor
+
+
+class TestEllipse2D:
+    def test_points_satisfy_focal_sum(self):
+        fa, fb, k = Vec3(-1, 0, 0), Vec3(1, 0, 0), 5.0
+        pts = ellipse_points_2d(fa, fb, k, num_points=100)
+        sums = np.linalg.norm(pts - fa[:2], axis=1) + np.linalg.norm(
+            pts - fb[:2], axis=1
+        )
+        assert np.allclose(sums, k, atol=1e-9)
+
+    def test_rejects_short_major_axis(self):
+        with pytest.raises(ValueError):
+            ellipse_points_2d(Vec3(-1, 0, 0), Vec3(1, 0, 0), 1.0)
+
+    def test_shape(self):
+        pts = ellipse_points_2d(Vec3(-1, 0, 0), Vec3(1, 0, 0), 5.0, 64)
+        assert pts.shape == (64, 2)

@@ -1,0 +1,84 @@
+"""Tests for the vector helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import (
+    Vec3,
+    angle_between_deg,
+    centroid,
+    direction,
+    distance,
+    norm,
+    project_onto_plane,
+    rotate_about_z,
+    unit,
+)
+
+
+class TestBasics:
+    def test_vec3_builds_float64(self):
+        v = Vec3(1, 2, 3)
+        assert v.dtype == np.float64
+        assert v.shape == (3,)
+
+    def test_norm(self):
+        assert np.isclose(norm(Vec3(3, 4, 0)), 5.0)
+
+    def test_distance_broadcasts(self):
+        pts = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        d = distance(pts, Vec3(0, 0, 0))
+        assert np.allclose(d, [1.0, 2.0])
+
+    def test_unit_rejects_zero(self):
+        with pytest.raises(ValueError):
+            unit(Vec3(0, 0, 0))
+
+    def test_unit_has_norm_one(self):
+        u = unit(Vec3(2, -3, 6))
+        assert np.isclose(np.linalg.norm(u), 1.0)
+
+    def test_direction(self):
+        d = direction(Vec3(0, 0, 0), Vec3(0, 5, 0))
+        assert np.allclose(d, [0, 1, 0])
+
+
+class TestAngles:
+    def test_orthogonal_is_90(self):
+        assert np.isclose(angle_between_deg(Vec3(1, 0, 0), Vec3(0, 1, 0)), 90.0)
+
+    def test_parallel_is_0(self):
+        angle = angle_between_deg(Vec3(1, 1, 0), Vec3(2, 2, 0))
+        assert angle == pytest.approx(0.0, abs=1e-4)
+
+    def test_antiparallel_is_180(self):
+        assert np.isclose(angle_between_deg(Vec3(1, 0, 0), Vec3(-1, 0, 0)), 180.0)
+
+    def test_clipping_handles_numerical_overshoot(self):
+        v = unit(Vec3(0.1, 0.2, 0.3))
+        assert angle_between_deg(v, v) == pytest.approx(0.0, abs=1e-5)
+
+
+class TestHelpers:
+    def test_centroid(self):
+        c = centroid([Vec3(0, 0, 0), Vec3(2, 2, 2)])
+        assert np.allclose(c, [1, 1, 1])
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_project_onto_plane_removes_normal_component(self):
+        v = Vec3(1, 2, 3)
+        p = project_onto_plane(v, Vec3(0, 0, 1))
+        assert np.allclose(p, [1, 2, 0])
+
+    def test_rotation_preserves_norm(self):
+        v = Vec3(1, 2, 3)
+        r = rotate_about_z(v, 0.7)
+        assert np.isclose(np.linalg.norm(r), np.linalg.norm(v))
+        assert np.isclose(r[2], v[2])
+
+    def test_rotation_quarter_turn(self):
+        r = rotate_about_z(Vec3(1, 0, 0), np.pi / 2)
+        assert np.allclose(r, [0, 1, 0], atol=1e-12)

@@ -1,0 +1,109 @@
+"""End-to-end integration tests, including the paper's limitations."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArrayConfig, default_config
+from repro.core.tracker import WiTrack
+from repro.geometry.antennas import t_array
+from repro.sim.motion import stand_still, waypoint_walk
+from repro.sim.room import through_wall_room
+from repro.sim.scenario import Scenario
+from repro.sim.vicon import DepthCalibration
+
+
+class TestEndToEnd:
+    def test_through_wall_tracking_shape(self, tw_walk_output, config):
+        """The headline result: y best, z worst (Section 9.1)."""
+        out = tw_walk_output
+        track = WiTrack(config).track(out.spectra, out.range_bin_m)
+        valid = track.valid_mask
+        truth = DepthCalibration().compensate(
+            out.truth_at(track.frame_times_s), out.body.torso_depth_m
+        )
+        err = np.abs(track.positions[valid] - truth[valid])
+        med = np.median(err, axis=0)
+        assert med[1] <= med[0] + 0.03  # y no worse than x
+        assert med[2] >= med[1]         # z worst
+
+    def test_four_antenna_overconstrained_tracking(self):
+        """Section 5 note: >3 Rx antennas also work (least squares)."""
+        cfg = default_config().replace(array=ArrayConfig(num_receivers=4))
+        room = through_wall_room()
+        walk = waypoint_walk(
+            np.array([[0.0, 4.0], [1.5, 5.5], [0.0, 6.5]])
+        )
+        out = Scenario(walk, room=room, config=cfg, seed=11).run()
+        track = WiTrack(cfg, solver_method="least_squares").track(
+            out.spectra[:, ::1, :], out.range_bin_m
+        )
+        assert track.round_trips_m.shape[0] == 4
+        valid = track.valid_mask
+        assert valid.mean() > 0.5
+        truth = out.truth_at(track.frame_times_s)
+        err = np.linalg.norm(track.positions[valid] - truth[valid], axis=1)
+        assert np.median(err) < 0.6
+
+
+class TestPaperLimitations:
+    def test_static_user_is_invisible(self, config):
+        """Section 10: 'WiTrack needs the user to move in order to locate
+        her' — a never-moving user produces no motion detections."""
+        room = through_wall_room()
+        still = stand_still(np.array([0.5, 4.0, 0.0]), duration_s=5.0)
+        out = Scenario(still, room=room, config=config, seed=12).run()
+        track = WiTrack(config).track(out.spectra, out.range_bin_m)
+        assert track.motion_mask.mean() < 0.1
+
+    def test_user_found_again_after_pause(self, config):
+        """Interpolation holds the position through a pause, and the
+        track relocks when motion resumes (Section 4.4)."""
+        from repro.sim.motion import Trajectory
+
+        walk1 = waypoint_walk(np.array([[0.0, 4.0], [1.0, 5.0]]))
+        pause = stand_still(np.array([1.0, 5.0, 0.0]), duration_s=3.0)
+        walk2 = waypoint_walk(np.array([[1.0, 5.0], [0.0, 6.0]]))
+        t = [walk1.times_s]
+        p = [walk1.positions]
+        offset = walk1.times_s[-1]
+        for seg in (pause, walk2):
+            t.append(seg.times_s[1:] + offset + seg.dt_s)
+            p.append(seg.positions[1:])
+            offset = t[-1][-1]
+        combined = Trajectory(np.concatenate(t), np.vstack(p))
+
+        room = through_wall_room()
+        out = Scenario(combined, room=room, config=config, seed=13).run()
+        track = WiTrack(config).track(out.spectra, out.range_bin_m)
+        truth = out.truth_at(track.frame_times_s)
+        valid = track.valid_mask
+        err = np.linalg.norm(track.positions[valid] - truth[valid], axis=1)
+        # Even with the pause, overall tracking stays coherent.
+        assert np.median(err) < 0.6
+        # And the final stretch (after relock) is accurate again.
+        tail = slice(-40, None)
+        tail_err = np.linalg.norm(
+            (track.positions - truth)[tail][track.valid_mask[tail]], axis=1
+        )
+        assert np.median(tail_err) < 0.7
+
+
+class TestRealtimeConsistency:
+    def test_streaming_equals_batch_round_trips(self, tw_walk_output, config):
+        """The streaming pipeline implements the same math as batch:
+        their TOF tracks must agree closely."""
+        from repro.apps.realtime import RealtimeTracker
+
+        out = tw_walk_output
+        batch = WiTrack(config).track(out.spectra, out.range_bin_m)
+        rt = RealtimeTracker(config, range_bin_m=out.range_bin_m)
+        stream_positions = rt.run(out.spectra)
+        n = min(len(stream_positions), batch.num_frames)
+        both = (
+            np.isfinite(stream_positions[:n]).all(axis=1)
+            & batch.valid_mask[:n]
+        )
+        gap = np.linalg.norm(
+            stream_positions[:n][both] - batch.positions[:n][both], axis=1
+        )
+        assert np.median(gap) < 0.3

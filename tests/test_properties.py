@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interpolation import interpolate_gaps
+from repro.core.kalman import smooth_series
+from repro.core.localize import TGeometrySolver
+from repro.core.outliers import reject_outliers
+from repro.core.regression import theil_sen
+from repro.eval.metrics import classification_scores, error_cdf
+from repro.geometry.antennas import t_array
+from repro.geometry.ellipsoid import Ellipsoid
+from repro.geometry.vec import Vec3
+
+
+finite = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def in_beam_points(draw):
+    """Points inside the beam of the default T array."""
+    x = draw(st.floats(min_value=-4.0, max_value=4.0))
+    y = draw(st.floats(min_value=1.5, max_value=12.0))
+    z = draw(st.floats(min_value=-0.95, max_value=2.0))
+    return np.array([x, y, z])
+
+
+class TestLocalizationRoundTrip:
+    @given(point=in_beam_points())
+    @settings(max_examples=200, deadline=None)
+    def test_solve_inverts_forward_model(self, point):
+        """For any in-beam point, solving its exact round trips recovers
+        it: the closed form is a true inverse of the geometry."""
+        array = t_array()
+        solver = TGeometrySolver(array, min_y_m=0.05)
+        k = array.round_trip_distances(point)
+        recovered = solver.solve_one(k)
+        assert np.all(np.isfinite(recovered))
+        assert np.allclose(recovered, point, atol=1e-6)
+
+    @given(point=in_beam_points(), eps=st.floats(min_value=0, max_value=0.01))
+    @settings(max_examples=100, deadline=None)
+    def test_small_noise_small_error(self, point, eps):
+        """Lipschitz-style sanity: centimeter TOF noise cannot produce
+        multi-meter position error at moderate range."""
+        array = t_array()
+        solver = TGeometrySolver(array, min_y_m=0.05)
+        k = array.round_trip_distances(point) + eps
+        recovered = solver.solve_one(k)
+        if np.all(np.isfinite(recovered)):
+            assert np.linalg.norm(recovered - point) < 3.0
+
+
+class TestEllipsoidInvariants:
+    @given(
+        major=st.floats(min_value=2.1, max_value=40.0),
+        theta=st.floats(min_value=0.0, max_value=np.pi),
+        phi=st.floats(min_value=0.0, max_value=2 * np.pi),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_surface_points_satisfy_constraint(self, major, theta, phi):
+        e = Ellipsoid(Vec3(0, 0, 0), Vec3(2, 0, 0), major)
+        p = e.point_at(theta, phi)
+        assert abs(e.residual(p)) < 1e-8
+
+
+class TestDenoiseInvariants:
+    @given(
+        st.lists(
+            st.one_of(finite, st.just(float("nan"))), min_size=3, max_size=80
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_outlier_rejection_never_invents_values(self, values):
+        series = np.asarray(values)
+        out = reject_outliers(series, max_jump_m=0.5)
+        kept = np.isfinite(out)
+        assert np.all(out[kept] == series[kept])
+
+    @given(
+        st.lists(
+            st.one_of(finite, st.just(float("nan"))), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_interpolation_output_values_come_from_input(self, values):
+        series = np.asarray(values)
+        out = interpolate_gaps(series)
+        input_values = set(series[np.isfinite(series)].tolist())
+        for v in out[np.isfinite(out)]:
+            assert v in input_values
+
+    @given(
+        st.lists(finite, min_size=5, max_size=60),
+        st.floats(min_value=1e-3, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_kalman_output_finite_for_finite_input(self, values, dt):
+        out = smooth_series(np.asarray(values), dt)
+        assert np.all(np.isfinite(out))
+
+
+class TestRegressionInvariants:
+    @given(
+        slope=st.floats(min_value=-5, max_value=5),
+        intercept=st.floats(min_value=-5, max_value=5),
+        n=st.integers(min_value=3, max_value=40),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_theil_sen_exact_on_lines(self, slope, intercept, n):
+        x = np.linspace(0.0, 1.0, n)
+        fit = theil_sen(x, slope * x + intercept)
+        assert np.isclose(fit.slope, slope, atol=1e-7)
+        assert np.isclose(fit.intercept, intercept, atol=1e-7)
+
+
+class TestMetricInvariants:
+    @given(st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_quantiles_ordered(self, values):
+        cdf = error_cdf(np.asarray(values))
+        assert cdf.median <= cdf.p90 + 1e-12
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=100
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scores_bounded(self, pairs):
+        preds = [p for p, _ in pairs]
+        labels = [l for _, l in pairs]
+        s = classification_scores(preds, labels)
+        for value in (s.precision, s.recall, s.f_measure, s.accuracy):
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,108 @@
+"""Tests for FMCW chirp math (Eq. 1-4 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import FMCWConfig
+from repro.rf.fmcw import (
+    beat_frequency,
+    dirichlet_kernel,
+    range_axis,
+    round_trip_from_beat,
+    sweep_instantaneous_frequency,
+)
+
+
+@pytest.fixture
+def cfg() -> FMCWConfig:
+    return FMCWConfig()
+
+
+class TestBeatFrequency:
+    def test_eq1_forward(self, cfg):
+        # TOF = delta_f / slope  <=>  delta_f = slope * TOF.
+        rt = 10.0
+        tof = rt / constants.SPEED_OF_LIGHT
+        assert np.isclose(beat_frequency(rt, cfg), cfg.slope_hz_per_s * tof)
+
+    def test_inverse(self, cfg):
+        rt = 17.3
+        assert np.isclose(round_trip_from_beat(beat_frequency(rt, cfg), cfg), rt)
+
+    def test_vectorized(self, cfg):
+        rts = np.array([1.0, 5.0, 20.0])
+        beats = beat_frequency(rts, cfg)
+        assert beats.shape == (3,)
+        assert np.all(np.diff(beats) > 0)
+
+    def test_one_bin_is_one_resolution_cell(self, cfg):
+        # One FFT bin (1/T_sweep) corresponds to C/B of round trip,
+        # i.e. 2x the Eq. 3 one-way resolution.
+        bin_hz = 1.0 / cfg.sweep_duration_s
+        rt = round_trip_from_beat(bin_hz, cfg)
+        assert np.isclose(rt / 2.0, cfg.range_resolution_m)
+
+
+class TestRangeAxis:
+    def test_bin_spacing(self, cfg):
+        axis = range_axis(cfg)
+        assert np.isclose(axis.bin_spacing_hz, 400.0)
+        assert np.isclose(axis.round_trip_per_bin_m, 2 * 0.0887, atol=1e-3)
+
+    def test_bin_round_trip_inverse(self, cfg):
+        axis = range_axis(cfg)
+        assert np.isclose(axis.round_trip_of(axis.bin_of(12.0)), 12.0)
+
+    def test_crop_bins(self, cfg):
+        axis = range_axis(cfg)
+        n = axis.crop_bins(30.0)
+        assert axis.round_trips_m[n - 1] >= 30.0
+        assert axis.round_trips_m[n - 2] < 30.0 + axis.round_trip_per_bin_m
+
+    def test_crop_never_exceeds_total(self, cfg):
+        axis = range_axis(cfg)
+        assert axis.crop_bins(1e9) == axis.num_bins
+
+    def test_num_bins(self, cfg):
+        assert range_axis(cfg).num_bins == 2500 // 2 + 1
+
+
+class TestDirichletKernel:
+    def test_unity_at_zero(self):
+        assert np.isclose(np.abs(dirichlet_kernel(np.array([0.0]), 2500))[0], 1.0)
+
+    def test_zero_at_integers(self):
+        vals = dirichlet_kernel(np.array([1.0, 2.0, -3.0]), 2500)
+        assert np.all(np.abs(vals) < 1e-12)
+
+    def test_sidelobe_level(self):
+        # First sidelobe of the Dirichlet kernel is about -13.3 dB.
+        val = np.abs(dirichlet_kernel(np.array([1.5]), 2500))[0]
+        assert 0.2 < val < 0.25
+
+    def test_matches_explicit_dft(self):
+        n = 64
+        frac = 3.37
+        x = np.exp(2j * np.pi * frac * np.arange(n) / n)
+        spectrum = np.fft.fft(x) / n
+        bins = np.arange(8)
+        expected = spectrum[:8]
+        got = dirichlet_kernel(bins - frac, n)
+        assert np.allclose(got, expected, atol=1e-12)
+
+
+class TestSweepNonlinearity:
+    def test_linear_sweep_endpoints(self, cfg):
+        t = np.array([0.0, cfg.sweep_duration_s])
+        f = sweep_instantaneous_frequency(t, cfg)
+        assert np.isclose(f[0], cfg.start_hz)
+        assert np.isclose(f[1], cfg.end_hz)
+
+    def test_bow_peaks_mid_sweep(self, cfg):
+        t = np.linspace(0, cfg.sweep_duration_s, 101)
+        f_lin = sweep_instantaneous_frequency(t, cfg, nonlinearity=0.0)
+        f_bow = sweep_instantaneous_frequency(t, cfg, nonlinearity=1e-3)
+        deviation = f_bow - f_lin
+        assert np.argmax(deviation) == 50
+        assert np.isclose(deviation.max(), 1e-3 * cfg.bandwidth_hz)

@@ -1,0 +1,128 @@
+"""Tests for the exact time-domain front-end model."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import FMCWConfig
+from repro.rf.frontend import (
+    TimeDomainPath,
+    adc_quantize,
+    high_pass_filter,
+    sweep_spectrum,
+    synthesize_sweep_time_domain,
+    vco_phase,
+)
+
+
+@pytest.fixture
+def cfg() -> FMCWConfig:
+    return FMCWConfig()
+
+
+class TestVCO:
+    def test_phase_derivative_is_instantaneous_frequency(self, cfg):
+        t = np.linspace(0, cfg.sweep_duration_s, 10001)
+        phase = vco_phase(t, cfg)
+        freq = np.diff(phase) / np.diff(t) / (2 * np.pi)
+        mid = len(freq) // 2
+        # Finite difference approximates frequency between samples.
+        t_mid = (t[mid] + t[mid + 1]) / 2.0
+        expected_mid = cfg.start_hz + cfg.slope_hz_per_s * t_mid
+        assert np.isclose(freq[mid], expected_mid, rtol=1e-6)
+
+    def test_nonlinearity_perturbs_phase(self, cfg):
+        t = np.linspace(0, cfg.sweep_duration_s, 100)
+        clean = vco_phase(t, cfg, nonlinearity=0.0)
+        bowed = vco_phase(t, cfg, nonlinearity=1e-3)
+        assert not np.allclose(clean, bowed)
+
+
+class TestSweepSynthesis:
+    def test_beat_tone_lands_on_expected_bin(self, cfg):
+        rt = 12.0
+        samples = synthesize_sweep_time_domain([TimeDomainPath(rt, 1.0)], cfg)
+        spectrum = sweep_spectrum(samples)
+        beat = cfg.beat_frequency_for_round_trip(rt)
+        expected_bin = beat * cfg.sweep_duration_s
+        peak = int(np.argmax(np.abs(spectrum)))
+        assert abs(peak - expected_bin) <= 1
+
+    def test_two_reflectors_two_peaks(self, cfg):
+        paths = [TimeDomainPath(6.0, 1.0), TimeDomainPath(14.0, 0.7)]
+        spectrum = sweep_spectrum(synthesize_sweep_time_domain(paths, cfg))
+        mags = np.abs(spectrum)
+        b1 = cfg.beat_frequency_for_round_trip(6.0) * cfg.sweep_duration_s
+        b2 = cfg.beat_frequency_for_round_trip(14.0) * cfg.sweep_duration_s
+        assert mags[round(b1)] > 0.5
+        assert mags[round(b2)] > 0.35
+
+    def test_noise_requires_rng(self, cfg):
+        with pytest.raises(ValueError):
+            synthesize_sweep_time_domain([], cfg, noise_std=1.0)
+
+    def test_amplitude_preserved_at_peak(self, cfg):
+        # Place a tone exactly on a bin: peak magnitude equals amplitude.
+        axis_bin = 1.0 / cfg.sweep_duration_s
+        rt = cfg.round_trip_for_beat_frequency(50 * axis_bin)
+        spectrum = sweep_spectrum(
+            synthesize_sweep_time_domain([TimeDomainPath(rt, 2.5)], cfg)
+        )
+        assert np.isclose(np.abs(spectrum[50]), 2.5, rtol=1e-3)
+
+
+class TestHighPassFilter:
+    def test_suppresses_near_dc(self, cfg):
+        n = cfg.samples_per_sweep
+        t = np.arange(n) / cfg.sample_rate_hz
+        low = np.exp(2j * np.pi * 200.0 * t)  # below the 1 kHz cutoff
+        high = np.exp(2j * np.pi * 20000.0 * t)  # well above
+        low_out = high_pass_filter(low, cfg)
+        high_out = high_pass_filter(high, cfg)
+        assert np.mean(np.abs(low_out[n // 2 :])) < 0.15
+        assert np.mean(np.abs(high_out[n // 2 :])) > 0.9
+
+
+class TestADC:
+    def test_quantization_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000) + 1j * rng.normal(size=1000)
+        q = adc_quantize(x, bits=12, full_scale=5.0)
+        step = 5.0 / 2**11
+        inside = np.abs(x.real) < 4.9
+        assert np.all(np.abs(q.real - x.real)[inside] <= step / 2 + 1e-12)
+
+    def test_clipping(self):
+        x = np.array([100.0 + 0j])
+        q = adc_quantize(x, bits=8, full_scale=1.0)
+        assert q[0].real <= 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            adc_quantize(np.zeros(4, dtype=complex), bits=0, full_scale=1.0)
+        with pytest.raises(ValueError):
+            adc_quantize(np.zeros(4, dtype=complex), bits=8, full_scale=0.0)
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(scale=0.3, size=2000) + 0j
+        err4 = np.abs(adc_quantize(x, 4, 1.0) - x).mean()
+        err12 = np.abs(adc_quantize(x, 12, 1.0) - x).mean()
+        assert err12 < err4 / 10
+
+
+class TestWindowing:
+    def test_hann_suppresses_sidelobes(self, cfg):
+        rt = 10.07  # deliberately off-bin
+        samples = synthesize_sweep_time_domain([TimeDomainPath(rt, 1.0)], cfg)
+        rect = np.abs(sweep_spectrum(samples, window="rect"))
+        hann = np.abs(sweep_spectrum(samples, window="hann"))
+        peak = int(np.argmax(hann))
+        # 6 bins off the peak the Hann response must be far below rect's.
+        assert hann[peak - 6] < rect[peak - 6]
+        assert hann[peak - 6] / hann[peak] < 10 ** (-35 / 20)
+
+    def test_unknown_window_rejected(self, cfg):
+        samples = synthesize_sweep_time_domain([TimeDomainPath(5.0, 1.0)], cfg)
+        with pytest.raises(ValueError):
+            sweep_spectrum(samples, window="kaiser")

@@ -1,0 +1,80 @@
+"""Tests for static clutter and image-method multipath."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec3
+from repro.rf.multipath import (
+    StaticClutter,
+    default_side_walls,
+    make_static_clutter,
+    mirror_images,
+    mirror_point,
+)
+
+
+class TestStaticClutter:
+    def test_clutter_is_stronger_than_human(self):
+        rng = np.random.default_rng(0)
+        clutter = make_static_clutter(rng, 30, human_amplitude=1.0)
+        # "reflections from walls and furniture are much stronger than
+        # reflections from a human" (Section 4.2): 10-30 dB.
+        assert np.all(clutter.amplitudes >= 10 ** (10 / 20) * 0.999)
+        assert np.all(clutter.amplitudes <= 10 ** (30 / 20) * 1.001)
+
+    def test_round_trips_sorted_and_in_range(self):
+        rng = np.random.default_rng(1)
+        clutter = make_static_clutter(
+            rng, 20, min_round_trip_m=2.0, max_round_trip_m=28.0
+        )
+        assert np.all(np.diff(clutter.round_trips_m) >= 0)
+        assert clutter.round_trips_m.min() >= 2.0
+        assert clutter.round_trips_m.max() <= 28.0
+
+    def test_zero_reflectors(self):
+        clutter = make_static_clutter(np.random.default_rng(2), 0)
+        assert clutter.num_reflectors == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            StaticClutter(
+                round_trips_m=np.array([1.0]),
+                amplitudes=np.array([1.0, 2.0]),
+                phases_rad=np.array([0.0]),
+            )
+
+
+class TestMirrorImages:
+    def test_mirror_point_basic(self):
+        p = mirror_point(Vec3(1, 2, 3), Vec3(0, 5, 0), Vec3(0, 1, 0))
+        assert np.allclose(p, [1, 8, 3])
+
+    def test_mirror_is_involution(self):
+        wall_point, wall_normal = Vec3(2, 0, 0), Vec3(1, 0, 0)
+        p = Vec3(0.3, 1.7, -0.4)
+        twice = mirror_point(
+            mirror_point(p, wall_point, wall_normal), wall_point, wall_normal
+        )
+        assert np.allclose(twice, p)
+
+    def test_image_path_never_shorter_than_direct(self):
+        """The invariant the bottom-contour tracker relies on (4.3):
+        a bounce path is at least as long as the direct path."""
+        rng = np.random.default_rng(3)
+        rx = Vec3(1, 0, 0)
+        walls = default_side_walls()
+        images = mirror_images(rx, walls)
+        for _ in range(200):
+            body = Vec3(
+                rng.uniform(-3.5, 3.5), rng.uniform(0.5, 11.0),
+                rng.uniform(-1, 1),
+            )
+            direct = np.linalg.norm(body - rx)
+            for image in images:
+                bounced = np.linalg.norm(body - image.image_position)
+                assert bounced >= direct - 1e-9
+
+    def test_one_image_per_wall(self):
+        images = mirror_images(Vec3(0, 0, 0), default_side_walls())
+        assert len(images) == 3
+        assert {i.wall_name for i in images} == {"left", "right", "back"}

@@ -1,0 +1,65 @@
+"""Tests for the receiver noise model."""
+
+import numpy as np
+import pytest
+
+from repro.rf.noise import (
+    NoiseModel,
+    db_to_amplitude,
+    db_to_power,
+    power_to_db,
+)
+
+
+class TestConversions:
+    def test_db_power_roundtrip(self):
+        assert np.isclose(db_to_power(power_to_db(42.0)), 42.0)
+
+    def test_3db_doubles_power(self):
+        assert np.isclose(db_to_power(3.0103), 2.0, atol=1e-3)
+
+    def test_amplitude_vs_power(self):
+        # 20 dB is 10x amplitude, 100x power.
+        assert np.isclose(db_to_amplitude(20.0), 10.0)
+        assert np.isclose(db_to_power(20.0), 100.0)
+
+
+class TestNoiseModel:
+    def test_noise_power_scales_with_figure(self):
+        quiet = NoiseModel(noise_figure_db=3.0)
+        loud = NoiseModel(noise_figure_db=13.0)
+        assert np.isclose(loud.noise_power_w / quiet.noise_power_w, 10.0)
+
+    def test_noise_power_scales_with_bandwidth(self):
+        narrow = NoiseModel(bandwidth_hz=400.0)
+        wide = NoiseModel(bandwidth_hz=4000.0)
+        assert np.isclose(wide.noise_power_w / narrow.noise_power_w, 10.0)
+
+    def test_complex_noise_statistics(self):
+        model = NoiseModel()
+        rng = np.random.default_rng(0)
+        samples = model.complex_noise((200, 500), rng)
+        measured = np.mean(np.abs(samples) ** 2)
+        assert np.isclose(measured, model.noise_power_w, rtol=0.05)
+
+    def test_complex_noise_is_circular(self):
+        model = NoiseModel()
+        rng = np.random.default_rng(1)
+        samples = model.complex_noise((100000,), rng)
+        # Real and imaginary parts carry equal power.
+        assert np.isclose(
+            np.var(samples.real), np.var(samples.imag), rtol=0.05
+        )
+
+    def test_phase_jitter_unit_magnitude(self):
+        model = NoiseModel(phase_noise_std_rad=0.01)
+        rng = np.random.default_rng(2)
+        jitter = model.phase_jitter((1000,), rng)
+        assert np.allclose(np.abs(jitter), 1.0)
+        assert np.std(np.angle(jitter)) == pytest.approx(0.01, rel=0.1)
+
+    def test_snr_db(self):
+        model = NoiseModel()
+        assert np.isclose(
+            model.snr_db(model.noise_power_w * 100.0), 20.0
+        )

@@ -1,0 +1,114 @@
+"""Tests for the radar equation and wall-attenuation accounting."""
+
+import numpy as np
+import pytest
+
+from repro.config import FMCWConfig
+from repro.geometry.antennas import Antenna
+from repro.geometry.vec import Vec3
+from repro.rf.propagation import (
+    Wall,
+    path_phase,
+    radar_amplitude,
+    resolve_path,
+    wall_crossings,
+    wavelength,
+)
+
+
+@pytest.fixture
+def cfg() -> FMCWConfig:
+    return FMCWConfig()
+
+
+class TestRadarEquation:
+    def test_inverse_square_per_leg(self):
+        base = dict(
+            tx_power_w=1e-3, gain_tx=1, gain_rx=1, rcs_m2=1.0,
+            wavelength_m=0.05,
+        )
+        near = radar_amplitude(d_tx_m=2.0, d_rx_m=2.0, **base)
+        far = radar_amplitude(d_tx_m=4.0, d_rx_m=4.0, **base)
+        # Power falls as d^-4, amplitude as d^-2: doubling both legs
+        # quarters the amplitude.
+        assert np.isclose(near / far, 4.0)
+
+    def test_rcs_scales_amplitude_as_sqrt(self):
+        base = dict(
+            tx_power_w=1e-3, gain_tx=1, gain_rx=1, d_tx_m=3.0, d_rx_m=3.0,
+            wavelength_m=0.05,
+        )
+        small = radar_amplitude(rcs_m2=0.25, **base)
+        big = radar_amplitude(rcs_m2=1.0, **base)
+        assert np.isclose(big / small, 2.0)
+
+    def test_loss_db(self):
+        base = dict(
+            tx_power_w=1e-3, gain_tx=1, gain_rx=1, d_tx_m=3.0, d_rx_m=3.0,
+            rcs_m2=1.0, wavelength_m=0.05,
+        )
+        clean = radar_amplitude(extra_loss_db=0.0, **base)
+        lossy = radar_amplitude(extra_loss_db=20.0, **base)
+        assert np.isclose(clean / lossy, 10.0)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            radar_amplitude(1e-3, 1, 1, 0.0, 2.0, 1.0, 0.05)
+
+
+class TestWalls:
+    def test_crossing_counts_once_per_separating_wall(self):
+        wall = Wall(Vec3(0, 1, 0), Vec3(0, 1, 0), attenuation_db=5.0)
+        a, b = Vec3(0, 0, 0), Vec3(0, 3, 0)
+        assert wall_crossings(a, b, [wall]) == 5.0
+        assert wall_crossings(b, a, [wall]) == 5.0  # symmetric
+
+    def test_no_crossing_same_side(self):
+        wall = Wall(Vec3(0, 1, 0), Vec3(0, 1, 0), attenuation_db=5.0)
+        assert wall_crossings(Vec3(0, 2, 0), Vec3(0, 3, 0), [wall]) == 0.0
+
+    def test_multiple_walls_accumulate(self):
+        walls = [
+            Wall(Vec3(0, 1, 0), Vec3(0, 1, 0), attenuation_db=5.0),
+            Wall(Vec3(0, 2, 0), Vec3(0, 1, 0), attenuation_db=7.0),
+        ]
+        assert wall_crossings(Vec3(0, 0, 0), Vec3(0, 3, 0), walls) == 12.0
+
+
+class TestResolvePath:
+    def test_round_trip_length(self, cfg):
+        tx = Antenna(position=Vec3(0, 0, 0))
+        rx = Antenna(position=Vec3(1, 0, 0))
+        path = resolve_path(tx, rx, Vec3(0, 4, 0), 0.5, cfg)
+        assert np.isclose(path.round_trip_m, 4.0 + np.sqrt(17.0))
+
+    def test_out_of_beam_reflector_has_zero_amplitude(self, cfg):
+        tx = Antenna(position=Vec3(0, 0, 0))
+        rx = Antenna(position=Vec3(1, 0, 0))
+        path = resolve_path(tx, rx, Vec3(0, -4, 0), 0.5, cfg)
+        assert path.amplitude == 0.0
+
+    def test_wall_attenuates(self, cfg):
+        tx = Antenna(position=Vec3(0, 0, 0))
+        rx = Antenna(position=Vec3(1, 0, 0))
+        wall = Wall(Vec3(0, 0.5, 0), Vec3(0, 1, 0), attenuation_db=6.0)
+        free = resolve_path(tx, rx, Vec3(0, 4, 0), 0.5, cfg)
+        blocked = resolve_path(tx, rx, Vec3(0, 4, 0), 0.5, cfg, walls=[wall])
+        # Both legs cross once: 12 dB total = 4x amplitude.
+        assert np.isclose(free.amplitude / blocked.amplitude, 10 ** (12 / 20))
+
+    def test_phase_rotates_with_distance(self, cfg):
+        from repro import constants
+
+        lam0 = constants.SPEED_OF_LIGHT / cfg.start_hz
+        p1 = path_phase(10.0, cfg)
+        p2 = path_phase(10.0 + lam0, cfg)
+        # One start-frequency wavelength of round trip = 2 pi of phase.
+        assert np.isclose(abs(p2 - p1), 2 * np.pi, atol=1e-9)
+
+    def test_complex_amplitude_consistent(self, cfg):
+        tx = Antenna(position=Vec3(0, 0, 0))
+        rx = Antenna(position=Vec3(1, 0, 0))
+        path = resolve_path(tx, rx, Vec3(0, 4, 0), 0.5, cfg)
+        assert np.isclose(abs(path.complex_amplitude), path.amplitude)
+        assert np.isclose(path.power_w, path.amplitude**2)

@@ -1,0 +1,108 @@
+"""Tests for the human-body and reflection-surface models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.body import HumanBody, ReflectionModel, sample_population
+
+
+class TestHumanBody:
+    def test_defaults_plausible(self):
+        body = HumanBody()
+        assert 0 < body.torso_rcs_m2 < 2
+        assert body.arm_rcs_m2 < body.torso_rcs_m2
+
+    def test_rejects_implausible_height(self):
+        with pytest.raises(ValueError):
+            HumanBody(height_m=0.9)
+
+    def test_rejects_nonpositive_rcs(self):
+        with pytest.raises(ValueError):
+            HumanBody(torso_rcs_m2=-0.1)
+
+    def test_torso_extents_scale_with_height(self):
+        short = HumanBody(height_m=1.55)
+        tall = HumanBody(height_m=1.95)
+        assert tall.torso_halfheight_m > short.torso_halfheight_m
+        assert tall.torso_halfwidth_m > short.torso_halfwidth_m
+
+
+class TestPopulation:
+    def test_eleven_subjects(self):
+        people = sample_population(np.random.default_rng(0))
+        assert len(people) == 11
+
+    def test_subjects_differ(self):
+        people = sample_population(np.random.default_rng(0))
+        heights = {p.height_m for p in people}
+        assert len(heights) > 5
+
+    def test_heights_in_adult_range(self):
+        people = sample_population(np.random.default_rng(1), count=50)
+        for p in people:
+            assert 1.5 <= p.height_m <= 2.0
+
+
+class TestReflectionModel:
+    def _centers(self, n, speed_mps=1.0, dt=0.0125):
+        t = np.arange(n) * dt
+        out = np.zeros((n, 3))
+        out[:, 1] = 4.0 + speed_mps * t
+        return out
+
+    def test_surface_offset_toward_device(self):
+        model = ReflectionModel(HumanBody(), scale=0.0)
+        centers = self._centers(50)
+        surface = model.surface_points(
+            centers, 0.0125, np.random.default_rng(0)
+        )
+        # Surface is closer to the device (origin) than the center.
+        assert np.all(surface[:, 1] < centers[:, 1])
+        assert np.allclose(
+            centers[:, 1] - surface[:, 1], HumanBody().torso_depth_m, atol=1e-9
+        )
+
+    def test_wander_is_zero_mean_and_bounded(self):
+        model = ReflectionModel(HumanBody())
+        centers = self._centers(6000)
+        surface = model.surface_points(
+            centers, 0.0125, np.random.default_rng(1)
+        )
+        wander_z = surface[:, 2] - centers[:, 2]
+        assert abs(np.mean(wander_z)) < 0.08
+        assert np.std(wander_z) < 0.4
+
+    def test_z_wander_largest(self):
+        """The body is taller than it is wide (Section 9.1's z argument)."""
+        stds = ReflectionModel(HumanBody()).wander_stds()
+        assert stds[2] > stds[0] > stds[1]
+
+    def test_still_body_freezes_surface(self):
+        """A static body must present a static reflection point,
+        otherwise background subtraction could never remove her."""
+        model = ReflectionModel(HumanBody())
+        centers = np.tile(np.array([0.0, 4.0, 0.0]), (400, 1))
+        surface = model.surface_points(
+            centers, 0.0025, np.random.default_rng(2)
+        )
+        assert np.ptp(surface, axis=0).max() < 1e-12
+
+    def test_posture_shrinks_vertical_wander(self):
+        model = ReflectionModel(HumanBody())
+        standing = self._centers(4000)
+        lying = self._centers(4000)
+        lying[:, 2] = -0.85  # torso near the floor (floor at -1)
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        up = model.surface_points(standing, 0.0125, rng1, floor_z=-1.0)
+        down = model.surface_points(lying, 0.0125, rng2, floor_z=-1.0)
+        z_up = np.std(up[:, 2] - standing[:, 2])
+        z_down = np.std(down[:, 2] - lying[:, 2])
+        assert z_down < 0.5 * z_up
+
+    def test_scale_zero_disables_wander(self):
+        model = ReflectionModel(HumanBody(), scale=0.0)
+        centers = self._centers(100)
+        surface = model.surface_points(
+            centers, 0.0125, np.random.default_rng(4)
+        )
+        assert np.allclose(surface[:, 2], centers[:, 2])

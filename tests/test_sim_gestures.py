@@ -1,0 +1,82 @@
+"""Tests for the pointing-gesture kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import angle_between_deg
+from repro.sim.gestures import PointingGesture, pointing_session
+
+
+@pytest.fixture
+def gesture() -> PointingGesture:
+    return PointingGesture(
+        body_position=np.array([0.0, 4.0, 0.0]),
+        direction=np.array([0.3, 0.9, 0.2]),
+    )
+
+
+class TestKinematics:
+    def test_rejects_zero_direction(self):
+        with pytest.raises(ValueError):
+            PointingGesture(
+                body_position=np.zeros(3), direction=np.zeros(3)
+            )
+
+    def test_hand_at_rest_before_and_after(self, gesture):
+        t = np.array([0.0, gesture.duration_s - 0.01])
+        pos = gesture.hand_positions(t)
+        assert np.allclose(pos[0], gesture.rest_hand)
+        assert np.allclose(pos[1], gesture.rest_hand)
+
+    def test_hand_extended_during_hold(self, gesture):
+        t_hold = gesture.lead_in_s + gesture.lift_duration_s + 0.1
+        pos = gesture.hand_positions(np.array([t_hold]))
+        assert np.allclose(pos[0], gesture.extended_hand)
+
+    def test_extension_length_is_arm_length(self, gesture):
+        reach = np.linalg.norm(gesture.extended_hand - gesture.shoulder)
+        assert np.isclose(reach, gesture.arm_length_m)
+
+    def test_motion_mask_covers_lift_and_drop(self, gesture):
+        t = np.linspace(0, gesture.duration_s, 1000)
+        moving = gesture.hand_is_moving(t)
+        frac = moving.mean()
+        expected = (
+            gesture.lift_duration_s + gesture.drop_duration_s
+        ) / gesture.duration_s
+        assert frac == pytest.approx(expected, abs=0.02)
+
+    def test_trajectory_monotone_during_lift(self, gesture):
+        t0 = gesture.lead_in_s
+        t1 = t0 + gesture.lift_duration_s
+        t = np.linspace(t0 + 0.01, t1 - 0.01, 50)
+        pos = gesture.hand_positions(t)
+        progress = np.linalg.norm(pos - gesture.rest_hand[None, :], axis=1)
+        assert np.all(np.diff(progress) >= -1e-9)
+
+    def test_true_direction_unit(self, gesture):
+        d = gesture.true_direction()
+        assert np.isclose(np.linalg.norm(d), 1.0)
+
+
+class TestPointingSession:
+    def test_directions_in_frontal_hemisphere(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            g = pointing_session(np.array([0.0, 4.0, 0.0]), rng)
+            # y component (into the room) always positive.
+            assert g.direction[1] > 0
+
+    def test_randomized_durations(self):
+        rng = np.random.default_rng(1)
+        lifts = {pointing_session(np.zeros(3), rng).lift_duration_s
+                 for _ in range(10)}
+        assert len(lifts) > 5
+
+    def test_true_direction_close_to_requested(self):
+        rng = np.random.default_rng(2)
+        g = pointing_session(np.array([0.0, 4.0, 0.0]), rng)
+        # The lift goes rest -> extended; its direction differs from the
+        # arm direction because the rest point is below the shoulder, but
+        # should be within a quadrant.
+        assert angle_between_deg(g.true_direction(), g.direction) < 90.0

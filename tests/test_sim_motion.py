@@ -1,0 +1,129 @@
+"""Tests for the motion models behind every evaluation workload."""
+
+import numpy as np
+import pytest
+
+from repro.sim.motion import (
+    Trajectory,
+    fall_trace,
+    random_walk,
+    sit_on_chair_trace,
+    sit_on_floor_trace,
+    stand_still,
+    waypoint_walk,
+)
+from repro.sim.room import through_wall_room
+
+
+@pytest.fixture
+def room():
+    return through_wall_room()
+
+
+class TestTrajectory:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.arange(3.0), np.zeros((4, 3)))
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.array([0.0]), np.zeros((1, 3)))
+
+    def test_resample_interpolates(self):
+        t = np.array([0.0, 1.0])
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        traj = Trajectory(t, pos)
+        mid = traj.resample(np.array([0.5]))
+        assert np.allclose(mid, [[1.0, 0, 0]])
+
+    def test_speeds(self):
+        t = np.arange(3) * 1.0
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [2.0, 0, 0]])
+        assert np.allclose(Trajectory(t, pos).speeds(), 1.0)
+
+    def test_with_label(self):
+        traj = stand_still(np.zeros(3), duration_s=1.0)
+        assert traj.with_label("x").label == "x"
+
+
+class TestWaypointWalk:
+    def test_passes_through_waypoints(self):
+        wps = np.array([[0.0, 3.0], [2.0, 3.0]])
+        traj = waypoint_walk(wps, speed_mps=1.0)
+        assert np.allclose(traj.positions[0, :2], wps[0], atol=0.1)
+        assert np.allclose(traj.positions[-1, :2], wps[1], atol=0.1)
+
+    def test_speed_respected(self):
+        wps = np.array([[0.0, 3.0], [4.0, 3.0]])
+        traj = waypoint_walk(wps, speed_mps=2.0)
+        assert traj.duration_s == pytest.approx(2.0, rel=0.05)
+
+    def test_rejects_single_waypoint(self):
+        with pytest.raises(ValueError):
+            waypoint_walk(np.array([[0.0, 1.0]]))
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            waypoint_walk(np.array([[0.0, 1.0], [1.0, 1.0]]), speed_mps=0.0)
+
+
+class TestRandomWalk:
+    def test_stays_in_area(self, room):
+        area = ((-2.0, 2.0), (3.0, 7.0))
+        traj = random_walk(
+            room, np.random.default_rng(0), duration_s=30.0, area=area
+        )
+        assert traj.positions[:, 0].min() >= -2.3
+        assert traj.positions[:, 0].max() <= 2.3
+        assert traj.positions[:, 1].min() >= 2.7
+        assert traj.positions[:, 1].max() <= 7.3
+
+    def test_speeds_are_human(self, room):
+        traj = random_walk(room, np.random.default_rng(1), duration_s=30.0)
+        speeds = traj.speeds()
+        assert speeds.max() < 2.5  # no superhuman sprints
+        assert np.median(speeds[speeds > 0.05]) < 2.0
+
+    def test_deterministic_given_seed(self, room):
+        a = random_walk(room, np.random.default_rng(5), duration_s=5.0)
+        b = random_walk(room, np.random.default_rng(5), duration_s=5.0)
+        assert np.allclose(a.positions, b.positions)
+
+
+class TestActivityTraces:
+    def test_fall_is_fast_and_reaches_floor(self):
+        traj = fall_trace(
+            np.array([0.0, 4.0]), np.random.default_rng(0),
+            device_height_m=1.0,
+        )
+        z = traj.positions[:, 2]
+        assert z[0] == pytest.approx(0.0, abs=0.05)
+        assert z[-1] == pytest.approx(-0.85, abs=0.05)
+        # Transition must complete in under a second.
+        dropping = np.where((z < -0.1) & (z > -0.75))[0]
+        assert (dropping[-1] - dropping[0]) * traj.dt_s < 1.0
+
+    def test_sit_floor_is_slower_than_fall(self):
+        rng = np.random.default_rng(0)
+        sit = sit_on_floor_trace(np.array([0.0, 4.0]), rng)
+        fall = fall_trace(np.array([0.0, 4.0]), np.random.default_rng(0))
+
+        def transition_time(traj, lo_frac=0.25, hi_frac=0.75):
+            z = traj.positions[:, 2]
+            span = z[0] - z[-1]
+            hi = z[0] - lo_frac * span
+            lo = z[0] - hi_frac * span
+            idx = np.where((z <= hi) & (z >= lo))[0]
+            return (idx[-1] - idx[0]) * traj.dt_s
+
+        assert transition_time(sit) > 1.5 * transition_time(fall)
+
+    def test_sit_chair_stays_off_floor(self):
+        traj = sit_on_chair_trace(np.array([0.0, 4.0]), np.random.default_rng(1))
+        assert traj.positions[-1, 2] > -0.6
+
+    def test_labels(self):
+        rng = np.random.default_rng(2)
+        assert fall_trace(np.array([0.0, 4.0]), rng).label == "fall"
+        assert sit_on_chair_trace(np.array([0.0, 4.0]), rng).label == "sit_chair"
+        assert sit_on_floor_trace(np.array([0.0, 4.0]), rng).label == "sit_floor"

@@ -1,0 +1,64 @@
+"""Tests for room geometry and the through-wall/LOS settings."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec3
+from repro.sim.room import Room, line_of_sight_room, through_wall_room
+
+
+class TestRoomBasics:
+    def test_through_wall_has_front_wall(self):
+        room = through_wall_room()
+        assert room.is_through_wall
+        assert len(room.walls) == 1
+
+    def test_los_has_no_attenuating_wall(self):
+        room = line_of_sight_room()
+        assert not room.is_through_wall
+        assert room.walls == []
+
+    def test_floor_z(self):
+        assert Room(device_height_m=1.0).floor_z == -1.0
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Room(width_m=-1.0)
+
+    def test_overrides_pass_through(self):
+        room = through_wall_room(wall_attenuation_db=9.0)
+        assert room.wall_attenuation_db == 9.0
+        assert room.is_through_wall
+
+
+class TestContainment:
+    def test_contains_inside(self):
+        room = through_wall_room()
+        assert room.contains(Vec3(0, 5, 0))
+
+    def test_does_not_contain_behind_wall(self):
+        room = through_wall_room()
+        assert not room.contains(Vec3(0, 0.1, 0))
+
+    def test_does_not_contain_outside_width(self):
+        room = Room(width_m=8.0)
+        assert not room.contains(Vec3(5.0, 5.0, 0))
+
+    def test_clamp_pulls_inside(self):
+        room = through_wall_room()
+        clamped = room.clamp(Vec3(100.0, -100.0, 0.0))
+        assert room.contains(clamped)
+
+
+class TestBouncePlanes:
+    def test_four_planes(self):
+        planes = through_wall_room().bounce_planes
+        names = [name for _, __, name in planes]
+        assert names == ["left", "right", "back", "ceiling"]
+
+    def test_normals_point_inward(self):
+        room = through_wall_room()
+        inside = Vec3(0, 5, 0)
+        for point, normal, __ in room.bounce_planes:
+            # The inside point is on the positive side of each normal.
+            assert np.dot(inside - point, normal) > 0

@@ -1,0 +1,120 @@
+"""Tests for scenario composition and the synthesized physics."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, default_config
+from repro.core.background import background_subtract
+from repro.core.spectrogram import spectrogram_from_sweeps
+from repro.sim.motion import stand_still, waypoint_walk
+from repro.sim.room import line_of_sight_room, through_wall_room
+from repro.sim.scenario import Scenario
+
+
+class TestOutputs:
+    def test_shapes(self, tw_walk_output):
+        out = tw_walk_output
+        assert out.spectra.shape[0] == 3
+        assert out.spectra.shape[1] == out.num_sweeps
+        assert out.surface_truth.shape == (out.num_sweeps, 3)
+        assert out.true_round_trips.shape == (3, out.num_sweeps)
+
+    def test_sweep_cadence(self, tw_walk_output):
+        dt = np.diff(tw_walk_output.sweep_times_s)
+        assert np.allclose(dt, 2.5e-3)
+
+    def test_true_round_trips_match_geometry(self, tw_walk_output, array):
+        out = tw_walk_output
+        i = out.num_sweeps // 2
+        expected = array.round_trip_distances(out.surface_truth[i])
+        assert np.allclose(out.true_round_trips[:, i], expected)
+
+    def test_truth_at_resamples(self, tw_walk_output):
+        pos = tw_walk_output.truth_at(np.array([1.0, 2.0]))
+        assert pos.shape == (2, 3)
+
+    def test_deterministic_given_seed(self):
+        room = through_wall_room()
+        walk = waypoint_walk(np.array([[0.0, 4.0], [1.0, 5.0]]))
+        a = Scenario(walk, room=room, seed=5).run()
+        b = Scenario(walk, room=room, seed=5).run()
+        assert np.array_equal(a.spectra, b.spectra)
+
+    def test_different_seeds_differ(self):
+        room = through_wall_room()
+        walk = waypoint_walk(np.array([[0.0, 4.0], [1.0, 5.0]]))
+        a = Scenario(walk, room=room, seed=5).run()
+        b = Scenario(walk, room=room, seed=6).run()
+        assert not np.array_equal(a.spectra, b.spectra)
+
+
+class TestPhysics:
+    def test_flash_effect_present(self, tw_walk_output):
+        """Static clutter dominates the raw spectrogram (Section 4.2)."""
+        out = tw_walk_output
+        spec = spectrogram_from_sweeps(
+            out.spectra[0], 2.5e-3, out.range_bin_m, 5
+        )
+        power = spec.power
+        # The strongest bin should be a static stripe, not the human:
+        # its bin must not move across frames.
+        peak_bins = np.argmax(power, axis=1)
+        dominant = np.bincount(peak_bins).argmax()
+        assert np.mean(peak_bins == dominant) > 0.9
+
+    def test_background_subtraction_reveals_human(self, tw_walk_output):
+        out = tw_walk_output
+        spec = spectrogram_from_sweeps(
+            out.spectra[0], 2.5e-3, out.range_bin_m, 5
+        )
+        sub = background_subtract(spec)
+        n = len(sub.power)
+        truth_bins = (
+            out.true_round_trips[0][: (n + 1) * 5]
+            .reshape(-1, 5)
+            .mean(axis=1)[1 : n + 1]
+            / out.range_bin_m
+        )
+        peak_bins = np.argmax(sub.power, axis=1)
+        close = np.abs(peak_bins - truth_bins) <= 3
+        # Most frames: the human (or her immediate neighborhood) is the
+        # strongest reflector after subtraction.
+        assert np.mean(close) > 0.5
+
+    def test_static_scene_cancels(self):
+        """A fully static scene leaves only noise after subtraction."""
+        room = through_wall_room()
+        still = stand_still(np.array([0.5, 4.0, 0.0]), duration_s=3.0)
+        out = Scenario(still, room=room, seed=9).run()
+        spec = spectrogram_from_sweeps(out.spectra[0], 2.5e-3, out.range_bin_m, 5)
+        raw_power = float(np.mean(spec.power))
+        sub_power = float(np.mean(background_subtract(spec).power))
+        # Subtraction must remove essentially all deterministic power.
+        assert sub_power < raw_power * 1e-4
+
+    def test_through_wall_attenuates_body_echo(self):
+        walk = waypoint_walk(np.array([[0.0, 4.0], [1.5, 5.5]]))
+        tw = Scenario(walk, room=through_wall_room(), seed=3).run()
+        los = Scenario(walk, room=line_of_sight_room(), seed=3).run()
+
+        def human_power(out):
+            spec = spectrogram_from_sweeps(
+                out.spectra[0], 2.5e-3, out.range_bin_m, 5
+            )
+            sub = background_subtract(spec)
+            return float(np.median(np.max(sub.power, axis=1)))
+
+        ratio_db = 10 * np.log10(human_power(los) / human_power(tw))
+        # Two traversals of a 6.5 dB wall: ~13 dB stronger in LOS.
+        assert 7.0 < ratio_db < 20.0
+
+    def test_num_multipath_images_control(self):
+        walk = waypoint_walk(np.array([[0.0, 4.0], [1.0, 5.0]]))
+        cfg = default_config().replace(
+            simulation=SimulationConfig(num_multipath_images=0)
+        )
+        out = Scenario(walk, room=through_wall_room(), seed=3, config=cfg).run()
+        assert out.num_rx == 3  # still synthesizes fine without images
+
+    def test_hand_truth_only_with_gesture(self, tw_walk_output):
+        assert tw_walk_output.hand_truth is None

@@ -1,0 +1,84 @@
+"""Tests for the simulated VICON ground-truth instrument."""
+
+import numpy as np
+import pytest
+
+from repro.sim.body import HumanBody
+from repro.sim.motion import stand_still, waypoint_walk
+from repro.sim.vicon import CaptureArea, DepthCalibration, ViconSystem
+
+
+class TestCaptureArea:
+    def test_default_matches_paper(self):
+        """6 x 5 m^2 capture area ~2.5 m behind the wall (Section 9.1)."""
+        area = CaptureArea()
+        assert area.x_range[1] - area.x_range[0] == pytest.approx(6.0)
+        assert area.y_range[1] - area.y_range[0] == pytest.approx(5.0)
+
+    def test_contains(self):
+        area = CaptureArea()
+        assert area.contains(np.array([0.0, 5.0, 0.0]))
+        assert not area.contains(np.array([0.0, 0.5, 0.0]))
+
+
+class TestViconSystem:
+    def test_sub_centimeter_in_area(self):
+        vicon = ViconSystem()
+        traj = stand_still(np.array([0.0, 5.0, 0.0]), duration_s=10.0)
+        captured = vicon.capture(traj, np.random.default_rng(0))
+        errors = np.linalg.norm(
+            captured.positions - traj.resample(captured.times_s), axis=1
+        )
+        assert np.median(errors) < 0.01
+
+    def test_degrades_out_of_area(self):
+        vicon = ViconSystem()
+        inside = stand_still(np.array([0.0, 5.0, 0.0]), duration_s=5.0)
+        outside = stand_still(np.array([0.0, 0.5, 0.0]), duration_s=5.0)
+        rng = np.random.default_rng(1)
+        err_in = np.std(
+            vicon.capture(inside, rng).positions - inside.positions[0]
+        )
+        err_out = np.std(
+            vicon.capture(outside, rng).positions - outside.positions[0]
+        )
+        assert err_out > 3 * err_in
+
+    def test_own_clock(self):
+        vicon = ViconSystem(sample_rate_hz=120.0)
+        traj = waypoint_walk(np.array([[0.0, 4.0], [1.0, 4.0]]))
+        captured = vicon.capture(traj, np.random.default_rng(2))
+        assert np.allclose(np.diff(captured.times_s), 1 / 120.0)
+
+
+class TestDepthCalibration:
+    def test_measured_depth_close_to_model(self):
+        body = HumanBody(torso_depth_m=0.15)
+        depth = DepthCalibration().measure_depth(
+            body, np.random.default_rng(0)
+        )
+        assert depth == pytest.approx(0.15, abs=0.03)
+
+    def test_compensation_moves_toward_device(self):
+        centers = np.array([[0.0, 5.0, 0.0], [2.0, 4.0, 0.1]])
+        out = DepthCalibration().compensate(centers, 0.12)
+        # Each point moves 12 cm toward the origin in the x-y plane.
+        for before, after in zip(centers, out):
+            d_before = np.linalg.norm(before[:2])
+            d_after = np.linalg.norm(after[:2])
+            assert d_before - d_after == pytest.approx(0.12, abs=1e-9)
+            assert after[2] == before[2]  # z untouched
+
+    def test_compensation_reduces_y_error(self):
+        """The paper's motivation: WiTrack reports the surface, VICON the
+        center; compensation aligns the two."""
+        body = HumanBody()
+        centers = np.array([[0.0, 5.0, 0.0]])
+        surface_y = 5.0 - body.torso_depth_m
+        depth = DepthCalibration().measure_depth(
+            body, np.random.default_rng(1)
+        )
+        compensated = DepthCalibration().compensate(centers, depth)
+        raw_error = abs(centers[0, 1] - surface_y)
+        comp_error = abs(compensated[0, 1] - surface_y)
+        assert comp_error < raw_error
