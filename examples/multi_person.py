@@ -1,0 +1,59 @@
+"""Multi-person tracking: two people through one wall, one device.
+
+WiTrack itself tracks a single person (paper Section 8); this demo runs
+our multi-target extension end to end: two walkers' reflections are
+superimposed into the same per-antenna spectra, successive echo
+cancellation pulls out per-antenna candidate TOF sets, and the track
+manager maintains one identity per person — then the session is scored
+with OSPA and CLEAR-MOT identity metrics.
+
+Run:
+    python examples/multi_person.py
+"""
+
+import numpy as np
+
+from repro import MultiScenario, MultiWiTrack
+from repro.eval.metrics import mot_metrics, ospa_series
+from repro.sim import HumanBody, non_colliding_walks, through_wall_room
+
+
+def main() -> None:
+    room = through_wall_room()
+    rng = np.random.default_rng(7)
+    walks = non_colliding_walks(
+        room, rng, count=2, duration_s=10.0, min_separation_m=1.0
+    )
+    people = [
+        (HumanBody(height_m=1.82, name="alice"), walks[0]),
+        (HumanBody(height_m=1.65, name="bob"), walks[1]),
+    ]
+    print("synthesizing two-person through-wall session...")
+    measured = MultiScenario(people, room=room, seed=7).run()
+    print(f"  {measured.num_rx} antennas x {measured.num_sweeps} sweeps, "
+          f"{measured.num_people} people superimposed")
+
+    tracker = MultiWiTrack(measured.config, max_people=2, room=room)
+    result = tracker.track(measured.spectra, measured.range_bin_m)
+    print(f"\ntracked {result.num_tracks} identities "
+          f"(mean {result.count_per_frame.mean():.1f} reported per frame)")
+
+    truth = measured.truth_at(result.frame_times_s)
+    mot = mot_metrics(truth, result.positions)
+    ospa = ospa_series(truth, result.positions)
+    for p, (body, _) in enumerate(people):
+        errors = mot.per_truth_errors[p]
+        finite = errors[np.isfinite(errors)]
+        if finite.size == 0:
+            print(f"  {body.name}: never matched")
+            continue
+        print(f"  {body.name}: median 3D error "
+              f"{100 * np.median(finite):.0f} cm over {finite.size} frames, "
+              f"{mot.per_truth_switches[p]} identity switches")
+    print(f"\nMOTA {mot.mota:.2f}   mean OSPA {100 * ospa.mean():.0f} cm")
+    print("(WiTrack is single-person; successive cancellation and the "
+          "track manager are this reproduction's extension)")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ from .core.localize import LeastSquaresSolver, TGeometrySolver, make_solver
 from .core.pointing import PointingEstimator, PointingResult
 from .core.tof import TOFEstimate, TOFEstimator
 from .core.tracker import TrackResult, WiTrack
+from .multi import MultiScenario, MultiTrack, MultiWiTrack
 
 __version__ = "1.0.0"
 
@@ -57,5 +58,8 @@ __all__ = [
     "TOFEstimator",
     "TrackResult",
     "WiTrack",
+    "MultiScenario",
+    "MultiTrack",
+    "MultiWiTrack",
     "__version__",
 ]

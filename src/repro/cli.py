@@ -2,6 +2,7 @@
 
 Examples:
     python -m repro track --duration 15 --seed 3
+    python -m repro multi --people 2 --duration 12
     python -m repro fig8 --through-wall
     python -m repro fig9
     python -m repro fall-table
@@ -22,6 +23,7 @@ from .eval import figures
 from .eval.harness import (
     ExperimentScale,
     TrackingExperiment,
+    run_multi_tracking_experiment,
     run_pointing_experiment,
     run_tracking_experiment,
 )
@@ -53,6 +55,38 @@ def cmd_track(args: argparse.Namespace) -> int:
         for dim, s in zip("xyz", (x, y, z))
     ]
     print(format_table(["dim", "median", "p90", "frames"], rows))
+    return 0
+
+
+def cmd_multi(args: argparse.Namespace) -> int:
+    """One multi-person tracking experiment; prints per-person accuracy."""
+    outcome = run_multi_tracking_experiment(
+        num_people=args.people,
+        seed=args.seed,
+        duration_s=args.duration,
+        through_wall=args.through_wall,
+        min_separation_m=args.separation,
+    )
+    mot = outcome.mot
+    rows = []
+    for p, body in enumerate(outcome.bodies):
+        try:
+            s = outcome.person_error_summary(p)
+            med, p90 = f"{100 * s.median:.1f} cm", f"{100 * s.p90:.1f} cm"
+        except ValueError:
+            med = p90 = "—"
+        matched = int(np.sum(np.isfinite(mot.per_truth_errors[p])))
+        rows.append(
+            [body.name, med, p90, matched, mot.per_truth_switches[p]]
+        )
+    print(f"people: {args.people}  "
+          f"({'through-wall' if args.through_wall else 'line of sight'})")
+    print(format_table(
+        ["person", "median", "p90", "matched", "id switches"], rows
+    ))
+    print(f"MOTA {mot.mota:.3f}  MOTP {100 * mot.motp_m:.1f} cm  "
+          f"misses {mot.misses}  false positives {mot.false_positives}  "
+          f"OSPA {100 * outcome.ospa_mean_m:.1f} cm")
     return 0
 
 
@@ -140,6 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--line-of-sight", dest="through_wall",
                    action="store_false", default=True)
     p.set_defaults(func=cmd_track)
+
+    p = sub.add_parser("multi", help="multi-person tracking experiment")
+    p.add_argument("--people", type=int, default=2,
+                   help="number of concurrent walkers (K)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=12.0)
+    p.add_argument("--separation", type=float, default=1.0,
+                   help="guaranteed minimum inter-person distance (m)")
+    p.add_argument("--line-of-sight", dest="through_wall",
+                   action="store_false", default=True)
+    p.set_defaults(func=cmd_multi)
 
     p = sub.add_parser("fig8", help="error CDFs (Fig. 8)")
     common(p)

@@ -1,0 +1,49 @@
+"""Multi-person tracking: K concurrent people through one device.
+
+The paper's system tracks a single person (Section 8); this subsystem is
+our extension toward the authors' follow-up multi-person work. It layers
+on the single-person primitives:
+
+* :mod:`repro.multi.scenario` — K bodies superimposed into one set of
+  per-antenna spectra (simulation substrate);
+* :mod:`repro.multi.cancellation` — successive echo cancellation turns
+  one bottom contour per antenna into K candidate TOFs;
+* :mod:`repro.multi.association` — cross-antenna combination solving,
+  ghost gating, and Hungarian frame-to-track assignment;
+* :mod:`repro.multi.tracks` — per-target Kalman bank with a
+  tentative/confirmed/coasting/dead lifecycle;
+* :mod:`repro.multi.tracker` — :class:`MultiWiTrack`, the public API.
+"""
+
+from .association import FixGate, assign_fixes, candidate_fixes
+from .cancellation import (
+    MultiContourResult,
+    null_band,
+    successive_contours,
+)
+from .scenario import MultiScenario, MultiScenarioOutput
+from .tracker import MultiWiTrack
+from .tracks import (
+    MultiTrack,
+    Track,
+    TrackManager,
+    TrackManagerConfig,
+    TrackStatus,
+)
+
+__all__ = [
+    "FixGate",
+    "assign_fixes",
+    "candidate_fixes",
+    "MultiContourResult",
+    "null_band",
+    "successive_contours",
+    "MultiScenario",
+    "MultiScenarioOutput",
+    "MultiWiTrack",
+    "MultiTrack",
+    "Track",
+    "TrackManager",
+    "TrackManagerConfig",
+    "TrackStatus",
+]

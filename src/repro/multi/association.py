@@ -1,0 +1,318 @@
+"""Data association: candidate 3D fixes and frame-to-track assignment.
+
+With K candidate TOFs per antenna there are up to ``K^n_rx`` ways to pick
+one per antenna, and only a few of them correspond to real people; the
+rest are *ghosts* that mix one person's echo on one antenna with another
+person's on the next. Three physical gates kill most ghosts:
+
+* the ellipsoid intersection must be geometrically feasible (the solver's
+  own validity mask);
+* the solved point must lie inside the monitored volume — a mixed combo
+  puts the closed-form z (which is extremely sensitive to the k3-vs-r0
+  balance) far above the ceiling or below the floor;
+* with more than three antennas, the over-constrained residual must stay
+  small.
+
+Surviving fixes are deduplicated and handed to the tracker, where
+temporal continuity (gating + Hungarian assignment against per-track
+Kalman predictions) resolves whatever ambiguity is left.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ..core.localize import LeastSquaresSolver, TGeometrySolver
+from ..sim.room import Room
+
+Solver = TGeometrySolver | LeastSquaresSolver
+
+#: Score cost (dB) per fix component that lies on an accepted fix's
+#: predicted multipath arc — soft enough that a real person crossing one
+#: arc still wins when her other components are sound.
+_GHOST_PENALTY_DB = 10.0
+
+
+@dataclass(frozen=True)
+class FixGate:
+    """Feasible-volume and consistency gate for candidate fixes.
+
+    Attributes:
+        x_halfwidth_m: maximum |x| of a fix.
+        y_min_m: minimum depth into the room.
+        y_max_m: maximum depth.
+        z_min_m: lowest feasible z (floor, with margin).
+        z_max_m: highest feasible z (ceiling, with margin).
+        max_residual_m: maximum RMS round-trip residual of the fix
+            against the TOF combo that produced it.
+    """
+
+    x_halfwidth_m: float = 3.6
+    y_min_m: float = 0.3
+    y_max_m: float = 11.9
+    z_min_m: float = -1.5
+    z_max_m: float = 1.3
+    max_residual_m: float = 0.35
+
+    @classmethod
+    def from_room(cls, room: Room, margin_m: float = 0.35) -> "FixGate":
+        """Gate matched to a room's volume, shrunk *inward* at the walls.
+
+        The inward margin is load-bearing, not cosmetic: a single-bounce
+        multipath ghost solves to a point *on its mirror plane* (its
+        round trips average out to the wall), so excluding a thin band
+        at the side walls, back wall, and ceiling kills every such ghost
+        wholesale — and costs nothing, because a real torso center
+        physically cannot be within ~0.35 m of a wall.
+        """
+        y0 = room.front_wall_y or 0.0
+        return cls(
+            x_halfwidth_m=room.width_m / 2.0 - margin_m,
+            y_min_m=max(y0, 0.1),
+            y_max_m=y0 + room.depth_m - margin_m,
+            z_min_m=room.floor_z - margin_m,
+            z_max_m=room.floor_z + room.height_m - margin_m,
+            max_residual_m=cls.max_residual_m,
+        )
+
+    def admits(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean in-volume mask for positions of shape ``(n, 3)``."""
+        x, y, z = positions[:, 0], positions[:, 1], positions[:, 2]
+        return (
+            (np.abs(x) <= self.x_halfwidth_m)
+            & (y >= self.y_min_m)
+            & (y <= self.y_max_m)
+            & (z >= self.z_min_m)
+            & (z <= self.z_max_m)
+        )
+
+
+def multipath_round_trips(
+    position: np.ndarray,
+    tx_position: np.ndarray,
+    image_positions: np.ndarray,
+) -> np.ndarray:
+    """Predicted round trips of a reflector's wall-bounce images.
+
+    A dynamic-multipath echo of a person at ``position`` travels
+    Tx -> body -> wall -> Rx; with the receive antennas mirrored through
+    each bounce plane, its path length is ``|Tx - p| + |image_rx - p|``.
+
+    Args:
+        position: reflector position, shape ``(3,)``.
+        tx_position: transmit antenna position.
+        image_positions: receive antennas mirrored through every bounce
+            plane, shape ``(n_planes, n_rx, 3)``.
+
+    Returns:
+        Image round trips, shape ``(n_planes, n_rx)``.
+    """
+    d_tx = float(np.linalg.norm(position - tx_position))
+    d_img = np.linalg.norm(image_positions - position[None, None, :], axis=2)
+    return d_tx + d_img
+
+
+def candidate_fixes(
+    tof_sets: Sequence[np.ndarray],
+    solver: Solver,
+    gate: FixGate | None = None,
+    power_sets: Sequence[np.ndarray] | None = None,
+    dedupe_m: float = 0.4,
+    max_fixes: int | None = None,
+    ghost_images: np.ndarray | None = None,
+    ghost_tolerance_m: float = 0.6,
+    seed_positions: Sequence[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Solve every cross-antenna TOF combination into gated 3D fixes.
+
+    After the feasibility gates, fixes are selected greedily by total
+    echo power under *per-antenna candidate exclusivity*: once a fix
+    claims an antenna's candidate, no other fix may reuse it. The
+    strongest (closest) person's pure combo always outscores any ghost
+    that borrows one of her echoes, so picking it first consumes her
+    candidates and blocks those ghosts; the next pick is then the next
+    person's pure combo, and so on — successive interference
+    cancellation at the association level.
+
+    Args:
+        tof_sets: per-antenna candidate round-trip distances for one
+            frame (NaNs are dropped); one entry per receive antenna.
+        solver: the localization solver of the deployed array.
+        gate: feasibility gate; a permissive default when omitted.
+        power_sets: per-antenna echo power of each TOF candidate,
+            aligned with ``tof_sets``; enables the power-greedy
+            selection (without it, ties break by round-trip residual).
+        dedupe_m: surviving fixes closer than this collapse into one.
+        max_fixes: keep at most this many fixes (best score first).
+        ghost_images: receive antennas mirrored through the room's
+            bounce planes, shape ``(n_planes, n_rx, 3)``. When given, a
+            later fix is vetoed if two or more of its TOF components sit
+            where an already-accepted fix's wall-bounce multipath must
+            land — the geometric kill for persistent multipath ghosts.
+            (One matching component is allowed: a real second person can
+            legitimately cross one antenna's multipath arc, but the
+            image geometry differs per antenna, so she cannot sit on
+            two arcs at once while a pure ghost matches on all.)
+        ghost_tolerance_m: round-trip slack of the multipath match
+            (covers surface wander and in-wall jitter).
+        seed_positions: already-known reflector positions (e.g. live
+            tracks) whose multipath arcs seed the ghost evidence before
+            any fix is accepted.
+
+    Returns:
+        Candidate positions, shape ``(n_fixes, 3)`` (possibly empty).
+    """
+    gate = gate or FixGate()
+    tofs = [np.asarray(s, dtype=np.float64) for s in tof_sets]
+    finite = [np.flatnonzero(~np.isnan(s)) for s in tofs]
+    if any(len(idx) == 0 for idx in finite):
+        return np.empty((0, 3))
+    index_combos = np.array(list(itertools.product(*finite)))
+    n_rx = len(tofs)
+    combos = np.column_stack(
+        [tofs[a][index_combos[:, a]] for a in range(n_rx)]
+    )
+    result = solver.solve(combos)
+    positions = result.positions
+    keep = result.valid & np.isfinite(positions).all(axis=1)
+    keep &= gate.admits(np.nan_to_num(positions, nan=1e9))
+    if not np.any(keep):
+        return np.empty((0, 3))
+    positions = positions[keep]
+    combos = combos[keep]
+    index_combos = index_combos[keep]
+
+    # Round-trip consistency: re-project each fix through the array.
+    array = solver.array
+    d_tx = np.linalg.norm(positions - array.tx.position[None, :], axis=1)
+    d_rx = np.linalg.norm(
+        positions[:, None, :] - array.rx_positions[None, :, :], axis=2
+    )
+    residuals = np.sqrt(
+        np.mean((d_tx[:, None] + d_rx - combos) ** 2, axis=1)
+    )
+    keep = residuals <= gate.max_residual_m
+    if not np.any(keep):
+        return np.empty((0, 3))
+    positions = positions[keep]
+    residuals = residuals[keep]
+    index_combos = index_combos[keep]
+    combos = combos[keep]
+
+    if power_sets is not None:
+        powers = [
+            np.asarray(p, dtype=np.float64) for p in power_sets
+        ]
+        floor = 1e-30
+        score = sum(
+            10.0 * np.log10(
+                np.maximum(powers[a][index_combos[:, a]], floor)
+            )
+            for a in range(n_rx)
+        )
+    else:
+        score = -residuals
+
+    # Iterative greedy selection. Each round re-scores the surviving
+    # combos against the multipath predictions of everything accepted so
+    # far: one matching component costs ``_GHOST_PENALTY_DB`` (a pure
+    # combo of a real person always outranks a mixed combo that borrows
+    # a multipath echo), two or more is a hard veto (that *is* the
+    # multipath ghost). Exclusivity then consumes the winner's
+    # components so no later fix can reuse them.
+    kept: list[np.ndarray] = []
+    alive = np.ones(len(score), dtype=bool)
+    ghost_tofs: list[list[float]] = [[] for _ in range(n_rx)]
+    suppress = ghost_images is not None and len(ghost_images) > 0
+    limit = max_fixes if max_fixes is not None else int(alive.sum())
+    tx_position = array.tx.position
+    if suppress and seed_positions is not None:
+        for seed in seed_positions:
+            predicted = multipath_round_trips(
+                np.asarray(seed, dtype=np.float64), tx_position, ghost_images
+            )
+            for a in range(n_rx):
+                ghost_tofs[a].extend(predicted[:, a].tolist())
+    while len(kept) < limit and np.any(alive):
+        penalties = np.zeros(len(score))
+        if suppress:
+            for idx in np.flatnonzero(alive):
+                matches = sum(
+                    1
+                    for a in range(n_rx)
+                    if ghost_tofs[a]
+                    and np.min(
+                        np.abs(np.array(ghost_tofs[a]) - combos[idx, a])
+                    ) <= ghost_tolerance_m
+                )
+                if matches >= 2:
+                    alive[idx] = False
+                else:
+                    penalties[idx] = _GHOST_PENALTY_DB * matches
+        if not np.any(alive):
+            break
+        adjusted = np.where(alive, score - penalties, -np.inf)
+        idx = int(np.argmax(adjusted))
+        alive[idx] = False
+        p = positions[idx]
+        if any(np.linalg.norm(p - q) <= dedupe_m for q in kept):
+            continue
+        kept.append(p)
+        components = index_combos[idx]
+        overlap = (index_combos == components[None, :]).any(axis=1)
+        alive &= ~overlap
+        if suppress:
+            predicted = multipath_round_trips(p, tx_position, ghost_images)
+            for a in range(n_rx):
+                ghost_tofs[a].extend(predicted[:, a].tolist())
+    if not kept:
+        return np.empty((0, 3))
+    return np.stack(kept)
+
+
+def assign_fixes(
+    predicted: np.ndarray,
+    fixes: np.ndarray,
+    gate_m: float | np.ndarray,
+) -> tuple[list[tuple[int, int]], list[int], list[int]]:
+    """Gated Hungarian assignment of fixes to track predictions.
+
+    Args:
+        predicted: predicted track positions, shape ``(n_tracks, 3)``;
+            non-finite rows never match.
+        fixes: candidate fixes, shape ``(n_fixes, 3)``.
+        gate_m: maximum assignment distance — a scalar, or one gate per
+            track (a coasting track's gate grows with its uncertainty).
+
+    Returns:
+        ``(pairs, unmatched_tracks, unmatched_fixes)`` where ``pairs``
+        is a list of ``(track_index, fix_index)`` tuples.
+    """
+    n_tracks = len(predicted)
+    n_fixes = len(fixes)
+    if n_tracks == 0 or n_fixes == 0:
+        return [], list(range(n_tracks)), list(range(n_fixes))
+    gates = np.broadcast_to(
+        np.asarray(gate_m, dtype=np.float64), (n_tracks,)
+    )
+    cost = np.linalg.norm(
+        predicted[:, None, :] - fixes[None, :, :], axis=2
+    )
+    cost = np.where(np.isfinite(cost), cost, 1e6)
+    blocked = cost > gates[:, None]
+    rows, cols = linear_sum_assignment(np.where(blocked, 1e6, cost))
+    pairs = [
+        (int(r), int(c))
+        for r, c in zip(rows, cols)
+        if not blocked[r, c]
+    ]
+    matched_tracks = {r for r, _ in pairs}
+    matched_fixes = {c for _, c in pairs}
+    unmatched_tracks = [t for t in range(n_tracks) if t not in matched_tracks]
+    unmatched_fixes = [f for f in range(n_fixes) if f not in matched_fixes]
+    return pairs, unmatched_tracks, unmatched_fixes

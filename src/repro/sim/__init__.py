@@ -10,6 +10,7 @@ from .body import HumanBody, ReflectionModel, sample_population
 from .motion import (
     Trajectory,
     fall_trace,
+    non_colliding_walks,
     random_walk,
     sit_on_chair_trace,
     sit_on_floor_trace,
@@ -30,6 +31,7 @@ __all__ = [
     "sample_population",
     "Trajectory",
     "fall_trace",
+    "non_colliding_walks",
     "random_walk",
     "sit_on_chair_trace",
     "sit_on_floor_trace",

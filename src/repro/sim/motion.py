@@ -177,6 +177,76 @@ def random_walk(
     return Trajectory(times, _smooth(positions, 24), label)
 
 
+def non_colliding_walks(
+    room: Room,
+    rng: np.random.Generator,
+    count: int,
+    duration_s: float = 30.0,
+    dt_s: float = 0.0125,
+    min_separation_m: float = 1.0,
+    speed_range_mps: tuple[float, float] = (0.5, 1.6),
+    area: tuple[tuple[float, float], tuple[float, float]] | None = None,
+    torso_z: float = 0.0,
+) -> list[Trajectory]:
+    """Generate ``count`` random walks that never come close to colliding.
+
+    The capture area is partitioned into ``count`` *depth* (y) bands
+    separated by ``min_separation_m`` corridors; each walker
+    random-walks freely inside its own band, so any two walkers stay at
+    least ``min_separation_m`` apart at all times — and, because range
+    to the device is dominated by depth, they also stay separated in
+    round-trip space, which is what makes them radar-separable. This is
+    the "well-separated" multi-person workload the multi-target
+    benchmarks score against (crossing workloads are built from
+    :func:`waypoint_walk` instead).
+
+    Args:
+        room: room the walkers move in.
+        rng: random source shared by all walkers.
+        count: number of walkers (K).
+        duration_s: session length.
+        dt_s: trajectory sampling interval.
+        min_separation_m: guaranteed minimum inter-person distance.
+        speed_range_mps: walking-speed range per leg.
+        area: overall ``((x_lo, x_hi), (y_lo, y_hi))`` capture area;
+            defaults to the paper's VICON area (as :func:`random_walk`).
+        torso_z: standing torso-center height in the device frame.
+
+    Returns:
+        One :class:`Trajectory` per walker, nearest band first.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    if min_separation_m < 0:
+        raise ValueError("min_separation_m must be non-negative")
+    if area is None:
+        y0 = (room.front_wall_y or 0.0) + 2.5
+        area = ((-3.0, 3.0), (y0, y0 + 5.0))
+    x_range, (y_lo, y_hi) = area
+    band_m = (y_hi - y_lo - (count - 1) * min_separation_m) / count
+    if band_m < 0.3:
+        raise ValueError(
+            f"cannot fit {count} walkers {min_separation_m} m apart in a "
+            f"{y_hi - y_lo:.1f} m deep area"
+        )
+    walks = []
+    for k in range(count):
+        lo = y_lo + k * (band_m + min_separation_m)
+        walks.append(
+            random_walk(
+                room,
+                rng,
+                duration_s=duration_s,
+                dt_s=dt_s,
+                speed_range_mps=speed_range_mps,
+                area=(x_range, (lo, lo + band_m)),
+                torso_z=torso_z,
+                label=f"walk-{k + 1}",
+            )
+        )
+    return walks
+
+
 def stand_still(
     position: np.ndarray,
     duration_s: float = 5.0,

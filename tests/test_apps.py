@@ -11,8 +11,9 @@ from repro.apps.appliances import (
     default_registry,
 )
 from repro.apps.fall_monitor import FallMonitor
-from repro.apps.realtime import RealtimeTracker
+from repro.apps.realtime import RealtimeMultiTracker, RealtimeTracker
 from repro.core.pointing import PointingResult
+from repro.eval.metrics import mot_metrics
 from repro.sim.room import through_wall_room
 from repro.sim.vicon import DepthCalibration
 
@@ -42,6 +43,42 @@ class TestRealtimeTracker:
         rt = RealtimeTracker(config, range_bin_m=tw_walk_output.range_bin_m)
         with pytest.raises(ValueError):
             rt.run(tw_walk_output.spectra[:2])
+
+
+class TestRealtimeMultiTracker:
+    def test_streams_single_person(self, tw_walk_output, config):
+        """K-capable streaming still tracks one walker end to end."""
+        out = tw_walk_output
+        room = through_wall_room()
+        tracker = RealtimeMultiTracker(
+            config, range_bin_m=out.range_bin_m, max_people=2, room=room
+        )
+        result = tracker.run(out.spectra)
+        assert result.num_tracks >= 1
+        # The walker is matched by *some* track most of the session.
+        truth = out.truth_at(result.frame_times_s)[None, :, :]
+        mot = mot_metrics(truth, result.positions)
+        matched = np.isfinite(mot.per_truth_errors[0])
+        assert matched.mean() > 0.6
+        assert np.median(mot.per_truth_errors[0][matched]) < 0.7
+
+    def test_per_frame_output_and_latency(self, tw_walk_output, config):
+        out = tw_walk_output
+        tracker = RealtimeMultiTracker(
+            config, range_bin_m=out.range_bin_m, max_people=2
+        )
+        spf = tracker.sweeps_per_frame
+        reported = []
+        for f in range(200):
+            block = out.spectra[:, f * spf : (f + 1) * spf, :]
+            reported.append(tracker.process_frame(block))
+        assert reported[0] == []  # nothing before the first diff frame
+        assert any(len(r) >= 1 for r in reported[10:])
+        for entries in reported:
+            for track_id, position in entries:
+                assert isinstance(track_id, int)
+                assert position.shape == (3,)
+        assert tracker.latency.within_budget(0.075)
 
 
 class TestFallMonitor:

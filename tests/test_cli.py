@@ -20,10 +20,15 @@ class TestParser:
         assert args.through_wall is False
 
     def test_all_commands_parse(self):
-        for command in ("track", "fig8", "fig9", "fig10",
+        for command in ("track", "multi", "fig8", "fig9", "fig10",
                         "fall-table", "pointing"):
             args = build_parser().parse_args([command])
             assert callable(args.func)
+
+    def test_multi_defaults(self):
+        args = build_parser().parse_args(["multi"])
+        assert args.people == 2
+        assert args.through_wall is True
 
 
 class TestExecution:
@@ -33,6 +38,14 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "median" in out
         assert "cm" in out
+
+    def test_multi_runs(self, capsys):
+        code = main(["multi", "--people", "2", "--duration", "6",
+                     "--seed", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MOTA" in out
+        assert "id switches" in out
 
     def test_pointing_runs(self, capsys):
         code = main(["pointing", "--trials", "2"])

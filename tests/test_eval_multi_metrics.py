@@ -1,0 +1,162 @@
+"""OSPA and CLEAR-MOT metrics, checked against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    Cdf,
+    MotSummary,
+    error_cdf,
+    mot_metrics,
+    ospa_distance,
+    ospa_series,
+)
+
+
+class TestOspa:
+    def test_identical_sets_zero(self):
+        points = np.array([[0.0, 1.0, 0.0], [2.0, 3.0, 0.0]])
+        assert ospa_distance(points, points) == 0.0
+
+    def test_hand_computed_value(self):
+        # truth {origin}; estimates {0.3 m off, 5 m off}; c=1, p=1:
+        # best assignment distance 0.3, cardinality penalty 1 * (2-1),
+        # OSPA = (0.3 + 1) / 2 = 0.65.
+        truth = np.array([[0.0, 0.0, 0.0]])
+        est = np.array([[0.3, 0.0, 0.0], [5.0, 0.0, 0.0]])
+        assert ospa_distance(truth, est) == pytest.approx(0.65)
+
+    def test_hand_computed_order_two(self):
+        # Same sets with p=2: ((0.3^2 + 1^2)/2)^(1/2).
+        truth = np.array([[0.0, 0.0, 0.0]])
+        est = np.array([[0.3, 0.0, 0.0], [5.0, 0.0, 0.0]])
+        expected = np.sqrt((0.09 + 1.0) / 2.0)
+        assert ospa_distance(truth, est, order=2.0) == pytest.approx(expected)
+
+    def test_distance_saturates_at_cutoff(self):
+        truth = np.array([[0.0, 0.0, 0.0]])
+        est = np.array([[50.0, 0.0, 0.0]])
+        assert ospa_distance(truth, est, cutoff_m=1.0) == pytest.approx(1.0)
+
+    def test_empty_sets(self):
+        empty = np.empty((0, 3))
+        one = np.array([[1.0, 1.0, 1.0]])
+        assert ospa_distance(empty, empty) == 0.0
+        assert ospa_distance(one, empty, cutoff_m=2.0) == 2.0
+        assert ospa_distance(empty, one, cutoff_m=2.0) == 2.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 3))
+        b = rng.normal(size=(5, 3))
+        assert ospa_distance(a, b) == pytest.approx(ospa_distance(b, a))
+
+    def test_series_shape_and_nan_handling(self):
+        truths = np.zeros((1, 4, 3))
+        est = np.zeros((1, 4, 3))
+        est[0, 2] = np.nan  # track inactive that frame
+        series = ospa_series(truths, est, cutoff_m=1.0)
+        np.testing.assert_allclose(series, [0.0, 0.0, 1.0, 0.0])
+
+    def test_validation(self):
+        points = np.zeros((1, 3))
+        with pytest.raises(ValueError):
+            ospa_distance(points, points, cutoff_m=0.0)
+        with pytest.raises(ValueError):
+            ospa_distance(points, points, order=0.5)
+
+
+class TestMotMetrics:
+    def test_perfect_tracking(self):
+        truth = np.zeros((2, 10, 3))
+        truth[1, :, 0] = 5.0
+        summary = mot_metrics(truth, truth.copy())
+        assert isinstance(summary, MotSummary)
+        assert summary.mota == 1.0
+        assert summary.id_switches == 0
+        assert summary.misses == 0 and summary.false_positives == 0
+        assert summary.motp_m == pytest.approx(0.0)
+
+    def test_identity_swap_counted_per_truth(self):
+        truth = np.zeros((2, 10, 3))
+        truth[1, :, 0] = 5.0
+        est = truth.copy()
+        est[0, 5:, 0], est[1, 5:, 0] = 5.0, 0.0  # swap ids at frame 5
+        summary = mot_metrics(truth, est)
+        assert summary.id_switches == 2
+        assert summary.per_truth_switches == (1, 1)
+        assert summary.mota == pytest.approx(1.0 - 2 / 20)
+
+    def test_misses_and_false_positives(self):
+        truth = np.zeros((1, 10, 3))
+        est = np.zeros((2, 10, 3))
+        est[0, 5:] = np.nan          # track dies halfway
+        est[1, :, 0] = 30.0          # permanent far ghost
+        summary = mot_metrics(truth, est)
+        assert summary.misses == 5
+        assert summary.false_positives == 10
+        assert summary.matches == 5
+
+    def test_match_keeps_previous_pairing(self):
+        # Two estimates near one truth: once track 0 is matched, a
+        # slightly closer competitor must not steal the pairing (that
+        # hysteresis is what makes switch counting meaningful).
+        truth = np.zeros((1, 4, 3))
+        est = np.zeros((2, 4, 3))
+        est[0, :, 0] = 0.3
+        est[1, 0, :] = np.nan
+        est[1, 1:, 0] = 0.1
+        summary = mot_metrics(truth, est)
+        assert summary.id_switches == 0
+
+    def test_shared_last_match_not_double_counted(self):
+        # Truth 0 matches the only estimate, goes absent while truth 1
+        # matches it, then returns: the estimate must be kept by at most
+        # one truth per frame (matches <= estimate presences, FP >= 0).
+        truth = np.zeros((2, 3, 3))
+        truth[0, 1] = np.nan
+        est = np.zeros((1, 3, 3))
+        summary = mot_metrics(truth, est)
+        assert summary.false_positives >= 0
+        assert summary.matches == 3
+        assert summary.mota <= 1.0
+
+    def test_single_2d_track_accepted(self):
+        track = np.zeros((10, 3))
+        summary = mot_metrics(track, track[None, :, :] + 0.1)
+        assert summary.matches == 10
+        assert summary.mota == 1.0
+
+    def test_shape_and_frame_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            mot_metrics(np.zeros((10, 4)), np.zeros((1, 10, 3)))
+        with pytest.raises(ValueError, match="frames"):
+            mot_metrics(np.zeros((1, 5, 3)), np.zeros((1, 6, 3)))
+
+    def test_per_truth_errors_shape(self):
+        truth = np.zeros((2, 6, 3))
+        truth[1, :, 0] = 4.0
+        summary = mot_metrics(truth, truth.copy())
+        assert summary.per_truth_errors.shape == (2, 6)
+        assert np.isfinite(summary.per_truth_errors).all()
+
+
+class TestCdfHardening:
+    def test_empty_values_raise_clear_error(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            Cdf(values=np.array([]), fractions=np.array([]))
+
+    def test_nan_values_raise_clear_error(self):
+        with pytest.raises(ValueError, match="finite"):
+            Cdf(
+                values=np.array([1.0, np.nan]),
+                fractions=np.array([0.5, 1.0]),
+            )
+
+    def test_error_cdf_still_drops_nans(self):
+        cdf = error_cdf(np.array([0.1, np.nan, 0.3]))
+        assert len(cdf.values) == 2
+
+    def test_error_cdf_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            error_cdf(np.array([np.nan, np.nan]))

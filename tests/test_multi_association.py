@@ -1,0 +1,175 @@
+"""Candidate fix generation, ghost gating, and Hungarian assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.localize import make_solver
+from repro.geometry.antennas import t_array
+from repro.multi.association import (
+    FixGate,
+    assign_fixes,
+    candidate_fixes,
+    multipath_round_trips,
+)
+from repro.rf.multipath import mirror_point
+from repro.sim.room import through_wall_room
+
+
+@pytest.fixture
+def array():
+    return t_array()
+
+
+@pytest.fixture
+def solver(array):
+    return make_solver(array)
+
+
+def tof_sets_for(array, positions, shuffle_seed=None):
+    """Per-antenna candidate sets of the given reflector positions."""
+    tofs = np.stack(
+        [array.round_trip_distances(p) for p in positions]
+    )  # (n_points, n_rx)
+    sets = [tofs[:, a].copy() for a in range(array.num_receivers)]
+    if shuffle_seed is not None:
+        rng = np.random.default_rng(shuffle_seed)
+        for s in sets:
+            rng.shuffle(s)
+    return sets
+
+
+class TestCandidateFixes:
+    def test_recovers_two_people(self, array, solver):
+        people = [np.array([0.5, 3.5, 0.1]), np.array([-1.0, 6.0, -0.2])]
+        fixes = candidate_fixes(
+            tof_sets_for(array, people, shuffle_seed=4), solver
+        )
+        assert len(fixes) >= 2
+        for person in people:
+            gaps = np.linalg.norm(fixes - person[None, :], axis=1)
+            assert gaps.min() < 0.05
+
+    def test_exclusivity_prevents_component_reuse(self, array, solver):
+        # One person => one fix, even though the solver sees only one
+        # combination; adding an unrelated junk candidate on a single
+        # antenna must not produce a second fix reusing her other TOFs.
+        person = np.array([0.3, 4.0, 0.0])
+        sets = tof_sets_for(array, [person])
+        sets[0] = np.append(sets[0], sets[0][0] + 3.0)
+        fixes = candidate_fixes(sets, solver)
+        gaps = np.linalg.norm(fixes - person[None, :], axis=1)
+        assert (gaps < 0.05).sum() == 1
+
+    def test_power_orders_strongest_first(self, array, solver):
+        near = np.array([0.5, 3.0, 0.0])
+        far = np.array([-0.5, 7.0, 0.0])
+        sets = tof_sets_for(array, [near, far])
+        powers = [np.array([1e-12, 1e-14]) for _ in range(3)]
+        fixes = candidate_fixes(
+            sets, solver, power_sets=powers, max_fixes=1
+        )
+        assert len(fixes) == 1
+        assert np.linalg.norm(fixes[0] - near) < 0.05
+
+    def test_volume_gate_rejects_outside_fix(self, array, solver):
+        person = np.array([0.5, 3.5, 0.0])
+        gate = FixGate(y_min_m=4.0, y_max_m=10.0)
+        fixes = candidate_fixes(tof_sets_for(array, [person]), solver, gate)
+        assert len(fixes) == 0
+
+    def test_empty_antenna_yields_no_fixes(self, array, solver):
+        sets = tof_sets_for(array, [np.array([0.0, 4.0, 0.0])])
+        sets[1] = np.array([np.nan])
+        assert len(candidate_fixes(sets, solver)) == 0
+
+    def test_multipath_ghost_vetoed(self, array, solver):
+        """A pure wall-bounce combo of a known person must not fix."""
+        room = through_wall_room()
+        ghost_images = np.stack(
+            [
+                np.stack(
+                    [
+                        mirror_point(rx.position, point, normal)
+                        for rx in array.rx
+                    ]
+                )
+                for point, normal, _ in room.bounce_planes
+            ]
+        )
+        person = np.array([0.5, 4.0, 0.0])
+        # Candidates: the person's direct TOFs plus her left-wall image
+        # TOFs on every antenna.
+        image_tofs = multipath_round_trips(
+            person, array.tx.position, ghost_images
+        )[0]
+        sets = tof_sets_for(array, [person])
+        for a in range(3):
+            sets[a] = np.append(sets[a], image_tofs[a])
+        powers = [np.array([1e-12, 1e-13]) for _ in range(3)]
+        fixes = candidate_fixes(
+            sets,
+            solver,
+            power_sets=powers,
+            ghost_images=ghost_images,
+            seed_positions=[person],
+        )
+        # Only the real person survives; the ghost combo is vetoed.
+        gaps = np.linalg.norm(fixes - person[None, :], axis=1)
+        assert (gaps < 0.05).sum() == 1
+        assert len(fixes) == 1
+
+
+class TestAssignFixes:
+    def test_matches_permuted_fixes(self):
+        predicted = np.array([[0.0, 3.0, 0.0], [1.0, 6.0, 0.0]])
+        fixes = np.array([[1.05, 6.1, 0.0], [0.1, 2.9, 0.05]])
+        pairs, un_t, un_f = assign_fixes(predicted, fixes, gate_m=1.0)
+        assert sorted(pairs) == [(0, 1), (1, 0)]
+        assert un_t == [] and un_f == []
+
+    def test_gate_blocks_distant_fix(self):
+        predicted = np.array([[0.0, 3.0, 0.0]])
+        fixes = np.array([[0.0, 6.0, 0.0]])
+        pairs, un_t, un_f = assign_fixes(predicted, fixes, gate_m=1.0)
+        assert pairs == [] and un_t == [0] and un_f == [0]
+
+    def test_per_track_gates(self):
+        predicted = np.array([[0.0, 3.0, 0.0], [0.0, 6.0, 0.0]])
+        fixes = np.array([[0.0, 4.1, 0.0]])
+        # Track 0 has a wide (coasting) gate, track 1 a narrow one but
+        # is farther; only track 0 may claim the fix.
+        pairs, _, _ = assign_fixes(
+            predicted, fixes, gate_m=np.array([1.5, 0.5])
+        )
+        assert pairs == [(0, 0)]
+
+    def test_empty_inputs(self):
+        pairs, un_t, un_f = assign_fixes(
+            np.empty((0, 3)), np.empty((0, 3)), 1.0
+        )
+        assert pairs == [] and un_t == [] and un_f == []
+
+
+class TestFixGate:
+    def test_from_room_shrinks_inward(self):
+        room = through_wall_room()
+        gate = FixGate.from_room(room)
+        # The inward margin is what kills on-wall multipath ghosts.
+        assert gate.x_halfwidth_m < room.width_m / 2.0
+        assert gate.y_max_m < (room.front_wall_y or 0.0) + room.depth_m
+        assert gate.z_max_m < room.floor_z + room.height_m
+
+    def test_admits(self):
+        gate = FixGate(
+            x_halfwidth_m=2.0, y_min_m=1.0, y_max_m=5.0,
+            z_min_m=-1.0, z_max_m=1.0,
+        )
+        points = np.array([
+            [0.0, 3.0, 0.0],   # inside
+            [3.0, 3.0, 0.0],   # |x| too big
+            [0.0, 6.0, 0.0],   # too deep
+            [0.0, 3.0, 2.0],   # above ceiling band
+        ])
+        np.testing.assert_array_equal(
+            gate.admits(points), [True, False, False, False]
+        )

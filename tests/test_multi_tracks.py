@@ -1,0 +1,168 @@
+"""Track lifecycle, the TOF-space manager, and the MultiTrack result."""
+
+import numpy as np
+import pytest
+
+from repro.core.localize import make_solver
+from repro.geometry.antennas import t_array
+from repro.multi.tracks import (
+    MultiTrack,
+    Track,
+    TrackManager,
+    TrackManagerConfig,
+    TrackStatus,
+)
+
+DT = 0.0125
+
+
+@pytest.fixture
+def array():
+    return t_array()
+
+
+@pytest.fixture
+def solver(array):
+    return make_solver(array)
+
+
+def make_manager(solver, **overrides):
+    config = TrackManagerConfig(**overrides)
+    return TrackManager(DT, solver, config=config)
+
+
+def candidates_for(array, positions):
+    """Per-antenna candidate TOF sets for the given positions."""
+    if not positions:
+        return [np.array([np.nan])] * array.num_receivers
+    tofs = np.stack([array.round_trip_distances(p) for p in positions])
+    return [tofs[:, a] for a in range(array.num_receivers)]
+
+
+class TestTrackLifecycle:
+    def test_birth_confirm_coast_die(self, array, solver):
+        manager = make_manager(
+            solver, confirm_hits=3, max_coast_frames=10, coast_per_hit=1.0
+        )
+        person = np.array([0.2, 4.0, 0.0])
+        # Birth + confirmation.
+        for frame in range(4):
+            tracks = manager.step(candidates_for(array, [person]))
+        assert len(tracks) == 1
+        assert tracks[0].status is TrackStatus.CONFIRMED
+        track_id = tracks[0].track_id
+        # Disappearance: coasting, then death.
+        statuses = []
+        for frame in range(30):
+            tracks = manager.step(candidates_for(array, []))
+            statuses.append(tracks[0].status if tracks else None)
+        assert TrackStatus.COASTING in statuses
+        assert statuses[-1] is None
+        assert all(t.track_id == track_id for t in manager.tracks) or (
+            not manager.tracks
+        )
+
+    def test_tentative_track_dies_quickly(self, array, solver):
+        manager = make_manager(solver, confirm_hits=5, max_tentative_misses=2)
+        person = np.array([0.2, 4.0, 0.0])
+        manager.step(candidates_for(array, [person]))
+        assert len(manager.live_tracks()) == 1
+        for _ in range(4):
+            manager.step(candidates_for(array, []))
+        assert manager.live_tracks() == []
+        # A tentative track was never reportable, so no history rows.
+        result = manager.result(np.arange(manager.num_frames) * DT)
+        assert result.num_tracks == 0
+
+    def test_two_people_keep_identities(self, array, solver):
+        manager = make_manager(solver)
+        p0 = np.array([0.5, 3.0, 0.0])
+        p1 = np.array([-0.5, 6.0, 0.0])
+        for frame in range(60):
+            # Walk both people slowly inward.
+            offset = np.array([0.0, 0.003 * frame, 0.0])
+            manager.step(candidates_for(array, [p0 + offset, p1 - offset]))
+        result = manager.result(np.arange(60) * DT)
+        assert result.num_tracks == 2
+        active = result.active_mask
+        assert active[:, -1].all()
+
+    def test_person_entering_midway_gets_new_track(self, array, solver):
+        manager = make_manager(solver)
+        p0 = np.array([0.5, 3.0, 0.0])
+        p1 = np.array([-0.5, 6.0, 0.0])
+        for frame in range(20):
+            manager.step(candidates_for(array, [p0]))
+        for frame in range(20):
+            manager.step(candidates_for(array, [p0, p1]))
+        result = manager.result(np.arange(40) * DT)
+        assert result.num_tracks == 2
+        first, second = result.positions[0], result.positions[1]
+        assert np.isfinite(first[:, 0]).sum() > np.isfinite(second[:, 0]).sum()
+
+    def test_result_requires_matching_times(self, solver):
+        manager = make_manager(solver)
+        with pytest.raises(ValueError):
+            manager.result(np.arange(3) * DT)
+
+
+class TestTrackInternals:
+    def test_track_smooths_tofs(self, array, solver):
+        config = TrackManagerConfig()
+        person = np.array([0.0, 5.0, 0.0])
+        tofs = array.round_trip_distances(person)
+        track = Track(1, DT, tofs, person, config)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            noisy = tofs + rng.normal(0.0, 0.05, tofs.shape)
+            track.advance(noisy, solver)
+        assert np.linalg.norm(track.position - person) < 0.15
+        assert np.all(np.abs(track.smoothed_tofs - tofs) < 0.1)
+
+    def test_partial_claims_update_some_antennas(self, array, solver):
+        config = TrackManagerConfig(min_claims=2)
+        person = np.array([0.0, 5.0, 0.0])
+        tofs = array.round_trip_distances(person)
+        track = Track(1, DT, tofs, person, config)
+        partial = tofs.copy()
+        partial[2] = np.nan
+        track.advance(partial, solver)
+        assert track.hits == 2  # still counts as a hit with 2 of 3
+        track.advance(np.full(3, np.nan), solver)
+        assert track.misses == 1
+
+    def test_gate_grows_while_coasting(self, array, solver):
+        config = TrackManagerConfig()
+        person = np.array([0.0, 5.0, 0.0])
+        track = Track(
+            1, DT, array.round_trip_distances(person), person, config
+        )
+        base = track.tof_gate_m()
+        for _ in range(40):
+            track.advance(np.full(3, np.nan), solver)
+        assert track.tof_gate_m() > base
+        assert track.tof_gate_m() <= config.max_tof_gate_m
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrackManagerConfig(tof_gate_m=0.0)
+        with pytest.raises(ValueError):
+            TrackManagerConfig(confirm_hits=0)
+        with pytest.raises(ValueError):
+            TrackManagerConfig(min_claims=0)
+
+
+class TestMultiTrackResult:
+    def test_accessors(self, array, solver):
+        manager = make_manager(solver)
+        person = np.array([0.2, 4.0, 0.0])
+        for _ in range(10):
+            manager.step(candidates_for(array, [person]))
+        result = manager.result(np.arange(10) * DT)
+        assert isinstance(result, MultiTrack)
+        assert result.num_frames == 10
+        assert result.count_per_frame[-1] == 1
+        track_id = result.track_ids[0]
+        positions = result.track(track_id)
+        assert positions.shape == (10, 3)
+        assert np.isfinite(positions[-1]).all()
