@@ -1,0 +1,152 @@
+"""Throughput benchmark: frames/sec for stream vs batch execution.
+
+Runs the same synthesized session through the unified pipeline engine's
+two execution modes — ``run_batch`` (block-vectorized, the offline
+evaluation path) and ``run_stream`` (frame-at-a-time, the realtime
+path) — for the single-person and the K=2 multi-person stage graphs,
+and reports frames per second for each. Results land in
+``benchmarks/throughput.json`` so CI runs leave a comparable artifact.
+
+Run:
+    python benchmarks/bench_throughput.py [--duration 10] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # fresh checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import MultiScenario, MultiWiTrack, WiTrack, default_config
+from repro.apps.realtime import RealtimeMultiTracker, RealtimeTracker
+from repro.sim import Scenario, random_walk, through_wall_room
+from repro.sim.body import HumanBody
+from repro.sim.motion import non_colliding_walks
+
+
+def _best(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_single(duration_s: float, repeats: int) -> dict:
+    config = default_config()
+    room = through_wall_room()
+    walk = random_walk(room, np.random.default_rng(0), duration_s=duration_s)
+    out = Scenario(walk, room=room, config=config, seed=1).run()
+    tracker = WiTrack(config)
+    n_frames = out.num_sweeps // config.pipeline.sweeps_per_frame
+
+    batch_s = _best(
+        lambda: tracker.track(out.spectra, out.range_bin_m), repeats
+    )
+
+    def stream() -> None:
+        RealtimeTracker(config, range_bin_m=out.range_bin_m).run(out.spectra)
+
+    stream_s = _best(stream, repeats)
+    rt = RealtimeTracker(config, range_bin_m=out.range_bin_m)
+    rt.run(out.spectra)
+    return {
+        "n_frames": n_frames,
+        "batch_s": batch_s,
+        "stream_s": stream_s,
+        "batch_fps": n_frames / batch_s,
+        "stream_fps": n_frames / stream_s,
+        "stream_p95_latency_ms": 1e3 * rt.latency.p95_s,
+        "within_75ms_budget": rt.latency.within_budget(0.075),
+    }
+
+
+def bench_multi(duration_s: float, repeats: int, people: int = 2) -> dict:
+    config = default_config()
+    room = through_wall_room()
+    walks = non_colliding_walks(
+        room, np.random.default_rng(7), count=people,
+        duration_s=duration_s, min_separation_m=1.0,
+    )
+    pairs = [(HumanBody(name=f"p{i}"), w) for i, w in enumerate(walks)]
+    out = MultiScenario(pairs, room=room, config=config, seed=7).run()
+    tracker = MultiWiTrack(config, max_people=people, room=room)
+    n_frames = out.num_sweeps // config.pipeline.sweeps_per_frame
+
+    batch_s = _best(
+        lambda: tracker.track(out.spectra, out.range_bin_m), repeats
+    )
+
+    def stream() -> None:
+        RealtimeMultiTracker(
+            config, range_bin_m=out.range_bin_m, max_people=people, room=room
+        ).run(out.spectra)
+
+    stream_s = _best(stream, repeats)
+    return {
+        "people": people,
+        "n_frames": n_frames,
+        "batch_s": batch_s,
+        "stream_s": stream_s,
+        "batch_fps": n_frames / batch_s,
+        "stream_fps": n_frames / stream_s,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds of scenario per workload")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "throughput.json")
+    args = parser.parse_args()
+
+    print(f"synthesizing and timing ({args.duration:.0f} s scenarios, "
+          f"best of {args.repeats})...")
+    single = bench_single(args.duration, args.repeats)
+    multi = bench_multi(args.duration, args.repeats)
+
+    realtime_fps = 80.0  # 12.5 ms frame cadence
+    print("\npipeline throughput (frames/sec; realtime needs "
+          f"{realtime_fps:.0f})")
+    print(f"{'workload':<16}{'batch':>12}{'stream':>12}")
+    print(f"{'single-person':<16}{single['batch_fps']:>12.0f}"
+          f"{single['stream_fps']:>12.0f}")
+    print(f"{'multi (K=2)':<16}{multi['batch_fps']:>12.0f}"
+          f"{multi['stream_fps']:>12.0f}")
+    print(f"\nstream p95 latency: {single['stream_p95_latency_ms']:.2f} ms "
+          f"(75 ms budget "
+          f"{'MET' if single['within_75ms_budget'] else 'EXCEEDED'})")
+
+    payload = {
+        "duration_s": args.duration,
+        "repeats": args.repeats,
+        "single_person": single,
+        "multi_person": multi,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    ok = (
+        single["within_75ms_budget"]
+        and single["batch_fps"] > realtime_fps
+        and single["stream_fps"] > realtime_fps
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,11 @@
 """Streaming real-time tracking with the Section 7 latency budget.
 
-Feeds a recorded session to the streaming tracker one 12.5 ms frame at a
-time — exactly how the USRP driver loop would — and reports per-frame
-processing latency against the paper's 75 ms budget.
+End-to-end streaming: sweep blocks come straight out of the lazy
+scenario synthesizer (`Scenario.frames()`, bounded memory — the session
+never exists as one big array) and go one 12.5 ms frame at a time into
+the streaming tracker — exactly how the USRP driver loop would feed it.
+Per-frame processing latency is reported against the paper's 75 ms
+budget.
 
 Run:
     python examples/realtime_demo.py
@@ -18,20 +21,18 @@ def main() -> None:
     config = default_config()
     room = through_wall_room()
     walk = random_walk(room, np.random.default_rng(9), duration_s=12.0)
-    measured = Scenario(walk, room=room, config=config, seed=10).run()
+    scenario = Scenario(walk, room=room, config=config, seed=10)
 
-    tracker = RealtimeTracker(config, range_bin_m=measured.range_bin_m)
-    spf = tracker.sweeps_per_frame
-    n_frames = measured.num_sweeps // spf
+    tracker = RealtimeTracker(config, range_bin_m=scenario.range_bin_m)
+    n_frames = scenario.num_stream_frames
 
-    print(f"streaming {n_frames} frames ({spf} sweeps each)...")
-    positions = []
-    for f in range(n_frames):
-        block = measured.spectra[:, f * spf : (f + 1) * spf, :]
+    print(f"streaming {n_frames} frames "
+          f"({tracker.sweeps_per_frame} sweeps each, lazily synthesized)...")
+    for f, block in enumerate(scenario.frames()):
         position = tracker.process_frame(block)
-        positions.append(position)
         if f % 160 == 0 and np.all(np.isfinite(position)):
-            t = (f + 0.5) * spf * config.fmcw.sweep_duration_s
+            t = (f + 0.5) * tracker.sweeps_per_frame \
+                * config.fmcw.sweep_duration_s
             print(
                 f"  t={t:5.2f}s  position=({position[0]:+.2f}, "
                 f"{position[1]:+.2f}, {position[2]:+.2f}) m"

@@ -1,0 +1,4 @@
+"""Setup shim: enables legacy editable installs (no wheel needed)."""
+from setuptools import setup
+
+setup()

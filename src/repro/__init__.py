@@ -36,8 +36,14 @@ from .core.pointing import PointingEstimator, PointingResult
 from .core.tof import TOFEstimate, TOFEstimator
 from .core.tracker import TrackResult, WiTrack
 from .multi import MultiScenario, MultiTrack, MultiWiTrack
+from .pipeline import (
+    Pipeline,
+    PipelineResult,
+    multi_person_pipeline,
+    single_person_pipeline,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "constants",
@@ -61,5 +67,9 @@ __all__ = [
     "MultiScenario",
     "MultiTrack",
     "MultiWiTrack",
+    "Pipeline",
+    "PipelineResult",
+    "single_person_pipeline",
+    "multi_person_pipeline",
     "__version__",
 ]

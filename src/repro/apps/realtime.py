@@ -3,134 +3,35 @@
 "Software processing has a total delay less than 75 ms between when the
 signal is received and a corresponding 3D location is output."
 
-:class:`RealtimeTracker` consumes sweeps one frame (5 sweeps) at a time,
-keeping online state per antenna — previous averaged frame for background
-subtraction, outlier gate, hold-last interpolation, and a running Kalman
-filter — and emits one 3D fix per frame. Wall-clock processing time is
-recorded per frame so the latency benchmark can check the 75 ms budget.
+:class:`RealtimeTracker` consumes sweeps one frame (5 sweeps) at a time
+and emits one 3D fix per frame. Since the unified engine landed it is a
+thin wrapper around the single-person
+:class:`~repro.pipeline.Pipeline` in streaming mode — the identical
+stage objects the batch :class:`~repro.core.tracker.WiTrack` drives
+vectorized, so the realtime app can no longer drift from the evaluated
+pipeline. Wall-clock processing time is recorded per frame so the
+latency benchmark can check the 75 ms budget.
 
-:class:`RealtimeMultiTracker` is the K-person counterpart: per frame it
-runs successive echo cancellation on each antenna's background-subtracted
-row, feeds the candidate TOF sets to the shared
-:class:`~repro.multi.TrackManager`, and emits every confirmed person's
-identity and 3D position — still inside the same latency budget.
+:class:`RealtimeMultiTracker` is the K-person counterpart: the same
+wrapper around :class:`~repro.multi.tracker.MultiWiTrack`'s pipeline
+(successive cancellation + track association), still inside the same
+latency budget.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ..config import SystemConfig, default_config
-from ..core.contour import track_bottom_contour
-from ..core.kalman import KalmanFilter1D
 from ..core.localize import make_solver
 from ..geometry.antennas import AntennaArray, t_array
-from ..multi.cancellation import successive_contours
 from ..multi.tracker import MultiWiTrack
 from ..multi.tracks import MultiTrack, TrackManagerConfig
+from ..pipeline.multi import Associate
+from ..pipeline.runner import LatencyReport, single_person_pipeline
 from ..sim.room import Room
 
-
-@dataclass
-class LatencyReport:
-    """Per-frame processing-time statistics.
-
-    Attributes:
-        latencies_s: wall-clock processing time per frame.
-    """
-
-    latencies_s: list[float] = field(default_factory=list)
-
-    @property
-    def median_s(self) -> float:
-        """Median per-frame latency."""
-        return float(np.median(self.latencies_s))
-
-    @property
-    def p95_s(self) -> float:
-        """95th-percentile per-frame latency."""
-        return float(np.percentile(self.latencies_s, 95))
-
-    @property
-    def max_s(self) -> float:
-        """Worst-case per-frame latency."""
-        return float(np.max(self.latencies_s))
-
-    def within_budget(self, budget_s: float = 0.075) -> bool:
-        """True when the 95th percentile meets the paper's budget."""
-        return self.p95_s <= budget_s
-
-
-class _AntennaState:
-    """Online per-antenna pipeline state."""
-
-    def __init__(self, config: SystemConfig, range_bin_m: float) -> None:
-        pipeline = config.pipeline
-        self.range_bin_m = range_bin_m
-        self.threshold_db = pipeline.contour_threshold_db
-        self.max_jump_m = pipeline.max_jump_m
-        self.confirmation = pipeline.jump_confirmation_frames
-        self.interpolate = pipeline.interpolate_when_static
-        self.previous_frame: np.ndarray | None = None
-        self.last_value: float | None = None
-        self.frames_since_accept = 1
-        self.pending: list[float] = []
-        self.kalman = KalmanFilter1D(
-            pipeline.sweeps_per_frame * config.fmcw.sweep_duration_s,
-            process_noise=pipeline.kalman_process_noise,
-            measurement_noise=pipeline.kalman_measurement_noise,
-        )
-
-    def process_frame(self, frame: np.ndarray) -> float:
-        """One averaged frame in, one smoothed round-trip distance out."""
-        if self.previous_frame is None:
-            self.previous_frame = frame
-            return float("nan")
-        diff = frame - self.previous_frame
-        self.previous_frame = frame
-        power = np.abs(diff[None, :]) ** 2
-        contour = track_bottom_contour(
-            power, self.range_bin_m, threshold_db=self.threshold_db
-        )
-        raw = float(contour.round_trip_m[0])
-        accepted = self._gate(raw)
-        if np.isnan(accepted) and self.interpolate and self.last_value is not None:
-            accepted = self.last_value
-        if np.isnan(accepted):
-            return (
-                self.kalman.predict() if self.kalman.initialized else float("nan")
-            )
-        return self.kalman.update(accepted)
-
-    def _gate(self, raw: float) -> float:
-        """Online version of the Section 4.4 outlier rejection."""
-        if np.isnan(raw):
-            self.frames_since_accept += 1
-            return float("nan")
-        if self.last_value is None:
-            self.last_value = raw
-            self.frames_since_accept = 1
-            return raw
-        allowed = self.max_jump_m * self.frames_since_accept
-        if abs(raw - self.last_value) <= allowed:
-            self.last_value = raw
-            self.frames_since_accept = 1
-            self.pending.clear()
-            return raw
-        self.pending = [
-            v for v in self.pending if abs(v - raw) <= 2 * self.max_jump_m
-        ]
-        self.pending.append(raw)
-        self.frames_since_accept += 1
-        if len(self.pending) >= self.confirmation:
-            self.last_value = raw
-            self.frames_since_accept = 1
-            self.pending.clear()
-            return raw
-        return float("nan")
+__all__ = ["LatencyReport", "RealtimeTracker", "RealtimeMultiTracker"]
 
 
 class RealtimeTracker:
@@ -152,16 +53,19 @@ class RealtimeTracker:
         self.array = array if array is not None else t_array(self.config.array)
         self.solver = make_solver(self.array)
         self.range_bin_m = range_bin_m
-        self._states = [
-            _AntennaState(self.config, range_bin_m)
-            for _ in range(self.array.num_receivers)
-        ]
-        self.latency = LatencyReport()
+        self.pipeline = single_person_pipeline(
+            self.config, range_bin_m, solver=self.solver
+        )
 
     @property
     def sweeps_per_frame(self) -> int:
         """Sweeps consumed per output fix."""
         return self.config.pipeline.sweeps_per_frame
+
+    @property
+    def latency(self) -> LatencyReport:
+        """Per-frame processing-time statistics."""
+        return self.pipeline.latency
 
     def process_frame(self, sweep_block: np.ndarray) -> np.ndarray:
         """Process one frame worth of sweeps for all antennas.
@@ -172,23 +76,16 @@ class RealtimeTracker:
         Returns:
             3D position, shape ``(3,)`` (NaN until localizable).
         """
-        start = time.perf_counter()
-        averaged = sweep_block.mean(axis=1)
-        k = np.array(
-            [
-                state.process_frame(averaged[i])
-                for i, state in enumerate(self._states)
-            ]
-        )
-        if np.any(np.isnan(k)):
-            position = np.full(3, np.nan)
-        else:
-            position = self.solver.solve_one(k)
-        self.latency.latencies_s.append(time.perf_counter() - start)
-        return position
+        frame = self.pipeline.push(sweep_block)
+        if frame is None or frame.position is None:
+            return np.full(3, np.nan)
+        return frame.position
 
     def run(self, spectra: np.ndarray) -> np.ndarray:
-        """Stream a whole recording; returns ``(n_frames, 3)`` positions."""
+        """Stream a whole recording; returns ``(n_frames, 3)`` positions.
+
+        The first row is NaN: it primes the background subtractor.
+        """
         spectra = np.asarray(spectra)
         n_rx, n_sweeps, n_bins = spectra.shape
         if n_rx != self.array.num_receivers:
@@ -223,21 +120,17 @@ class RealtimeMultiTracker:
         room: Room | None = None,
         track_config: TrackManagerConfig | None = None,
     ) -> None:
-        self._pipeline = MultiWiTrack(
+        self._tracker = MultiWiTrack(
             config,
             array=array,
             max_people=max_people,
             room=room,
             track_config=track_config,
         )
-        self.config = self._pipeline.config
-        self.array = self._pipeline.array
+        self.config = self._tracker.config
+        self.array = self._tracker.array
         self.range_bin_m = range_bin_m
-        self.manager = self._pipeline.make_manager()
-        self._previous: list[np.ndarray | None] = [
-            None for _ in range(self.array.num_receivers)
-        ]
-        self.latency = LatencyReport()
+        self.pipeline = self._tracker.pipeline(range_bin_m)
 
     @property
     def sweeps_per_frame(self) -> int:
@@ -247,7 +140,17 @@ class RealtimeMultiTracker:
     @property
     def max_people(self) -> int:
         """Upper bound on concurrently tracked people."""
-        return self._pipeline.max_people
+        return self._tracker.max_people
+
+    @property
+    def latency(self) -> LatencyReport:
+        """Per-frame processing-time statistics."""
+        return self.pipeline.latency
+
+    @property
+    def manager(self):
+        """The shared :class:`~repro.multi.tracks.TrackManager`."""
+        return self.pipeline.stage(Associate).manager
 
     def process_frame(
         self, sweep_block: np.ndarray
@@ -261,31 +164,10 @@ class RealtimeMultiTracker:
             ``(track_id, position)`` for every currently reported
             person (empty until the first track confirms).
         """
-        start = time.perf_counter()
-        averaged = sweep_block.mean(axis=1)
-        n_rx = averaged.shape[0]
-        tof_sets: list[np.ndarray] = []
-        power_sets: list[np.ndarray] = []
-        empty = np.full(self._pipeline.num_candidates, np.nan)
-        for i in range(n_rx):
-            previous = self._previous[i]
-            self._previous[i] = averaged[i]
-            if previous is None:
-                tof_sets.append(empty)
-                power_sets.append(empty)
-                continue
-            power = np.abs(averaged[i] - previous)[None, :] ** 2
-            contours = successive_contours(
-                power,
-                self.range_bin_m,
-                max_targets=self._pipeline.num_candidates,
-            )
-            tof_sets.append(contours.round_trips_m[:, 0])
-            power_sets.append(contours.peak_powers[:, 0])
-        tracks = self.manager.step(tof_sets, power_sets)
-        output = [(t.track_id, t.position.copy()) for t in tracks]
-        self.latency.latencies_s.append(time.perf_counter() - start)
-        return output
+        frame = self.pipeline.push(sweep_block)
+        if frame is None or frame.tracks is None:
+            return []
+        return frame.tracks
 
     def run(self, spectra: np.ndarray) -> MultiTrack:
         """Stream a recording; returns ALL tracks accumulated so far.
@@ -303,6 +185,9 @@ class RealtimeMultiTracker:
         n_frames = n_sweeps // spf
         for f in range(n_frames):
             self.process_frame(spectra[:, f * spf : (f + 1) * spf, :])
+        manager = self.manager
         frame_duration = spf * self.config.fmcw.sweep_duration_s
-        times = (np.arange(self.manager.num_frames) + 0.5) * frame_duration
-        return self.manager.result(times)
+        # The priming frame emits nothing, so processed frame i lands at
+        # (i + 1.5) frame durations — the batch timestamp convention.
+        times = (np.arange(manager.num_frames) + 1.5) * frame_duration
+        return manager.result(times)

@@ -2,6 +2,7 @@
 
 Examples:
     python -m repro track --duration 15 --seed 3
+    python -m repro stream --duration 30 --seed 3
     python -m repro multi --people 2 --duration 12
     python -m repro fig8 --through-wall
     python -m repro fig9
@@ -13,10 +14,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
 
+from .apps.realtime import RealtimeTracker
 from .config import default_config
 from .core.tracker import WiTrack
 from .eval import figures
@@ -28,6 +31,9 @@ from .eval.harness import (
     run_tracking_experiment,
 )
 from .eval.reporting import format_table
+from .sim.motion import random_walk
+from .sim.room import line_of_sight_room, through_wall_room
+from .sim.scenario import Scenario
 
 
 def _scale(args: argparse.Namespace) -> ExperimentScale:
@@ -56,6 +62,47 @@ def cmd_track(args: argparse.Namespace) -> int:
     ]
     print(format_table(["dim", "median", "p90", "frames"], rows))
     return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Stream a scenario end to end: lazy synthesis -> realtime pipeline.
+
+    Sweep blocks come from :meth:`Scenario.frames` (bounded memory, so
+    ``--duration`` can be arbitrarily long) and go straight into the
+    streaming :class:`RealtimeTracker`; per-frame latency is checked
+    against the paper's Section 7 budget.
+    """
+    config = default_config()
+    room = through_wall_room() if args.through_wall else line_of_sight_room()
+    walk = random_walk(
+        room, np.random.default_rng(args.seed), duration_s=args.duration
+    )
+    scenario = Scenario(walk, room=room, config=config, seed=args.seed + 1)
+    tracker = RealtimeTracker(config, range_bin_m=scenario.range_bin_m)
+
+    start = time.perf_counter()
+    frames = fixes = 0
+    for block in scenario.frames(chunk_frames=args.chunk):
+        position = tracker.process_frame(block)
+        frames += 1
+        if np.all(np.isfinite(position)):
+            fixes += 1
+    wall_s = time.perf_counter() - start
+
+    latency = tracker.latency
+    track_s = sum(latency.latencies_s)
+    print(f"frames     : {frames} "
+          f"({args.duration:.0f} s scenario, streamed in {wall_s:.2f} s)")
+    print(f"fixes      : {fixes} ({100.0 * fixes / max(frames, 1):.0f}%)")
+    print(f"latency    : median {1e3 * latency.median_s:.2f} ms  "
+          f"p95 {1e3 * latency.p95_s:.2f} ms  "
+          f"max {1e3 * latency.max_s:.2f} ms")
+    print(f"throughput : {frames / wall_s:.0f} frames/s end-to-end, "
+          f"{frames / max(track_s, 1e-9):.0f} frames/s tracking-only")
+    budget_ok = latency.within_budget(0.075)
+    print(f"75 ms budget (paper Section 7): "
+          f"{'MET' if budget_ok else 'EXCEEDED'}")
+    return 0 if budget_ok else 1
 
 
 def cmd_multi(args: argparse.Namespace) -> int:
@@ -174,6 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--line-of-sight", dest="through_wall",
                    action="store_false", default=True)
     p.set_defaults(func=cmd_track)
+
+    p = sub.add_parser(
+        "stream", help="stream a scenario through the realtime pipeline"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="seconds to synthesize and stream (memory-bounded)")
+    p.add_argument("--chunk", type=int, default=256,
+                   help="frames synthesized per chunk")
+    p.add_argument("--line-of-sight", dest="through_wall",
+                   action="store_false", default=True)
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser("multi", help="multi-person tracking experiment")
     p.add_argument("--people", type=int, default=2,

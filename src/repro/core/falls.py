@@ -17,6 +17,7 @@ minima/maxima.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,7 +36,10 @@ def median_filter(values: np.ndarray, window: int) -> np.ndarray:
     shape = (len(values), window)
     strides = (padded.strides[0], padded.strides[0])
     windows = np.lib.stride_tricks.as_strided(padded, shape=shape, strides=strides)
-    with np.errstate(invalid="ignore"):
+    with np.errstate(invalid="ignore"), warnings.catch_warnings():
+        # All-NaN windows are expected before the tracker's first
+        # detection (the causal pipeline emits NaN until it locks on).
+        warnings.simplefilter("ignore", category=RuntimeWarning)
         return np.nanmedian(windows, axis=1)
 
 

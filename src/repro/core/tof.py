@@ -5,8 +5,13 @@ Raw sweep spectra in, clean round-trip distances out:
     sweeps -> 5-sweep frames -> background subtraction -> bottom contour
     -> outlier rejection -> gap interpolation -> Kalman smoothing
 
-Each stage is an independently-tested module; :class:`TOFEstimator`
-composes them under one :class:`~repro.config.PipelineConfig`.
+Since the unified engine landed, :class:`TOFEstimator` is a thin wrapper
+around a single-antenna :class:`~repro.pipeline.Pipeline` — the same
+stage objects that drive the batch tracker and the realtime app, so
+offline and online estimates can no longer drift apart. The estimator
+is *causal* throughout: a relocation is accepted only once confirmed
+(never rewritten into the past) and frames before the first detection
+stay NaN, exactly as a live tracker would emit them.
 """
 
 from __future__ import annotations
@@ -16,12 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import PipelineConfig
-from .background import background_subtract
-from .contour import ContourResult, track_bottom_contour
-from .interpolation import interpolate_gaps
-from .kalman import smooth_series
-from .outliers import reject_outliers
-from .spectrogram import Spectrogram, spectrogram_from_sweeps
+from .spectrogram import Spectrogram
 
 
 @dataclass(frozen=True)
@@ -82,6 +82,18 @@ class TOFEstimator:
         """Duration of one averaged frame."""
         return self.config.sweeps_per_frame * self.sweep_duration_s
 
+    def pipeline(self):
+        """A fresh single-antenna :class:`~repro.pipeline.Pipeline`."""
+        # Deferred import: repro.pipeline composes repro.core primitives.
+        from ..config import FMCWConfig, SystemConfig
+        from ..pipeline.runner import single_person_pipeline
+
+        cfg = SystemConfig(
+            fmcw=FMCWConfig(sweep_duration_s=self.sweep_duration_s),
+            pipeline=self.config,
+        )
+        return single_person_pipeline(cfg, self.range_bin_m, localize=False)
+
     def estimate(self, sweep_spectra: np.ndarray) -> TOFEstimate:
         """Run the full Section 4 pipeline on one antenna's sweeps.
 
@@ -91,46 +103,30 @@ class TOFEstimator:
         Returns:
             The de-noised TOF track.
         """
-        cfg = self.config
-        spectrogram = spectrogram_from_sweeps(
-            sweep_spectra,
-            self.sweep_duration_s,
-            self.range_bin_m,
-            sweeps_per_frame=cfg.sweeps_per_frame,
-        ).crop(cfg.max_range_m)
-        subtracted = background_subtract(spectrogram)
-        contour = self.contour(subtracted)
-        cleaned = reject_outliers(
-            contour.round_trip_m,
-            max_jump_m=cfg.max_jump_m,
-            confirmation_frames=cfg.jump_confirmation_frames,
+        sweep_spectra = np.asarray(sweep_spectra)
+        if sweep_spectra.ndim != 2:
+            raise ValueError("sweep_spectra must have shape (n_sweeps, n_bins)")
+        result = self.pipeline().run_batch(
+            sweep_spectra[None, :, :], record_spectra=True
         )
-        if cfg.interpolate_when_static:
-            cleaned = interpolate_gaps(cleaned)
-        smoothed = self._smooth(cleaned)
         return TOFEstimate(
-            frame_times_s=subtracted.frame_times_s,
-            round_trip_m=smoothed,
-            raw_contour_m=contour.round_trip_m,
-            motion_mask=contour.motion_mask,
-            spectrogram=subtracted,
+            frame_times_s=result.frame_times_s,
+            round_trip_m=result.tof_m[:, 0],
+            raw_contour_m=result.raw_tof_m[:, 0],
+            motion_mask=result.motion[:, 0],
+            spectrogram=Spectrogram(
+                frames=result.subtracted[:, 0, :],
+                frame_times_s=result.frame_times_s,
+                range_bin_m=self.range_bin_m,
+            ),
         )
 
-    def contour(self, subtracted: Spectrogram) -> ContourResult:
+    def contour(self, subtracted: Spectrogram):
         """Bottom-contour stage, exposed for the pointing pipeline."""
+        from .contour import track_bottom_contour
+
         return track_bottom_contour(
             subtracted.power,
             subtracted.range_bin_m,
             threshold_db=self.config.contour_threshold_db,
-        )
-
-    def _smooth(self, series: np.ndarray) -> np.ndarray:
-        """Kalman smoothing (skipping leading NaNs if interpolation off)."""
-        if np.all(np.isnan(series)):
-            return series
-        return smooth_series(
-            series,
-            self.frame_duration_s,
-            process_noise=self.config.kalman_process_noise,
-            measurement_noise=self.config.kalman_measurement_noise,
         )

@@ -4,6 +4,12 @@
 per-antenna sweep spectra (from hardware or from :mod:`repro.sim`) and it
 returns the 3D track of the moving person.
 
+Both entry points compose the same
+:class:`~repro.pipeline.Pipeline` stage graph: :meth:`WiTrack.track`
+drives it block-vectorized (``run_batch``), :meth:`WiTrack.track_stream`
+drives it frame-at-a-time (``run_stream``), and the two provably agree —
+batch evaluation scores exactly the code that runs live.
+
 Example:
     >>> from repro import WiTrack, default_config
     >>> from repro.sim import Scenario, random_walk, through_wall_room
@@ -25,7 +31,8 @@ import numpy as np
 from ..config import SystemConfig, default_config
 from ..geometry.antennas import AntennaArray, t_array
 from .localize import LeastSquaresSolver, TGeometrySolver, make_solver
-from .tof import TOFEstimate, TOFEstimator
+from .spectrogram import Spectrogram
+from .tof import TOFEstimate
 
 
 @dataclass(frozen=True)
@@ -97,9 +104,16 @@ class WiTrack:
             self.array, method=solver_method
         )
 
-    def track(
-        self, spectra: np.ndarray, range_bin_m: float
-    ) -> TrackResult:
+    def pipeline(self, range_bin_m: float):
+        """A fresh single-person :class:`~repro.pipeline.Pipeline`."""
+        # Deferred import: repro.pipeline composes repro.core primitives.
+        from ..pipeline.runner import single_person_pipeline
+
+        return single_person_pipeline(
+            self.config, range_bin_m, solver=self.solver
+        )
+
+    def track(self, spectra: np.ndarray, range_bin_m: float) -> TrackResult:
         """Track the moving person through a block of sweep spectra.
 
         Args:
@@ -110,22 +124,40 @@ class WiTrack:
         Returns:
             The 3D :class:`TrackResult`.
         """
-        spectra = np.asarray(spectra)
-        if spectra.ndim != 3:
-            raise ValueError("spectra must have shape (n_rx, n_sweeps, n_bins)")
-        n_rx = spectra.shape[0]
-        if n_rx != self.array.num_receivers:
-            raise ValueError(
-                f"got {n_rx} antenna streams for a "
-                f"{self.array.num_receivers}-receiver array"
-            )
-        estimator = TOFEstimator(
-            self.config.fmcw.sweep_duration_s,
-            range_bin_m,
-            self.config.pipeline,
+        spectra = self._validate(spectra)
+        result = self.pipeline(range_bin_m).run_batch(
+            spectra, record_spectra=True
         )
-        estimates = tuple(estimator.estimate(spectra[i]) for i in range(n_rx))
-        return self.localize_estimates(estimates)
+        return self._package(result, range_bin_m)
+
+    def track_stream(
+        self,
+        spectra: np.ndarray,
+        range_bin_m: float,
+        record_spectra: bool = True,
+    ) -> TrackResult:
+        """Track frame-at-a-time through the same pipeline as :meth:`track`.
+
+        Accepts either a full recording (sliced into 5-sweep frames) or
+        any iterable of ``(n_rx, sweeps_per_frame, n_bins)`` blocks,
+        e.g. :meth:`repro.sim.Scenario.frames`.
+
+        Args:
+            spectra: recording or iterable of per-frame sweep blocks.
+            range_bin_m: round-trip distance per spectrum bin.
+            record_spectra: keep the per-antenna subtracted
+                spectrograms in ``tof_estimates`` (the pointing
+                pipeline needs them). Pass False for long sessions —
+                the spectrograms are the one per-frame intermediate
+                with significant memory (``tof_estimates`` is then
+                empty).
+        """
+        if isinstance(spectra, np.ndarray):
+            spectra = self._validate(spectra)
+        result = self.pipeline(range_bin_m).run_stream(
+            spectra, record_spectra=record_spectra
+        )
+        return self._package(result, range_bin_m)
 
     def localize_estimates(
         self, estimates: tuple[TOFEstimate, ...]
@@ -145,4 +177,51 @@ class WiTrack:
             round_trips_m=round_trips,
             tof_estimates=estimates,
             motion_mask=motion,
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _validate(self, spectra: np.ndarray) -> np.ndarray:
+        spectra = np.asarray(spectra)
+        if spectra.ndim != 3:
+            raise ValueError("spectra must have shape (n_rx, n_sweeps, n_bins)")
+        n_rx = spectra.shape[0]
+        if n_rx != self.array.num_receivers:
+            raise ValueError(
+                f"got {n_rx} antenna streams for a "
+                f"{self.array.num_receivers}-receiver array"
+            )
+        return spectra
+
+    def _package(self, result, range_bin_m: float) -> TrackResult:
+        """Assemble a :class:`TrackResult` from a pipeline result."""
+        if result.tof_m is None:
+            raise ValueError(
+                "recording produced no output frames (at least two "
+                "averaged frames are needed to prime background "
+                "subtraction)"
+            )
+        n_rx = result.tof_m.shape[1]
+        estimates: tuple[TOFEstimate, ...] = ()
+        if result.subtracted is not None:
+            estimates = tuple(
+                TOFEstimate(
+                    frame_times_s=result.frame_times_s,
+                    round_trip_m=result.tof_m[:, a],
+                    raw_contour_m=result.raw_tof_m[:, a],
+                    motion_mask=result.motion[:, a],
+                    spectrogram=Spectrogram(
+                        frames=result.subtracted[:, a, :],
+                        frame_times_s=result.frame_times_s,
+                        range_bin_m=range_bin_m,
+                    ),
+                )
+                for a in range(n_rx)
+            )
+        return TrackResult(
+            frame_times_s=result.frame_times_s,
+            positions=result.positions,
+            round_trips_m=result.tof_m.T,
+            tof_estimates=estimates,
+            motion_mask=result.motion.any(axis=1),
         )

@@ -91,6 +91,10 @@ class TrackingExperiment:
         walk_area: x/y ranges the subject walks in (Fig. 9 moves it
             deeper to increase distance from the device).
         config: full system configuration override.
+        mode: "batch" runs the pipeline block-vectorized
+            (``run_batch``); "stream" runs it frame-at-a-time
+            (``run_stream``). Both drive the same stage graph and the
+            scores agree — which is the point.
     """
 
     seed: int
@@ -99,6 +103,11 @@ class TrackingExperiment:
     antenna_separation_m: float = 1.0
     walk_area: tuple[tuple[float, float], tuple[float, float]] | None = None
     config: SystemConfig | None = None
+    mode: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("batch", "stream"):
+            raise ValueError(f"unknown mode: {self.mode!r}")
 
 
 @dataclass(frozen=True)
@@ -172,7 +181,10 @@ def run_tracking_experiment(exp: TrackingExperiment) -> TrackingOutcome:
     measured = scenario.run()
 
     tracker = WiTrack(config, array=scenario.array)
-    track = tracker.track(measured.spectra, measured.range_bin_m)
+    if exp.mode == "stream":
+        track = tracker.track_stream(measured.spectra, measured.range_bin_m)
+    else:
+        track = tracker.track(measured.spectra, measured.range_bin_m)
 
     # Ground truth: VICON capture of the body center, then the paper's
     # offline depth compensation.

@@ -124,6 +124,23 @@ class MultiWiTrack:
             )
         return tuple(results)
 
+    def pipeline(self, range_bin_m: float):
+        """A fresh multi-person :class:`~repro.pipeline.Pipeline`.
+
+        The same stage graph drives :meth:`track` (batch) and the
+        streaming :class:`~repro.apps.realtime.RealtimeMultiTracker`.
+        """
+        # Deferred import: repro.pipeline composes repro.multi primitives.
+        from ..pipeline.runner import multi_person_pipeline
+
+        return multi_person_pipeline(
+            self.config,
+            range_bin_m,
+            manager=self.make_manager(),
+            num_candidates=self.num_candidates,
+            manager_factory=self.make_manager,
+        )
+
     def track(self, spectra: np.ndarray, range_bin_m: float) -> MultiTrack:
         """Track every moving person through a block of sweep spectra.
 
@@ -135,6 +152,36 @@ class MultiWiTrack:
         Returns:
             The :class:`MultiTrack` of all confirmed people.
         """
+        spectra = self._validate(spectra)
+        pipe = self.pipeline(range_bin_m)
+        result = pipe.run_batch(spectra)
+        from ..pipeline.multi import Associate
+
+        return pipe.stage(Associate).manager.result(result.frame_times_s)
+
+    def track_stream(
+        self, spectra: np.ndarray, range_bin_m: float
+    ) -> MultiTrack:
+        """Track frame-at-a-time through the same pipeline as :meth:`track`.
+
+        Accepts a full recording or any iterable of
+        ``(n_rx, sweeps_per_frame, n_bins)`` blocks.
+        """
+        if isinstance(spectra, np.ndarray):
+            spectra = self._validate(spectra)
+        pipe = self.pipeline(range_bin_m)
+        result = pipe.run_stream(spectra)
+        if result.num_frames == 0:
+            raise ValueError(
+                "recording produced no output frames (at least two "
+                "averaged frames are needed to prime background "
+                "subtraction)"
+            )
+        from ..pipeline.multi import Associate
+
+        return pipe.stage(Associate).manager.result(result.frame_times_s)
+
+    def _validate(self, spectra: np.ndarray) -> np.ndarray:
         spectra = np.asarray(spectra)
         if spectra.ndim != 3:
             raise ValueError("spectra must have shape (n_rx, n_sweeps, n_bins)")
@@ -143,20 +190,7 @@ class MultiWiTrack:
                 f"got {spectra.shape[0]} antenna streams for a "
                 f"{self.array.num_receivers}-receiver array"
             )
-        contours = self.contours(spectra, range_bin_m)
-        n_frames = min(c.num_frames for c in contours)
-        frame_duration = self.frame_duration_s
-        # Background subtraction drops one frame; timestamps follow the
-        # single-person pipeline's convention.
-        frame_times = (np.arange(n_frames) + 1.5) * frame_duration
-
-        manager = self.make_manager()
-        for f in range(n_frames):
-            manager.step(
-                [c.round_trips_m[:, f] for c in contours],
-                [c.peak_powers[:, f] for c in contours],
-            )
-        return manager.result(frame_times)
+        return spectra
 
     def make_manager(self) -> TrackManager:
         """A fresh :class:`TrackManager` wired to this tracker's setup."""

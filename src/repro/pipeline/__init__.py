@@ -1,0 +1,60 @@
+"""Unified streaming pipeline engine: one stage graph for every tracker.
+
+The paper's processing chain (background subtraction → contour tracking
+→ outlier rejection → interpolation → Kalman smoothing → 3D
+localization) used to exist three times with drifting semantics: offline
+in ``WiTrack``, online in the realtime app, and again in the
+multi-person tracker. This package is the single implementation all of
+them now compose:
+
+* :mod:`frame` — the :class:`Frame`/:class:`FrameBlock` records stages
+  communicate through;
+* :mod:`stages` — the stateful single-person stages;
+* :mod:`multi` — the multi-person stages (successive cancellation and
+  track association);
+* :mod:`runner` — the :class:`Pipeline` runner with its two execution
+  modes, ``run_stream`` (frame-at-a-time, latency-accounted) and
+  ``run_batch`` (block-vectorized), plus the stage-graph factories.
+
+Both modes drive the same stage objects, so batch and streaming are
+provably the same code path — the seam future sharding and batching
+work builds on.
+"""
+
+from .frame import Frame, FrameBlock
+from .runner import (
+    LatencyReport,
+    Pipeline,
+    PipelineResult,
+    multi_person_pipeline,
+    single_person_pipeline,
+)
+from .stages import (
+    BackgroundSubtract,
+    ContourExtract,
+    HoldInterpolate,
+    KalmanSmooth,
+    Localize,
+    OutlierGate,
+    Stage,
+)
+from .multi import Associate, SuccessiveCancel
+
+__all__ = [
+    "Frame",
+    "FrameBlock",
+    "LatencyReport",
+    "Pipeline",
+    "PipelineResult",
+    "single_person_pipeline",
+    "multi_person_pipeline",
+    "Stage",
+    "BackgroundSubtract",
+    "ContourExtract",
+    "OutlierGate",
+    "HoldInterpolate",
+    "KalmanSmooth",
+    "Localize",
+    "SuccessiveCancel",
+    "Associate",
+]

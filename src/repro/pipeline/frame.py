@@ -1,0 +1,84 @@
+"""The data that flows through the pipeline engine.
+
+A :class:`Frame` is one 12.5 ms time step of the whole deployment: the
+averaged complex spectra of *every* receive antenna plus the fields the
+stages progressively fill in (subtracted power, contours, candidate TOF
+sets, the 3D fix, the per-person tracks). Stages communicate only
+through these fields, so the same stage graph serves the single-person
+and the multi-person pipelines.
+
+A :class:`FrameBlock` is the batch mirror: the same fields with a
+leading ``n_frames`` axis, so vectorizable stages can process a whole
+recording in one call while stateful stages fall back to a frame loop —
+both paths produce bitwise-identical fields, which is what makes batch
+and streaming provably the same pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Frame:
+    """One frame of the streaming pipeline (all antennas together).
+
+    Attributes:
+        index: index of the *input* averaged frame this was built from.
+        time_s: center time of that averaged frame.
+        spectrum: complex averaged spectra, shape ``(n_rx, n_bins)``;
+            after :class:`~repro.pipeline.stages.BackgroundSubtract`
+            this is the frame-to-frame difference.
+        power: background-subtracted power, shape ``(n_rx, n_bins)``.
+        raw_tof_m: raw bottom-contour round trips, shape ``(n_rx,)``.
+        tof_m: working round trips, progressively cleaned by the
+            outlier/interpolation/Kalman stages, shape ``(n_rx,)``.
+        motion: per-antenna motion detections, shape ``(n_rx,)``.
+        candidates_m: multi-person candidate round trips per antenna,
+            shape ``(n_rx, max_targets)``.
+        candidate_powers: echo power of each candidate, same shape.
+        position: the 3D fix, shape ``(3,)`` (NaN when unlocalizable).
+        tracks: ``(track_id, position)`` of every reportable person
+            (multi-person pipelines only).
+    """
+
+    index: int
+    time_s: float
+    spectrum: np.ndarray | None = None
+    power: np.ndarray | None = None
+    raw_tof_m: np.ndarray | None = None
+    tof_m: np.ndarray | None = None
+    motion: np.ndarray | None = None
+    candidates_m: np.ndarray | None = None
+    candidate_powers: np.ndarray | None = None
+    position: np.ndarray | None = None
+    tracks: list[tuple[int, np.ndarray]] | None = None
+
+
+@dataclass
+class FrameBlock:
+    """A whole recording's worth of frames, batch-major.
+
+    Every array mirrors the corresponding :class:`Frame` field with a
+    leading ``n_frames`` axis (e.g. ``spectrum`` has shape
+    ``(n_frames, n_rx, n_bins)`` and ``tof_m`` has shape
+    ``(n_frames, n_rx)``).
+    """
+
+    times_s: np.ndarray
+    spectrum: np.ndarray | None = None
+    power: np.ndarray | None = None
+    raw_tof_m: np.ndarray | None = None
+    tof_m: np.ndarray | None = None
+    motion: np.ndarray | None = None
+    candidates_m: np.ndarray | None = None
+    candidate_powers: np.ndarray | None = None
+    positions: np.ndarray | None = None
+    tracks: list[list[tuple[int, np.ndarray]]] = field(default_factory=list)
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the block."""
+        return len(self.times_s)

@@ -1,0 +1,399 @@
+"""The pipeline runner: one stage graph, two execution modes.
+
+:class:`Pipeline` owns an ordered stage list and drives it either
+
+* frame-at-a-time (:meth:`Pipeline.push` / :meth:`Pipeline.run_stream`)
+  with per-frame wall-clock latency accounting against the paper's
+  75 ms budget (Section 7), or
+* block-at-a-time (:meth:`Pipeline.run_batch`), vectorized across
+  sweeps and antennas wherever a stage allows it, for offline
+  evaluation.
+
+Both modes run the *same stage objects*, so a recording pushed through
+``run_stream`` and the same recording handed to ``run_batch`` produce
+identical outputs (bitwise, for the closed-form localizer) — the
+equivalence the batch/stream tests pin. The runner also owns the two
+pre-stage steps every consumer used to duplicate: coherent frame
+averaging (five sweeps per frame, §4.1/§7) and the max-range crop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig
+from .frame import Frame, FrameBlock
+from .stages import (
+    BackgroundSubtract,
+    ContourExtract,
+    HoldInterpolate,
+    KalmanSmooth,
+    Localize,
+    OutlierGate,
+    Stage,
+)
+
+
+@dataclass
+class LatencyReport:
+    """Per-frame processing-time statistics.
+
+    All statistics are NaN — and the budget check fails — while no
+    frame has been timed yet.
+
+    Attributes:
+        latencies_s: wall-clock processing time per frame.
+    """
+
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def median_s(self) -> float:
+        """Median per-frame latency (NaN when empty)."""
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.median(self.latencies_s))
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile per-frame latency (NaN when empty)."""
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, 95))
+
+    @property
+    def max_s(self) -> float:
+        """Worst-case per-frame latency (NaN when empty)."""
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.max(self.latencies_s))
+
+    def within_budget(self, budget_s: float = 0.075) -> bool:
+        """True when the 95th percentile meets the paper's budget.
+
+        An empty report is *not* within budget: no evidence, no claim.
+        """
+        if not self.latencies_s:
+            return False
+        return self.p95_s <= budget_s
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced.
+
+    Single-person pipelines fill the TOF/position fields; multi-person
+    pipelines fill ``tracks``. Field layouts are frame-major; consumers
+    transpose as needed.
+
+    Attributes:
+        frame_times_s: timestamp of each output frame.
+        tof_m: cleaned per-antenna round trips, ``(n_frames, n_rx)``.
+        raw_tof_m: raw bottom contours, same shape.
+        motion: per-antenna motion detections, same shape.
+        positions: 3D fixes, ``(n_frames, 3)``.
+        tracks: per-frame reportable ``(track_id, position)`` lists.
+        subtracted: background-subtracted complex frames,
+            ``(n_frames, n_rx, n_bins)`` (only when recorded).
+        latency: per-frame latency report (streaming runs only).
+    """
+
+    frame_times_s: np.ndarray
+    tof_m: np.ndarray | None = None
+    raw_tof_m: np.ndarray | None = None
+    motion: np.ndarray | None = None
+    positions: np.ndarray | None = None
+    tracks: list[list[tuple[int, np.ndarray]]] | None = None
+    subtracted: np.ndarray | None = None
+    latency: LatencyReport | None = None
+
+    @property
+    def num_frames(self) -> int:
+        """Number of output frames."""
+        return len(self.frame_times_s)
+
+
+class Pipeline:
+    """A stage graph plus the two execution modes that drive it.
+
+    Args:
+        stages: ordered stages; each consumes/extends the shared frame.
+        sweep_duration_s: FMCW sweep period.
+        sweeps_per_frame: sweeps coherently averaged per frame.
+        range_bin_m: round-trip distance per spectrum bin.
+        max_range_m: crop incoming frames to this round-trip range
+            (None keeps every bin).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        *,
+        sweep_duration_s: float,
+        sweeps_per_frame: int,
+        range_bin_m: float,
+        max_range_m: float | None = None,
+    ) -> None:
+        if sweep_duration_s <= 0 or range_bin_m <= 0:
+            raise ValueError("sweep_duration_s and range_bin_m must be positive")
+        if sweeps_per_frame < 1:
+            raise ValueError("sweeps_per_frame must be >= 1")
+        self.stages = list(stages)
+        self.sweep_duration_s = sweep_duration_s
+        self.sweeps_per_frame = sweeps_per_frame
+        self.range_bin_m = range_bin_m
+        self.max_range_m = max_range_m
+        self._max_bins: int | None = None
+        if max_range_m is not None:
+            self._max_bins = int(np.ceil(max_range_m / range_bin_m)) + 1
+        self._frames_in = 0
+        self.latency = LatencyReport()
+
+    @property
+    def frame_duration_s(self) -> float:
+        """Duration of one averaged frame."""
+        return self.sweeps_per_frame * self.sweep_duration_s
+
+    def stage(self, kind: type) -> Stage:
+        """The first stage of the given class (KeyError if absent)."""
+        for s in self.stages:
+            if isinstance(s, kind):
+                return s
+        raise KeyError(f"pipeline has no {kind.__name__} stage")
+
+    def reset(self) -> None:
+        """Forget all online state; ready for a fresh recording."""
+        for s in self.stages:
+            s.reset()
+        self._frames_in = 0
+        self.latency = LatencyReport()
+
+    def _crop(self, frames: np.ndarray) -> np.ndarray:
+        if self._max_bins is None:
+            return frames
+        return frames[..., : min(self._max_bins, frames.shape[-1])]
+
+    # -- streaming mode ----------------------------------------------------
+
+    def push(self, sweep_block: np.ndarray) -> Frame | None:
+        """Process one frame worth of sweeps for all antennas.
+
+        Args:
+            sweep_block: shape ``(n_rx, sweeps_per_frame, n_bins)``.
+
+        Returns:
+            The processed :class:`Frame`, or ``None`` while the
+            pipeline is still priming (first frame). Wall-clock
+            processing time is appended to :attr:`latency` either way.
+        """
+        start = perf_counter()
+        averaged = self._crop(np.asarray(sweep_block).mean(axis=1))
+        index = self._frames_in
+        self._frames_in += 1
+        frame: Frame | None = Frame(
+            index=index,
+            time_s=(index + 0.5) * self.frame_duration_s,
+            spectrum=averaged,
+        )
+        for stage in self.stages:
+            frame = stage.process(frame)
+            if frame is None:
+                break
+        self.latency.latencies_s.append(perf_counter() - start)
+        return frame
+
+    def stream(
+        self, frames: Iterable[np.ndarray] | np.ndarray
+    ) -> Iterator[Frame]:
+        """Push an iterable of sweep blocks; yield every output frame.
+
+        A full ``(n_rx, n_sweeps, n_bins)`` recording is accepted too
+        and sliced into frames.
+        """
+        if isinstance(frames, np.ndarray):
+            frames = self._blocks(frames)
+        for block in frames:
+            out = self.push(block)
+            if out is not None:
+                yield out
+
+    def run_stream(
+        self,
+        frames: Iterable[np.ndarray] | np.ndarray,
+        record_spectra: bool = False,
+    ) -> PipelineResult:
+        """Stream a whole recording and collect the per-frame outputs.
+
+        This accumulates every frame's fields into one
+        :class:`PipelineResult` (use :meth:`stream` directly for
+        unbounded sessions where accumulation is unwanted).
+        """
+        times: list[float] = []
+        tofs: list[np.ndarray] = []
+        raws: list[np.ndarray] = []
+        motions: list[np.ndarray] = []
+        positions: list[np.ndarray] = []
+        tracks: list[list[tuple[int, np.ndarray]]] = []
+        spectra: list[np.ndarray] = []
+        for frame in self.stream(frames):
+            times.append(frame.time_s)
+            if frame.tof_m is not None:
+                tofs.append(frame.tof_m)
+            if frame.raw_tof_m is not None:
+                raws.append(frame.raw_tof_m)
+            if frame.motion is not None:
+                motions.append(frame.motion)
+            if frame.position is not None:
+                positions.append(frame.position)
+            if frame.tracks is not None:
+                tracks.append(frame.tracks)
+            if record_spectra and frame.spectrum is not None:
+                spectra.append(frame.spectrum)
+        return PipelineResult(
+            frame_times_s=np.asarray(times),
+            tof_m=np.stack(tofs) if tofs else None,
+            raw_tof_m=np.stack(raws) if raws else None,
+            motion=np.stack(motions) if motions else None,
+            positions=np.stack(positions) if positions else None,
+            tracks=tracks if tracks else None,
+            subtracted=np.stack(spectra) if spectra else None,
+            latency=self.latency,
+        )
+
+    def _blocks(self, spectra: np.ndarray) -> Iterator[np.ndarray]:
+        spf = self.sweeps_per_frame
+        for f in range(spectra.shape[1] // spf):
+            yield spectra[:, f * spf : (f + 1) * spf, :]
+
+    # -- batch mode --------------------------------------------------------
+
+    def run_batch(
+        self, spectra: np.ndarray, record_spectra: bool = False
+    ) -> PipelineResult:
+        """Process a whole recording block-at-a-time (vectorized).
+
+        Args:
+            spectra: complex sweep spectra, shape
+                ``(n_rx, n_sweeps, n_bins)``.
+            record_spectra: keep the background-subtracted complex
+                frames in the result (needed to rebuild per-antenna
+                spectrograms, e.g. for the pointing pipeline).
+
+        Returns:
+            The :class:`PipelineResult`; fields match
+            :meth:`run_stream` on the same recording exactly.
+        """
+        spectra = np.asarray(spectra)
+        if spectra.ndim != 3:
+            raise ValueError("spectra must have shape (n_rx, n_sweeps, n_bins)")
+        n_rx, n_sweeps, n_bins = spectra.shape
+        spf = self.sweeps_per_frame
+        n_frames = n_sweeps // spf
+        if n_frames < 2:
+            raise ValueError(
+                f"need at least {2 * spf} sweeps, got {n_sweeps}"
+            )
+        trimmed = spectra[:, : n_frames * spf, :]
+        averaged = self._crop(
+            trimmed.reshape(n_rx, n_frames, spf, n_bins).mean(axis=2)
+        )
+        base = self._frames_in
+        self._frames_in += n_frames
+        block = FrameBlock(
+            times_s=(np.arange(base, base + n_frames) + 0.5)
+            * self.frame_duration_s,
+            spectrum=np.ascontiguousarray(averaged.transpose(1, 0, 2)),
+        )
+        for stage in self.stages:
+            block = stage.process_block(block)
+        return PipelineResult(
+            frame_times_s=block.times_s,
+            tof_m=block.tof_m,
+            raw_tof_m=block.raw_tof_m,
+            motion=block.motion,
+            positions=block.positions,
+            tracks=block.tracks if block.tracks else None,
+            subtracted=block.spectrum if record_spectra else None,
+            latency=None,
+        )
+
+
+def single_person_pipeline(
+    config: SystemConfig,
+    range_bin_m: float,
+    solver=None,
+    localize: bool = True,
+) -> Pipeline:
+    """The paper's Section 4+5 chain as one pipeline.
+
+    Args:
+        config: full system configuration.
+        range_bin_m: round-trip distance per spectrum bin.
+        solver: localization solver; required when ``localize``.
+        localize: include the 3D localization stage (omit for a
+            single-antenna TOF-only pipeline).
+    """
+    p = config.pipeline
+    frame_dt = p.sweeps_per_frame * config.fmcw.sweep_duration_s
+    stages: list[Stage] = [
+        BackgroundSubtract(),
+        ContourExtract(range_bin_m, threshold_db=p.contour_threshold_db),
+        OutlierGate(
+            max_jump_m=p.max_jump_m,
+            confirmation_frames=p.jump_confirmation_frames,
+        ),
+        HoldInterpolate(enabled=p.interpolate_when_static),
+        KalmanSmooth(
+            frame_dt,
+            process_noise=p.kalman_process_noise,
+            measurement_noise=p.kalman_measurement_noise,
+        ),
+    ]
+    if localize:
+        if solver is None:
+            raise ValueError("localize=True requires a solver")
+        stages.append(Localize(solver))
+    return Pipeline(
+        stages,
+        sweep_duration_s=config.fmcw.sweep_duration_s,
+        sweeps_per_frame=p.sweeps_per_frame,
+        range_bin_m=range_bin_m,
+        max_range_m=p.max_range_m,
+    )
+
+
+def multi_person_pipeline(
+    config: SystemConfig,
+    range_bin_m: float,
+    manager,
+    num_candidates: int,
+    manager_factory=None,
+) -> Pipeline:
+    """The multi-person chain: shared front end + cancel + associate.
+
+    Args:
+        config: full system configuration.
+        range_bin_m: round-trip distance per spectrum bin.
+        manager: the :class:`~repro.multi.tracks.TrackManager` to drive.
+        num_candidates: cancellation rounds per antenna and frame.
+        manager_factory: rebuilds a fresh manager on :meth:`Pipeline.reset`.
+    """
+    from .multi import Associate, SuccessiveCancel
+
+    p = config.pipeline
+    stages: list[Stage] = [
+        BackgroundSubtract(),
+        SuccessiveCancel(range_bin_m, max_targets=num_candidates),
+        Associate(manager, factory=manager_factory),
+    ]
+    return Pipeline(
+        stages,
+        sweep_duration_s=config.fmcw.sweep_duration_s,
+        sweeps_per_frame=p.sweeps_per_frame,
+        range_bin_m=range_bin_m,
+        max_range_m=p.max_range_m,
+    )

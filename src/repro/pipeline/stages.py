@@ -1,0 +1,361 @@
+"""Composable, stateful pipeline stages (paper Section 4 + Section 7).
+
+Each stage implements the same interface twice:
+
+* ``process(frame)`` — one :class:`~repro.pipeline.frame.Frame` at a
+  time, holding whatever online state the stage needs (the previous
+  frame, the outlier gate's pending list, the Kalman covariance). This
+  is the realtime code path of Section 7.
+* ``process_block(block)`` — a whole
+  :class:`~repro.pipeline.frame.FrameBlock` at once. Stateless or
+  per-frame-independent stages vectorize; stateful stages run the exact
+  per-frame update in a loop. Either way the outputs are
+  bitwise-identical to streaming the same frames through ``process``,
+  which is what the batch/stream equivalence tests pin down.
+
+The single-person chain is
+
+    BackgroundSubtract -> ContourExtract -> OutlierGate
+    -> HoldInterpolate -> KalmanSmooth -> Localize
+
+and the multi-person chain swaps the middle for
+:class:`~repro.pipeline.multi.SuccessiveCancel` and
+:class:`~repro.pipeline.multi.Associate`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.contour import track_bottom_contour
+from ..core.kalman import KalmanFilter1D
+
+
+class Stage:
+    """One stateful step of the pipeline.
+
+    Subclasses fill in :meth:`process` (streaming) and
+    :meth:`process_block` (batch); the two must agree exactly on the
+    fields they produce. :meth:`reset` forgets all online state so a
+    pipeline can be reused for a fresh recording.
+    """
+
+    def process(self, frame):
+        """Advance one frame; return it (possibly mutated) or ``None``.
+
+        Returning ``None`` consumes the frame without output — e.g. the
+        first frame that only primes the background subtractor. Later
+        stages are then skipped for this time step.
+        """
+        raise NotImplementedError
+
+    def process_block(self, block):
+        """Advance a whole block; must match ``process`` frame by frame."""
+        raise NotImplementedError
+
+    def flush(self) -> list:
+        """Emit any trailing frames at end of stream (default: none)."""
+        return []
+
+    def reset(self) -> None:
+        """Forget all online state."""
+
+
+class BackgroundSubtract(Stage):
+    """Frame-to-frame subtraction: removing the Flash Effect (§4.2).
+
+    Static reflectors keep a constant TOF, so subtracting consecutive
+    averaged frames cancels them; a moving body decorrelates across the
+    ~5 cm carrier wavelength and survives. The first frame only primes
+    the reference and produces no output.
+    """
+
+    def __init__(self) -> None:
+        self._previous: np.ndarray | None = None
+
+    def process(self, frame):
+        current = frame.spectrum
+        if self._previous is None:
+            self._previous = current
+            return None
+        diff = current - self._previous
+        self._previous = current
+        frame.spectrum = diff
+        frame.power = np.abs(diff) ** 2
+        return frame
+
+    def process_block(self, block):
+        frames = block.spectrum
+        if self._previous is not None:
+            frames = np.concatenate([self._previous[None], frames])
+        else:
+            block.times_s = block.times_s[1:]
+        if len(frames) < 2:
+            raise ValueError("background subtraction needs at least two frames")
+        diff = frames[1:] - frames[:-1]
+        self._previous = frames[-1]
+        block.spectrum = diff
+        block.power = np.abs(diff) ** 2
+        return block
+
+    def reset(self) -> None:
+        self._previous = None
+
+
+class ContourExtract(Stage):
+    """Bottom-contour tracking: defeating dynamic multipath (§4.3).
+
+    Per antenna, the closest local maximum substantially above the noise
+    floor. Writes ``raw_tof_m`` (kept for the pointing pipeline),
+    ``tof_m`` (the working copy downstream stages clean), and
+    ``motion``.
+    """
+
+    def __init__(
+        self,
+        range_bin_m: float,
+        threshold_db: float = 12.0,
+        min_range_m: float = 1.0,
+        relative_threshold_db: float = 26.0,
+    ) -> None:
+        self.range_bin_m = range_bin_m
+        self.threshold_db = threshold_db
+        self.min_range_m = min_range_m
+        self.relative_threshold_db = relative_threshold_db
+
+    def _contour(self, power: np.ndarray):
+        return track_bottom_contour(
+            power,
+            self.range_bin_m,
+            threshold_db=self.threshold_db,
+            min_range_m=self.min_range_m,
+            relative_threshold_db=self.relative_threshold_db,
+        )
+
+    def process(self, frame):
+        n_rx = frame.power.shape[0]
+        tof = np.empty(n_rx)
+        motion = np.zeros(n_rx, dtype=bool)
+        for a in range(n_rx):
+            result = self._contour(frame.power[a][None, :])
+            tof[a] = result.round_trip_m[0]
+            motion[a] = result.motion_mask[0]
+        frame.raw_tof_m = tof
+        frame.tof_m = tof.copy()
+        frame.motion = motion
+        return frame
+
+    def process_block(self, block):
+        n_frames, n_rx, _ = block.power.shape
+        tof = np.empty((n_frames, n_rx))
+        motion = np.zeros((n_frames, n_rx), dtype=bool)
+        for a in range(n_rx):
+            result = self._contour(block.power[:, a, :])
+            tof[:, a] = result.round_trip_m
+            motion[:, a] = result.motion_mask
+        block.raw_tof_m = tof
+        block.tof_m = tof.copy()
+        block.motion = motion
+        return block
+
+
+class OutlierGate(Stage):
+    """Online outlier rejection (§4.4 / §7).
+
+    "The contour should not jump significantly between two successive
+    FFT frames (because a person cannot move much in 12.5 ms)." A jump
+    is accepted only once several consecutive frames agree on the new
+    distance — a streaming-causal variant of
+    :func:`repro.core.outliers.reject_outliers` that never rewrites
+    already-emitted frames.
+    """
+
+    def __init__(
+        self,
+        max_jump_m: float = 0.15,
+        confirmation_frames: int = 4,
+        agreement_m: float | None = None,
+    ) -> None:
+        if max_jump_m <= 0:
+            raise ValueError("max_jump_m must be positive")
+        if confirmation_frames < 1:
+            raise ValueError("confirmation_frames must be >= 1")
+        self.max_jump_m = max_jump_m
+        self.confirmation_frames = confirmation_frames
+        self.agreement_m = (
+            agreement_m if agreement_m is not None else 2.0 * max_jump_m
+        )
+        self._last: list[float] | None = None
+        self._since: list[int] | None = None
+        self._pending: list[list[float]] | None = None
+
+    def _init(self, n_rx: int) -> None:
+        if self._last is None:
+            self._last = [float("nan")] * n_rx
+            self._since = [1] * n_rx
+            self._pending = [[] for _ in range(n_rx)]
+
+    def _gate_one(self, a: int, value: float) -> float:
+        assert self._last is not None and self._since is not None
+        assert self._pending is not None
+        if np.isnan(value):
+            self._since[a] += 1
+            return float("nan")
+        if np.isnan(self._last[a]):
+            self._last[a] = value
+            self._since[a] = 1
+            return value
+        allowed = self.max_jump_m * self._since[a]
+        if abs(value - self._last[a]) <= allowed:
+            self._last[a] = value
+            self._since[a] = 1
+            self._pending[a].clear()
+            return value
+        # Candidate relocation: require persistence before believing it.
+        self._pending[a] = [
+            v for v in self._pending[a] if abs(v - value) <= self.agreement_m
+        ]
+        self._pending[a].append(value)
+        self._since[a] += 1
+        if len(self._pending[a]) >= self.confirmation_frames:
+            self._last[a] = value
+            self._since[a] = 1
+            self._pending[a].clear()
+            return value
+        return float("nan")
+
+    def _step(self, tof: np.ndarray) -> np.ndarray:
+        self._init(len(tof))
+        return np.array(
+            [self._gate_one(a, float(v)) for a, v in enumerate(tof)]
+        )
+
+    def process(self, frame):
+        frame.tof_m = self._step(frame.tof_m)
+        return frame
+
+    def process_block(self, block):
+        out = np.empty_like(block.tof_m)
+        for f in range(len(out)):
+            out[f] = self._step(block.tof_m[f])
+        block.tof_m = out
+        return block
+
+    def reset(self) -> None:
+        self._last = None
+        self._since = None
+        self._pending = None
+
+
+class HoldInterpolate(Stage):
+    """Hold-last interpolation through silence (§4.4).
+
+    "We assume that the person is still in the same position and
+    interpolate the latest location estimate throughout the period
+    during which we do not observe any motion." Frames before the first
+    detection stay NaN — a causal tracker has no earlier knowledge.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._held: np.ndarray | None = None
+
+    def _step(self, tof: np.ndarray) -> np.ndarray:
+        if self._held is None:
+            self._held = np.full(len(tof), np.nan)
+        finite = np.isfinite(tof)
+        out = tof
+        if self.enabled:
+            out = np.where(finite, tof, self._held)
+        self._held = np.where(finite, tof, self._held)
+        return out
+
+    def process(self, frame):
+        frame.tof_m = self._step(frame.tof_m)
+        return frame
+
+    def process_block(self, block):
+        out = np.empty_like(block.tof_m)
+        for f in range(len(out)):
+            out[f] = self._step(block.tof_m[f])
+        block.tof_m = out
+        return block
+
+    def reset(self) -> None:
+        self._held = None
+
+
+class KalmanSmooth(Stage):
+    """Per-antenna constant-velocity Kalman smoothing (§4.4).
+
+    One :class:`~repro.core.kalman.KalmanFilter1D` per receive antenna
+    on the round-trip distance; NaN inputs advance the filter without a
+    measurement (prediction), exactly as the realtime loop needs.
+    """
+
+    def __init__(
+        self,
+        frame_dt_s: float,
+        process_noise: float = 10.0,
+        measurement_noise: float = 1e-3,
+    ) -> None:
+        self.frame_dt_s = frame_dt_s
+        self.process_noise = process_noise
+        self.measurement_noise = measurement_noise
+        self._filters: list[KalmanFilter1D] | None = None
+
+    def _step(self, tof: np.ndarray) -> np.ndarray:
+        if self._filters is None:
+            self._filters = [
+                KalmanFilter1D(
+                    self.frame_dt_s,
+                    process_noise=self.process_noise,
+                    measurement_noise=self.measurement_noise,
+                )
+                for _ in range(len(tof))
+            ]
+        out = np.empty(len(tof))
+        for a, kf in enumerate(self._filters):
+            value = float(tof[a])
+            if np.isnan(value):
+                out[a] = kf.predict() if kf.initialized else np.nan
+            else:
+                out[a] = kf.update(value)
+        return out
+
+    def process(self, frame):
+        frame.tof_m = self._step(frame.tof_m)
+        return frame
+
+    def process_block(self, block):
+        out = np.empty_like(block.tof_m)
+        for f in range(len(out)):
+            out[f] = self._step(block.tof_m[f])
+        block.tof_m = out
+        return block
+
+    def reset(self) -> None:
+        self._filters = None
+
+
+class Localize(Stage):
+    """Ellipsoid-intersection 3D localization (§5).
+
+    Solves the smoothed per-antenna round trips into one 3D position per
+    frame. The batch path hands the whole block to the solver in one
+    call (the closed-form T solver is fully vectorized); for the
+    closed form the two paths are bitwise-identical, while the
+    least-squares solver's warm start makes batch solutions (slightly)
+    better conditioned than frame-at-a-time ones.
+    """
+
+    def __init__(self, solver) -> None:
+        self.solver = solver
+
+    def process(self, frame):
+        frame.position = self.solver.solve_one(frame.tof_m)
+        return frame
+
+    def process_block(self, block):
+        block.positions = self.solver.solve(block.tof_m).positions
+        return block

@@ -142,11 +142,23 @@ class SweepSynthesizer:
                     phase0, window,
                 )
         if add_noise:
-            spectra += self._noise_scale() * self.noise.complex_noise(
-                spectra.shape, rng
-            )
-            jitter = self.noise.phase_jitter((n_sweeps, 1), rng)
-            spectra *= jitter
+            self.add_noise(spectra, rng)
+        return spectra
+
+    def add_noise(
+        self, spectra: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Add the thermal floor and phase jitter to a sweep block.
+
+        Modifies ``spectra`` (shape ``(n_sweeps, n_bins)``) in place and
+        returns it. Exposed so streaming synthesis can noise each block
+        from its own random stream (chunk-size invariant) while batch
+        synthesis keeps noising the whole recording in one draw.
+        """
+        spectra += self._noise_scale() * self.noise.complex_noise(
+            spectra.shape, rng
+        )
+        spectra *= self.noise.phase_jitter((len(spectra), 1), rng)
         return spectra
 
     def _accumulate(

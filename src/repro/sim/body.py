@@ -93,6 +93,25 @@ class ReflectionModel:
             ]
         )
 
+    def stream(
+        self,
+        dt_s: float,
+        rng: np.random.Generator,
+        device_position: np.ndarray | None = None,
+        floor_z: float | None = None,
+    ) -> "SurfaceWanderStream":
+        """A chunkable surface-point generator (state carried across calls).
+
+        :meth:`surface_points` is this stream applied to the whole
+        trajectory in one call; :meth:`repro.sim.Scenario.frames` feeds
+        it chunk by chunk so arbitrarily long sessions need only
+        chunk-sized memory. Identical ``rng`` and centers produce
+        identical surfaces regardless of how the calls are chunked.
+        """
+        return SurfaceWanderStream(
+            self, dt_s, rng, device_position=device_position, floor_z=floor_z
+        )
+
     def surface_points(
         self,
         centers: np.ndarray,
@@ -116,50 +135,149 @@ class ReflectionModel:
         Returns:
             Surface points, shape ``(n, 3)``.
         """
-        centers = np.asarray(centers, dtype=np.float64)
-        n = len(centers)
-        device = (
-            np.zeros(3)
-            if device_position is None
-            else np.asarray(device_position, dtype=np.float64)
-        )
-        # Depth offset toward the device, horizontal only.
-        toward = device[None, :2] - centers[:, :2]
-        dist = np.linalg.norm(toward, axis=1, keepdims=True)
-        dist = np.where(dist < 1e-9, 1.0, dist)
-        offset_xy = self.body.torso_depth_m * toward / dist
+        return self.stream(
+            dt_s, rng, device_position=device_position, floor_z=floor_z
+        ).points(centers)
 
-        stds = self.wander_stds()
-        rho = float(np.exp(-dt_s / self.correlation_time_s))
-        innovation = np.sqrt(max(1.0 - rho * rho, 0.0))
-        # The scattering center wanders because gait and posture change
-        # while the person moves; a still body keeps a (nearly) fixed
-        # reflection point — which is what makes her vanish under
-        # background subtraction (paper Sections 4.4 and 10).
-        if n > 1 and dt_s > 0:
-            step = np.linalg.norm(np.diff(centers, axis=0), axis=1)
-            speed = np.concatenate([step[:1], step]) / dt_s
-        else:
-            speed = np.zeros(n)
-        # Fully frozen at zero speed: even millimetre-scale random motion
-        # per sweep would decorrelate the ~5 cm carrier and keep a still
-        # person visible after background subtraction.
-        activity = np.clip(speed / 0.5, 0.0, 1.0)
-        wander = np.empty((n, 3))
-        state = rng.standard_normal(3)
+
+class GatedAR1:
+    """An activity-gated mean-reverting (OU / AR(1)) random walk.
+
+    The simulator's stochastic textures — surface wander, in-wall TOF
+    jitter, hand wander — all share this process: mean reversion *and*
+    innovation are scaled by the subject's activity, so a still body
+    freezes its state entirely (even millimetre-scale random motion per
+    sweep would decorrelate the ~5 cm carrier and keep a still person
+    visible after background subtraction — paper Sections 4.4 and 10).
+
+    The state lives on the object, so a walk can be advanced chunk by
+    chunk: the concatenation of chunked :meth:`advance` calls is
+    bitwise-identical to one big call with the same random stream. That
+    is what lets :meth:`repro.sim.Scenario.frames` synthesize unbounded
+    sessions in bounded memory.
+
+    Args:
+        rho: per-step correlation ``exp(-dt / tau)``.
+        rng: random source (consumed one draw per step).
+        dim: state dimension; ``None`` for a scalar walk.
+    """
+
+    def __init__(
+        self, rho: float, rng: np.random.Generator, dim: int | None = None
+    ) -> None:
+        self.rho = float(rho)
+        self.innovation = float(np.sqrt(max(1.0 - self.rho * self.rho, 0.0)))
+        self.rng = rng
+        self.dim = dim
+        self.state = (
+            rng.standard_normal() if dim is None else rng.standard_normal(dim)
+        )
+
+    def advance(self, activity: np.ndarray) -> np.ndarray:
+        """Advance one step per activity sample; returns the visited states.
+
+        Output shape is ``(len(activity),)`` for scalar walks and
+        ``(len(activity), dim)`` otherwise.
+        """
+        n = len(activity)
+        out = np.empty(n) if self.dim is None else np.empty((n, self.dim))
+        state = self.state
         for i in range(n):
-            wander[i] = state
+            out[i] = state
+            noise = (
+                self.rng.standard_normal()
+                if self.dim is None
+                else self.rng.standard_normal(self.dim)
+            )
             # Scale the *whole* OU update (mean reversion and noise) by
             # the activity level: a still body freezes its scattering
             # center instead of relaxing it toward the torso center.
             state = state + activity[i] * (
-                (rho - 1.0) * state + innovation * rng.standard_normal(3)
+                (self.rho - 1.0) * state + self.innovation * noise
             )
-        wander *= stds[None, :]
-        if floor_z is not None:
+        self.state = state
+        return out
+
+
+class SurfaceWanderStream:
+    """Chunkable reflection-surface generator for one body.
+
+    Carries the wander state and the previous body center across calls,
+    so feeding a trajectory in chunks yields exactly the same surface as
+    one :meth:`ReflectionModel.surface_points` call.
+    """
+
+    def __init__(
+        self,
+        model: ReflectionModel,
+        dt_s: float,
+        rng: np.random.Generator,
+        device_position: np.ndarray | None = None,
+        floor_z: float | None = None,
+    ) -> None:
+        self.model = model
+        self.dt_s = dt_s
+        self.device = (
+            np.zeros(3)
+            if device_position is None
+            else np.asarray(device_position, dtype=np.float64)
+        )
+        self.floor_z = floor_z
+        rho = float(np.exp(-dt_s / model.correlation_time_s))
+        self._ar = GatedAR1(rho, rng, dim=3)
+        self._prev_center: np.ndarray | None = None
+
+    def activity(self, centers: np.ndarray) -> np.ndarray:
+        """Activity level (0..1) per sample, continuous across chunks."""
+        n = len(centers)
+        if self.dt_s <= 0:
+            return np.zeros(n)
+        if self._prev_center is not None:
+            extended = np.concatenate([self._prev_center[None], centers])
+            speed = (
+                np.linalg.norm(np.diff(extended, axis=0), axis=1) / self.dt_s
+            )
+        elif n > 1:
+            step = np.linalg.norm(np.diff(centers, axis=0), axis=1)
+            speed = np.concatenate([step[:1], step]) / self.dt_s
+        else:
+            return np.zeros(n)
+        return np.clip(speed / 0.5, 0.0, 1.0)
+
+    def points(
+        self, centers: np.ndarray, activity: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Surface points for the next chunk of body centers.
+
+        Args:
+            centers: body-center positions, shape ``(n, 3)``.
+            activity: precomputed :meth:`activity` (avoids recomputing
+                it when the caller also needs it); must match
+                ``centers``.
+
+        Returns:
+            Surface points, shape ``(n, 3)``.
+        """
+        centers = np.asarray(centers, dtype=np.float64)
+        if activity is None:
+            activity = self.activity(centers)
+        if len(centers):
+            self._prev_center = centers[-1].copy()
+        # Depth offset toward the device, horizontal only.
+        toward = self.device[None, :2] - centers[:, :2]
+        dist = np.linalg.norm(toward, axis=1, keepdims=True)
+        dist = np.where(dist < 1e-9, 1.0, dist)
+        offset_xy = self.model.body.torso_depth_m * toward / dist
+
+        # The scattering center wanders because gait and posture change
+        # while the person moves; a still body keeps a (nearly) fixed
+        # reflection point — which is what makes her vanish under
+        # background subtraction (paper Sections 4.4 and 10).
+        wander = self._ar.advance(activity) * self.model.wander_stds()[None, :]
+        if self.floor_z is not None:
             # Vertical extent shrinks with torso height above the floor:
             # full wander when standing (torso ~1 m up), ~30% when lying.
-            height = np.clip(centers[:, 2] - floor_z, 0.0, None)
+            height = np.clip(centers[:, 2] - self.floor_z, 0.0, None)
             shrink = np.clip(height / 1.0, 0.3, 1.0)
             wander[:, 2] *= shrink
 

@@ -19,19 +19,27 @@ All physical effects the paper's pipeline exists to fight are present:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from ..config import SystemConfig, default_config
 from ..geometry.antennas import Antenna, AntennaArray, t_array
+from ..rf.fmcw import range_axis
 from ..rf.multipath import make_static_clutter, mirror_point
 from ..rf.noise import NoiseModel
 from ..rf.propagation import wavelength
 from ..rf.receiver import Path, SweepSynthesizer
-from .body import HumanBody, ReflectionModel
+from .body import GatedAR1, HumanBody, ReflectionModel
 from .gestures import PointingGesture
 from .motion import Trajectory
 from .room import Room
+
+#: Hand scattering-center wander std along (x, y, z), in meters.
+_HAND_WANDER_STD_M = np.array([0.055, 0.04, 0.07])
+#: AR(1) time constants: hand wander and in-wall traversal jitter.
+_HAND_WANDER_TAU_S = 0.25
+_WALL_JITTER_TAU_S = 0.5
 
 
 def _vector_gain(
@@ -131,13 +139,169 @@ class Scenario:
         self.seed = seed
         self.array = array if array is not None else t_array(self.config.array)
 
+    @property
+    def range_bin_m(self) -> float:
+        """Round-trip distance per spectrum bin (as :meth:`run` reports)."""
+        return float(range_axis(self.config.fmcw).round_trip_per_bin_m)
+
+    @property
+    def num_sweeps(self) -> int:
+        """Sweeps the session spans (what :meth:`run` synthesizes)."""
+        return max(
+            int(self.trajectory.duration_s / self.config.fmcw.sweep_duration_s),
+            2,
+        )
+
+    @property
+    def num_stream_frames(self) -> int:
+        """Frames :meth:`frames` will yield for this trajectory."""
+        return self.num_sweeps // self.config.pipeline.sweeps_per_frame
+
+    def frames(self, chunk_frames: int = 256) -> Iterator[np.ndarray]:
+        """Lazily synthesize the session as per-frame sweep blocks.
+
+        Yields one ``(n_rx, sweeps_per_frame, n_bins)`` block per 12.5 ms
+        frame — the exact input of
+        :meth:`repro.pipeline.Pipeline.push` — while synthesizing
+        internally in chunks of ``chunk_frames`` frames, so arbitrarily
+        long scenarios stream in bounded memory instead of
+        materializing the ``(n_rx, n_sweeps, n_bins)`` block
+        :meth:`run` returns.
+
+        Every stochastic texture (surface wander, in-wall jitter, hand
+        wander) is an explicit streaming state, so the output is
+        deterministic in ``seed`` and independent of ``chunk_frames``
+        (up to last-ulp jitter from numpy's vectorized transcendentals,
+        ~1e-21). The trajectory and AR textures match :meth:`run`'s
+        draws; the static-clutter field and the thermal noise/phase
+        jitter come from dedicated streams (noise is keyed per frame so
+        chunking cannot change it), giving statistically — not
+        bitwise — identical recordings to :meth:`run`.
+
+        Args:
+            chunk_frames: frames synthesized per internal chunk (the
+                memory/speed knob; the output does not depend on it).
+        """
+        if chunk_frames < 1:
+            raise ValueError("chunk_frames must be >= 1")
+        cfg = self.config
+        fmcw = cfg.fmcw
+        dt = fmcw.sweep_duration_s
+        spf = cfg.pipeline.sweeps_per_frame
+        n_frames = self.num_stream_frames  # num_sweeps // spf, as run()
+
+        reflection = ReflectionModel(self.body)
+        surface_stream = reflection.stream(
+            dt,
+            np.random.default_rng(self.seed),
+            device_position=self.array.tx.position,
+            floor_z=self.room.floor_z,
+        )
+        clutter = self._clutter(np.random.default_rng([self.seed, 104_729]))
+        noise = NoiseModel(
+            noise_figure_db=cfg.simulation.noise_figure_db,
+            bandwidth_hz=1.0 / dt,
+        )
+        synthesizer = SweepSynthesizer(
+            fmcw, noise, max_range_m=cfg.pipeline.max_range_m
+        )
+        wall_std = (
+            self.room.wall_tof_jitter_std_m
+            if self.room.is_through_wall
+            else 0.0
+        )
+        wall_walks = None
+        if wall_std > 0.0:
+            wall_rho = float(np.exp(-dt / _WALL_JITTER_TAU_S))
+            wall_walks = [
+                GatedAR1(
+                    wall_rho, np.random.default_rng(self.seed * 7919 + i + 1)
+                )
+                for i in range(self.array.num_receivers)
+            ]
+        hand_walk = None
+        prev_hand: np.ndarray | None = None
+        if self.gesture is not None:
+            hand_walk = GatedAR1(
+                float(np.exp(-dt / _HAND_WANDER_TAU_S)),
+                np.random.default_rng(self.seed * 31 + 5),
+                dim=3,
+            )
+        unused_rng = np.random.default_rng(0)
+
+        for f0 in range(0, n_frames, chunk_frames):
+            f1 = min(f0 + chunk_frames, n_frames)
+            s0, s1 = f0 * spf, f1 * spf
+            sweep_times = np.arange(s0, s1) * dt
+            centers = self.trajectory.resample(sweep_times)
+            activity = surface_stream.activity(centers)
+            surface = surface_stream.points(centers, activity=activity)
+            hand = None
+            if self.gesture is not None:
+                assert hand_walk is not None
+                hand, prev_hand = self._hand_chunk(
+                    sweep_times, dt, hand_walk, prev_hand
+                )
+            chunk = np.empty(
+                (self.array.num_receivers, s1 - s0, synthesizer.num_bins),
+                dtype=np.complex128,
+            )
+            for i, rx in enumerate(self.array.rx):
+                jitter = (
+                    wall_std * wall_walks[i].advance(activity)
+                    if wall_walks is not None
+                    else np.zeros(s1 - s0)
+                )
+                paths = self._paths_for_antenna(
+                    rx, surface, hand, clutter, jitter
+                )
+                block = synthesizer.synthesize(
+                    paths, s1 - s0, unused_rng, add_noise=False
+                )
+                # Noise keyed per (antenna, frame): chunk-size invariant.
+                for f in range(f0, f1):
+                    row = (f - f0) * spf
+                    synthesizer.add_noise(
+                        block[row : row + spf],
+                        np.random.default_rng([self.seed, 65_537, i, f]),
+                    )
+                chunk[i] = block
+            for f in range(f0, f1):
+                row = (f - f0) * spf
+                yield chunk[:, row : row + spf, :]
+
+    def _hand_chunk(
+        self,
+        sweep_times: np.ndarray,
+        dt: float,
+        walk: GatedAR1,
+        prev_hand: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One chunk of streaming hand positions (state carried by caller)."""
+        assert self.gesture is not None
+        local = sweep_times - self.gesture_start_s
+        positions = self.gesture.hand_positions(np.clip(local, 0.0, None))
+        positions[local < 0.0] = self.gesture.rest_hand
+        n = len(positions)
+        if prev_hand is not None:
+            extended = np.concatenate([prev_hand[None], positions])
+            speed = np.linalg.norm(np.diff(extended, axis=0), axis=1) / dt
+        elif n > 1:
+            step = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+            speed = np.concatenate([step[:1], step]) / dt
+        else:
+            speed = np.zeros(n)
+        activity = np.clip(speed / 0.5, 0.0, 1.0)
+        wander = walk.advance(activity) * _HAND_WANDER_STD_M[None, :]
+        return positions + wander, positions[-1].copy()
+
     def run(self) -> ScenarioOutput:
         """Synthesize the received spectra for the whole session."""
         cfg = self.config
         fmcw = cfg.fmcw
         rng = np.random.default_rng(self.seed)
 
-        n_sweeps = max(int(self.trajectory.duration_s / fmcw.sweep_duration_s), 2)
+        n_sweeps = self.num_sweeps
         sweep_times = np.arange(n_sweeps) * fmcw.sweep_duration_s
 
         centers = self.trajectory.resample(sweep_times)
@@ -216,20 +380,11 @@ class Scenario:
 
         rng = np.random.default_rng(self.seed * 31 + 5)
         dt = float(sweep_times[1] - sweep_times[0])
+        walk = GatedAR1(float(np.exp(-dt / _HAND_WANDER_TAU_S)), rng, dim=3)
         step = np.linalg.norm(np.diff(positions, axis=0), axis=1)
         speed = np.concatenate([step[:1], step]) / dt
         activity = np.clip(speed / 0.5, 0.0, 1.0)
-        rho = float(np.exp(-dt / 0.25))
-        innovation = np.sqrt(max(1.0 - rho * rho, 0.0))
-        stds = np.array([0.055, 0.04, 0.07])
-        state = rng.standard_normal(3)
-        wander = np.empty_like(positions)
-        for i in range(len(positions)):
-            wander[i] = state
-            state = state + activity[i] * (
-                (rho - 1.0) * state + innovation * rng.standard_normal(3)
-            )
-        return positions + wander * stds[None, :]
+        return positions + walk.advance(activity) * _HAND_WANDER_STD_M[None, :]
 
     def _wall_jitter(
         self,
@@ -249,16 +404,8 @@ class Scenario:
         std = self.room.wall_tof_jitter_std_m if self.room.is_through_wall else 0.0
         if std <= 0.0:
             return np.zeros(n_sweeps)
-        rho = float(np.exp(-dt_s / 0.5))
-        innovation = np.sqrt(max(1.0 - rho * rho, 0.0))
-        out = np.empty(n_sweeps)
-        state = rng.standard_normal()
-        for i in range(n_sweeps):
-            out[i] = state
-            state = state + activity[i] * (
-                (rho - 1.0) * state + innovation * rng.standard_normal()
-            )
-        return std * out
+        walk = GatedAR1(float(np.exp(-dt_s / _WALL_JITTER_TAU_S)), rng)
+        return std * walk.advance(activity)
 
     def _wall_traversals(self) -> int:
         """Front-wall crossings of one segment (device side <-> room side)."""

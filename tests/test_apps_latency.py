@@ -1,10 +1,11 @@
-"""Tests for the latency accounting of the streaming tracker."""
+"""Tests for latency accounting and the online per-antenna chain."""
 
 import numpy as np
 import pytest
 
-from repro.apps.realtime import LatencyReport, RealtimeTracker, _AntennaState
+from repro.apps.realtime import LatencyReport, RealtimeTracker
 from repro.config import default_config
+from repro.core.tof import TOFEstimator
 
 
 class TestLatencyReport:
@@ -20,17 +21,43 @@ class TestLatencyReport:
         assert fast.within_budget(0.075)
         assert not slow.within_budget(0.075)
 
+    def test_empty_report_is_nan_and_out_of_budget(self):
+        empty = LatencyReport()
+        assert np.isnan(empty.median_s)
+        assert np.isnan(empty.p95_s)
+        assert np.isnan(empty.max_s)
+        assert not empty.within_budget(0.075)
+        assert not empty.within_budget(float("inf"))
 
-class TestAntennaState:
+
+class TestOnlineAntennaChain:
+    """The streaming TOF chain, one averaged frame at a time.
+
+    These drive the same stage objects the batch estimator uses,
+    through :meth:`Pipeline.push` — the code path of the realtime app.
+    """
+
     @pytest.fixture
-    def state(self):
-        return _AntennaState(default_config(), range_bin_m=0.1774)
+    def pipe(self):
+        estimator = TOFEstimator(
+            2.5e-3, 0.1774, default_config().pipeline
+        )
+        pipe = estimator.pipeline()
+        pipe.sweeps_per_frame = 1  # feed averaged frames directly
+        return pipe
 
-    def test_first_frame_returns_nan(self, state):
+    def _push(self, pipe, frame):
+        """One averaged single-antenna frame in, one round trip out."""
+        out = pipe.push(frame[None, None, :])
+        if out is None:
+            return float("nan")
+        return float(out.tof_m[0])
+
+    def test_first_frame_returns_nan(self, pipe):
         frame = np.zeros(171, dtype=np.complex128)
-        assert np.isnan(state.process_frame(frame))
+        assert np.isnan(self._push(pipe, frame))
 
-    def test_detects_moving_tone(self, state):
+    def test_detects_moving_tone(self, pipe):
         rng = np.random.default_rng(0)
         values = []
         for i in range(60):
@@ -40,13 +67,13 @@ class TestAntennaState:
             # A strong reflector drifting outward ~1 bin every 4 frames.
             bin_idx = 40 + i // 4
             frame[bin_idx] += 1e-5 * np.exp(1j * 2.1 * i)
-            values.append(state.process_frame(frame))
+            values.append(self._push(pipe, frame))
         tail = np.array(values[-10:])
         assert np.all(np.isfinite(tail))
         expected = (40 + 59 // 4) * 0.1774
         assert np.median(tail) == pytest.approx(expected, abs=0.5)
 
-    def test_online_gate_blocks_spike(self, state):
+    def test_online_gate_blocks_spike(self, pipe):
         rng = np.random.default_rng(1)
         base = 45
         out = []
@@ -56,9 +83,16 @@ class TestAntennaState:
             )
             bin_idx = 10 if i == 20 else base  # one absurd spike frame
             frame[bin_idx] += 1e-5 * np.exp(1j * 2.1 * i)
-            out.append(state.process_frame(frame))
+            out.append(self._push(pipe, frame))
         # The spike frame must not yank the track to bin 10.
         assert abs(out[20] - base * 0.1774) < 1.0
+
+    def test_push_records_latency(self, pipe):
+        frame = np.zeros(171, dtype=np.complex128)
+        for _ in range(5):
+            self._push(pipe, frame)
+        assert len(pipe.latency.latencies_s) == 5
+        assert pipe.latency.within_budget(10.0)
 
 
 class TestRunValidation:

@@ -1,0 +1,262 @@
+"""Tests for the unified pipeline engine (repro.pipeline).
+
+The load-bearing property: ``run_batch`` and ``run_stream`` drive the
+same stage objects, so the same recording must come out *identical*
+(bitwise for the closed-form localizer; the tests allow 1e-9) whichever
+mode ran — for the single-person and the multi-person stage graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.realtime import RealtimeMultiTracker, RealtimeTracker
+from repro.config import default_config
+from repro.core.tracker import WiTrack
+from repro.multi import MultiScenario, MultiWiTrack
+from repro.pipeline import (
+    BackgroundSubtract,
+    LatencyReport,
+    Pipeline,
+    single_person_pipeline,
+)
+from repro.sim import Scenario
+from repro.sim.body import GatedAR1, HumanBody
+from repro.sim.motion import non_colliding_walks, random_walk
+from repro.sim.room import through_wall_room
+
+
+@pytest.fixture(scope="module")
+def multi_output(config):
+    """A short 2-person through-wall session, synthesized once."""
+    room = through_wall_room()
+    walks = non_colliding_walks(
+        room, np.random.default_rng(7), count=2, duration_s=6.0,
+        min_separation_m=1.0,
+    )
+    people = [(HumanBody(name=f"p{i}"), w) for i, w in enumerate(walks)]
+    return MultiScenario(people, room=room, config=config, seed=7).run(), room
+
+
+class TestSinglePersonEquivalence:
+    """Same ScenarioOutput through run_batch and run_stream."""
+
+    def test_batch_equals_stream(self, tw_walk_output, config):
+        out = tw_walk_output
+        tracker = WiTrack(config)
+        batch = tracker.track(out.spectra, out.range_bin_m)
+        stream = tracker.track_stream(out.spectra, out.range_bin_m)
+        np.testing.assert_array_equal(
+            batch.frame_times_s, stream.frame_times_s
+        )
+        np.testing.assert_allclose(
+            batch.round_trips_m, stream.round_trips_m, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            batch.positions, stream.positions, atol=1e-9
+        )
+        np.testing.assert_array_equal(
+            batch.motion_mask, stream.motion_mask
+        )
+        for eb, es in zip(batch.tof_estimates, stream.tof_estimates):
+            np.testing.assert_allclose(
+                eb.raw_contour_m, es.raw_contour_m, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                eb.spectrogram.frames, es.spectrogram.frames, atol=1e-9
+            )
+
+    def test_stream_without_spectra_recording(self, tw_walk_output, config):
+        """record_spectra=False: same track, no spectrogram accumulation."""
+        out = tw_walk_output
+        tracker = WiTrack(config)
+        full = tracker.track(out.spectra, out.range_bin_m)
+        lean = tracker.track_stream(
+            out.spectra, out.range_bin_m, record_spectra=False
+        )
+        assert lean.tof_estimates == ()
+        np.testing.assert_allclose(
+            full.positions, lean.positions, atol=1e-9
+        )
+
+    def test_too_short_recording_raises(self, config):
+        """A stream that never leaves priming errors clearly, like batch."""
+        short = np.zeros((3, 5, 171), dtype=np.complex128)
+        tracker = WiTrack(config)
+        with pytest.raises(ValueError):
+            tracker.track(short, 0.1774)
+        with pytest.raises(ValueError):
+            tracker.track_stream(short, 0.1774)
+        with pytest.raises(ValueError):
+            MultiWiTrack(config).track_stream(short, 0.1774)
+
+    def test_realtime_tracker_matches_batch(self, tw_walk_output, config):
+        """The realtime app emits exactly the batch track, one frame late."""
+        out = tw_walk_output
+        batch = WiTrack(config).track(out.spectra, out.range_bin_m)
+        rt = RealtimeTracker(config, range_bin_m=out.range_bin_m)
+        positions = rt.run(out.spectra)
+        assert np.all(np.isnan(positions[0]))  # priming frame
+        np.testing.assert_allclose(
+            positions[1:], batch.positions, atol=1e-9
+        )
+
+
+class TestMultiPersonEquivalence:
+    def test_batch_equals_stream(self, multi_output, config):
+        out, room = multi_output
+        tracker = MultiWiTrack(config, max_people=2, room=room)
+        batch = tracker.track(out.spectra, out.range_bin_m)
+        stream = tracker.track_stream(out.spectra, out.range_bin_m)
+        assert batch.track_ids == stream.track_ids
+        np.testing.assert_array_equal(
+            batch.frame_times_s, stream.frame_times_s
+        )
+        np.testing.assert_allclose(
+            batch.positions, stream.positions, atol=1e-9
+        )
+        np.testing.assert_array_equal(batch.coasting, stream.coasting)
+
+    def test_realtime_multi_matches_batch(self, multi_output, config):
+        out, room = multi_output
+        batch = MultiWiTrack(config, max_people=2, room=room).track(
+            out.spectra, out.range_bin_m
+        )
+        rt = RealtimeMultiTracker(
+            config, range_bin_m=out.range_bin_m, max_people=2, room=room
+        )
+        stream = rt.run(out.spectra)
+        assert batch.track_ids == stream.track_ids
+        np.testing.assert_array_equal(
+            batch.frame_times_s, stream.frame_times_s
+        )
+        np.testing.assert_allclose(
+            batch.positions, stream.positions, atol=1e-9
+        )
+        assert rt.latency.within_budget(0.075)
+
+
+class TestPipelineRunner:
+    def test_push_primes_then_emits(self, config):
+        pipe = single_person_pipeline(
+            config, 0.1774, solver=WiTrack(config).solver
+        )
+        block = np.zeros((3, 5, 171), dtype=np.complex128)
+        assert pipe.push(block) is None  # priming
+        frame = pipe.push(block)
+        assert frame is not None
+        assert frame.tof_m.shape == (3,)
+        assert frame.position.shape == (3,)
+
+    def test_reset_forgets_state(self, config):
+        pipe = single_person_pipeline(
+            config, 0.1774, solver=WiTrack(config).solver
+        )
+        block = np.zeros((3, 5, 171), dtype=np.complex128)
+        pipe.push(block)
+        pipe.push(block)
+        pipe.reset()
+        assert pipe.latency.latencies_s == []
+        assert pipe.push(block) is None  # priming again
+
+    def test_stage_lookup(self, config):
+        pipe = single_person_pipeline(
+            config, 0.1774, solver=WiTrack(config).solver
+        )
+        assert isinstance(pipe.stage(BackgroundSubtract), BackgroundSubtract)
+        with pytest.raises(KeyError):
+            pipe.stage(LatencyReport)
+
+    def test_run_batch_validates_shape(self, config):
+        pipe = single_person_pipeline(
+            config, 0.1774, solver=WiTrack(config).solver
+        )
+        with pytest.raises(ValueError):
+            pipe.run_batch(np.zeros((10, 171)))
+
+    def test_batch_then_stream_continues(self, config, tw_walk_output):
+        """Batch and streaming can interleave on one pipeline."""
+        out = tw_walk_output
+        tracker = WiTrack(config)
+        full = tracker.pipeline(out.range_bin_m).run_batch(out.spectra)
+        pipe = tracker.pipeline(out.range_bin_m)
+        head = pipe.run_batch(out.spectra[:, :2000, :])
+        tail = pipe.run_stream(out.spectra[:, 2000:, :])
+        positions = np.concatenate([head.positions, tail.positions])
+        np.testing.assert_allclose(
+            positions, full.positions, atol=1e-9
+        )
+
+
+class TestScenarioFrames:
+    def test_chunk_size_invariant_and_deterministic(self, config):
+        room = through_wall_room()
+        walk = random_walk(room, np.random.default_rng(3), duration_s=2.0)
+        sc = Scenario(walk, room=room, config=config, seed=5)
+        a = np.concatenate(list(sc.frames(chunk_frames=7)), axis=1)
+        b = np.concatenate(list(sc.frames(chunk_frames=64)), axis=1)
+        c = np.concatenate(
+            list(
+                Scenario(walk, room=room, config=config, seed=5).frames(
+                    chunk_frames=7
+                )
+            ),
+            axis=1,
+        )
+        # Chunking shifts which elements land in SIMD lanes vs scalar
+        # tails of numpy's transcendentals, so invariance holds to
+        # last-ulp jitter (~1e-21 absolute), not bitwise.
+        np.testing.assert_allclose(a, b, rtol=0.0, atol=1e-15)
+        np.testing.assert_array_equal(a, c)  # same chunking: bitwise
+
+    def test_block_shapes_and_count(self, config):
+        room = through_wall_room()
+        walk = random_walk(room, np.random.default_rng(3), duration_s=2.0)
+        sc = Scenario(walk, room=room, config=config, seed=5)
+        blocks = list(sc.frames(chunk_frames=32))
+        assert len(blocks) == sc.num_stream_frames
+        spf = config.pipeline.sweeps_per_frame
+        for block in blocks:
+            assert block.shape[0] == 3
+            assert block.shape[1] == spf
+
+    def test_streamed_session_tracks(self, config):
+        """frames() -> track_stream: the bounded-memory path end to end."""
+        room = through_wall_room()
+        walk = random_walk(room, np.random.default_rng(11), duration_s=6.0)
+        sc = Scenario(walk, room=room, config=config, seed=12)
+        track = WiTrack(config).track_stream(sc.frames(), sc.range_bin_m)
+        assert track.num_frames == sc.num_stream_frames - 1
+        assert track.valid_mask.mean() > 0.8
+        truth = walk.resample(track.frame_times_s)
+        valid = track.valid_mask
+        err = np.linalg.norm(
+            track.positions[valid] - truth[valid], axis=1
+        )
+        assert np.median(err) < 0.6
+
+    def test_rejects_bad_chunk(self, config):
+        room = through_wall_room()
+        walk = random_walk(room, np.random.default_rng(3), duration_s=1.0)
+        sc = Scenario(walk, room=room, config=config, seed=5)
+        with pytest.raises(ValueError):
+            next(sc.frames(chunk_frames=0))
+
+
+class TestGatedAR1:
+    def test_chunked_equals_whole(self):
+        activity = np.clip(
+            np.abs(np.sin(np.linspace(0, 6, 100))), 0.0, 1.0
+        )
+        whole = GatedAR1(0.9, np.random.default_rng(0), dim=3).advance(
+            activity
+        )
+        walk = GatedAR1(0.9, np.random.default_rng(0), dim=3)
+        chunked = np.concatenate(
+            [walk.advance(activity[:37]), walk.advance(activity[37:])]
+        )
+        np.testing.assert_array_equal(whole, chunked)
+
+    def test_zero_activity_freezes(self):
+        walk = GatedAR1(0.9, np.random.default_rng(0))
+        out = walk.advance(np.zeros(10))
+        assert np.all(out == out[0])
