@@ -15,12 +15,13 @@ import pytest
 
 from repro import constants
 from repro.apps.realtime import RealtimeMultiTracker
+from repro.eval.figures import multi_person_sweep
 from repro.eval.harness import (
     MultiTrackingOutcome,
     TrackingExperiment,
-    run_multi_tracking_experiment,
     run_tracking_experiment,
 )
+from repro.exec import default_runner
 from repro.multi import MultiScenario
 from repro.sim import HumanBody, non_colliding_walks, through_wall_room
 
@@ -42,13 +43,16 @@ def single_person_median_m():
 
 @pytest.fixture(scope="module")
 def multi_outcomes():
-    """One scored K-person experiment per K in {1, 2, 3}."""
-    return {
-        k: run_multi_tracking_experiment(
-            k, seed=SEED, duration_s=DURATION_S
-        )
-        for k in (1, 2, 3)
-    }
+    """One scored K-person experiment per K in {1, 2, 3}, one plan.
+
+    Runs serially by default; set ``REPRO_WORKERS`` to fan the three
+    K-points across a process pool (the scores are identical either
+    way — the runner-equivalence invariant).
+    """
+    return multi_person_sweep(
+        ks=(1, 2, 3), seed=SEED, duration_s=DURATION_S,
+        runner=default_runner(),
+    )
 
 
 def _person_rows(k: int, outcome: MultiTrackingOutcome):

@@ -1,14 +1,18 @@
-"""Throughput benchmark: frames/sec for stream vs batch execution.
+"""Throughput benchmark: frames/sec for stream, batch, and sharded runs.
 
 Runs the same synthesized session through the unified pipeline engine's
 two execution modes — ``run_batch`` (block-vectorized, the offline
 evaluation path) and ``run_stream`` (frame-at-a-time, the realtime
 path) — for the single-person and the K=2 multi-person stage graphs,
-and reports frames per second for each. Results land in
+and reports frames per second for each. A third, sharded workload fans
+one long lazily-synthesized stream across a process pool
+(``repro.exec.ShardedStreamRunner``) and records workers, speedup, and
+the serial-vs-parallel identity check. Results land in
 ``benchmarks/throughput.json`` so CI runs leave a comparable artifact.
 
 Run:
     python benchmarks/bench_throughput.py [--duration 10] [--repeats 3]
+        [--workers N]
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ except ImportError:  # fresh checkout without `pip install -e .`
 
 from repro import MultiScenario, MultiWiTrack, WiTrack, default_config
 from repro.apps.realtime import RealtimeMultiTracker, RealtimeTracker
+from repro.exec import resolve_workers, sharded_speedup_benchmark
 from repro.sim import Scenario, random_walk, through_wall_room
 from repro.sim.body import HumanBody
 from repro.sim.motion import non_colliding_walks
@@ -104,20 +109,41 @@ def bench_multi(duration_s: float, repeats: int, people: int = 2) -> dict:
     }
 
 
+def bench_sharded(duration_s: float, repeats: int, workers: int) -> dict:
+    """Synthesis + tracking of one long stream, serial vs sharded pool.
+
+    Unlike the other workloads this times *end-to-end* throughput
+    (lazy synthesis included), because that is the work the shards fan
+    out; the shard plan is identical in both runs, so the merged
+    results must match bitwise.
+    """
+    room = through_wall_room()
+    walk = random_walk(room, np.random.default_rng(3), duration_s=duration_s)
+    scenario = Scenario(walk, room=room, seed=4)
+    return sharded_speedup_benchmark(
+        scenario, workers=workers, repeats=repeats
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--duration", type=float, default=10.0,
                         help="seconds of scenario per workload")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats (best-of)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the sharded workload "
+                             "(default: REPRO_WORKERS, else serial)")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).parent / "throughput.json")
     args = parser.parse_args()
+    workers = resolve_workers(args.workers)
 
     print(f"synthesizing and timing ({args.duration:.0f} s scenarios, "
           f"best of {args.repeats})...")
     single = bench_single(args.duration, args.repeats)
     multi = bench_multi(args.duration, args.repeats)
+    sharded = bench_sharded(args.duration, args.repeats, workers)
 
     realtime_fps = 80.0  # 12.5 ms frame cadence
     print("\npipeline throughput (frames/sec; realtime needs "
@@ -130,12 +156,18 @@ def main() -> int:
     print(f"\nstream p95 latency: {single['stream_p95_latency_ms']:.2f} ms "
           f"(75 ms budget "
           f"{'MET' if single['within_75ms_budget'] else 'EXCEEDED'})")
+    print(f"\nsharded end-to-end (synthesis + tracking, "
+          f"{sharded['num_shards']} shards, {sharded['workers']} workers): "
+          f"{sharded['serial_fps']:.0f} -> {sharded['sharded_fps']:.0f} "
+          f"frames/s ({sharded['speedup']:.2f}x, results "
+          f"{'identical' if sharded['identical'] else 'DIVERGED'})")
 
     payload = {
         "duration_s": args.duration,
         "repeats": args.repeats,
         "single_person": single,
         "multi_person": multi,
+        "sharded": sharded,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -144,6 +176,7 @@ def main() -> int:
         single["within_75ms_budget"]
         and single["batch_fps"] > realtime_fps
         and single["stream_fps"] > realtime_fps
+        and sharded["identical"]
     )
     return 0 if ok else 1
 

@@ -35,6 +35,15 @@ from .core.localize import LeastSquaresSolver, TGeometrySolver, make_solver
 from .core.pointing import PointingEstimator, PointingResult
 from .core.tof import TOFEstimate, TOFEstimator
 from .core.tracker import TrackResult, WiTrack
+from .exec import (
+    ExperimentPlan,
+    ProcessPoolRunner,
+    SerialRunner,
+    ShardedStreamRunner,
+    SpectraCache,
+    WorkItem,
+    default_runner,
+)
 from .multi import MultiScenario, MultiTrack, MultiWiTrack
 from .pipeline import (
     Pipeline,
@@ -43,7 +52,7 @@ from .pipeline import (
     single_person_pipeline,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "constants",
@@ -64,6 +73,13 @@ __all__ = [
     "TOFEstimator",
     "TrackResult",
     "WiTrack",
+    "ExperimentPlan",
+    "ProcessPoolRunner",
+    "SerialRunner",
+    "ShardedStreamRunner",
+    "SpectraCache",
+    "WorkItem",
+    "default_runner",
     "MultiScenario",
     "MultiTrack",
     "MultiWiTrack",

@@ -4,17 +4,20 @@ Examples:
     python -m repro track --duration 15 --seed 3
     python -m repro stream --duration 30 --seed 3
     python -m repro multi --people 2 --duration 12
-    python -m repro fig8 --through-wall
+    python -m repro fig8 --through-wall --workers 4
     python -m repro fig9
     python -m repro fall-table
     python -m repro pointing --trials 8
+    python -m repro bench --workers 4 --duration 30
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -31,6 +34,12 @@ from .eval.harness import (
     run_tracking_experiment,
 )
 from .eval.reporting import format_table
+from .exec import (
+    ExperimentPlan,
+    Runner,
+    default_runner,
+    sharded_speedup_benchmark,
+)
 from .sim.motion import random_walk
 from .sim.room import line_of_sight_room, through_wall_room
 from .sim.scenario import Scenario
@@ -42,6 +51,11 @@ def _scale(args: argparse.Namespace) -> ExperimentScale:
         duration_s=args.duration,
         name="cli",
     )
+
+
+def _runner(args: argparse.Namespace) -> Runner:
+    """The runner a subcommand fans its experiment plan across."""
+    return default_runner(getattr(args, "workers", None))
 
 
 def cmd_track(args: argparse.Namespace) -> int:
@@ -140,7 +154,9 @@ def cmd_multi(args: argparse.Namespace) -> int:
 def cmd_fig8(args: argparse.Namespace) -> int:
     """Fig. 8: per-dimension error CDF summaries."""
     data = figures.fig8_error_cdf(
-        through_wall=args.through_wall, scale=_scale(args)
+        through_wall=args.through_wall,
+        scale=_scale(args),
+        runner=_runner(args),
     )
     rows = [
         [dim, f"{100 * s.median:.1f} cm", f"{100 * s.p90:.1f} cm"]
@@ -154,7 +170,9 @@ def cmd_fig8(args: argparse.Namespace) -> int:
 
 def cmd_fig9(args: argparse.Namespace) -> int:
     """Fig. 9: error vs distance."""
-    data = figures.fig9_error_vs_distance(scale=_scale(args))
+    data = figures.fig9_error_vs_distance(
+        scale=_scale(args), runner=_runner(args)
+    )
     rows = [
         [f"{d:.0f} m"]
         + [f"{data.median_cm[i, a]:.1f}" for a in range(3)]
@@ -166,7 +184,9 @@ def cmd_fig9(args: argparse.Namespace) -> int:
 
 def cmd_fig10(args: argparse.Namespace) -> int:
     """Fig. 10: error vs antenna separation."""
-    data = figures.fig10_error_vs_separation(scale=_scale(args))
+    data = figures.fig10_error_vs_separation(
+        scale=_scale(args), runner=_runner(args)
+    )
     rows = [
         [f"{s:.2f} m"]
         + [f"{data.median_cm[i, a]:.1f}" for a in range(3)]
@@ -178,7 +198,9 @@ def cmd_fig10(args: argparse.Namespace) -> int:
 
 def cmd_fall_table(args: argparse.Namespace) -> int:
     """Section 9.5: fall-detection scores."""
-    data = figures.fall_detection_table(scale=_scale(args))
+    data = figures.fall_detection_table(
+        scale=_scale(args), runner=_runner(args)
+    )
     s = data.scores
     print(f"runs/activity: {data.per_activity_runs}")
     print(f"precision {100 * s.precision:.1f}%  "
@@ -188,17 +210,53 @@ def cmd_fall_table(args: argparse.Namespace) -> int:
 
 def cmd_pointing(args: argparse.Namespace) -> int:
     """Fig. 11: pointing-direction errors."""
-    errors = []
-    for seed in range(args.trials):
-        outcome = run_pointing_experiment(seed)
-        errors.append(outcome.error_deg)
-    arr = np.asarray(errors)
+    plan = ExperimentPlan.from_grid(
+        run_pointing_experiment,
+        [{"seed": seed} for seed in range(args.trials)],
+        name="pointing",
+    )
+    arr = np.asarray([o.error_deg for o in _runner(args).run(plan)])
     finite = arr[np.isfinite(arr)]
     print(f"detected : {len(finite)}/{len(arr)}")
     if finite.size:
         print(f"median   : {np.median(finite):.1f} deg")
         print(f"p90      : {np.percentile(finite, 90):.1f} deg")
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Sharded-execution benchmark: one long stream fanned over workers.
+
+    Synthesizes + tracks the same session twice through the same shard
+    plan — serially and across ``--workers`` processes — verifies the
+    merged results are identical, and reports frames/sec and speedup.
+    """
+    workers = max(args.workers, 1)
+    room = through_wall_room()
+    walk = random_walk(
+        room, np.random.default_rng(args.seed), duration_s=args.duration
+    )
+    scenario = Scenario(walk, room=room, seed=args.seed + 1)
+    result = sharded_speedup_benchmark(
+        scenario, workers=workers, num_shards=args.shards
+    )
+    result["duration_s"] = args.duration
+
+    print(f"session    : {args.duration:.0f} s "
+          f"({scenario.num_stream_frames} frames), "
+          f"{result['num_shards']} shards, {workers} workers")
+    print(f"serial     : {result['serial_s']:7.2f} s  "
+          f"({result['serial_fps']:6.0f} frames/s)")
+    print(f"sharded    : {result['sharded_s']:7.2f} s  "
+          f"({result['sharded_fps']:6.0f} frames/s)")
+    print(f"speedup    : {result['speedup']:.2f}x")
+    print(f"identical  : "
+          f"{'yes' if result['identical'] else 'NO — determinism bug'}")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0 if result["identical"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,11 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def workers_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for the experiment plan "
+                            "(default: REPRO_WORKERS, else serial)")
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--experiments", type=int, default=4,
                        help="experiments per configuration point")
         p.add_argument("--duration", type=float, default=12.0,
                        help="seconds per experiment")
+        workers_flag(p)
 
     p = sub.add_parser("track", help="one tracking experiment")
     p.add_argument("--seed", type=int, default=0)
@@ -265,7 +329,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("pointing", help="pointing errors (Fig. 11)")
     p.add_argument("--trials", type=int, default=6)
+    workers_flag(p)
     p.set_defaults(func=cmd_pointing)
+
+    p = sub.add_parser(
+        "bench",
+        help="sharded-execution benchmark (serial vs process pool)",
+    )
+    p.add_argument("--workers", type=int, default=2,
+                   help="process-pool size for the sharded run")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count (default: one per worker); "
+                        "must be >= 1")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="seconds of scenario to synthesize and track")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the JSON result here")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -5,11 +5,19 @@ Benchmarks call these, assert the qualitative shape, and print the same
 rows the paper reports. Scale is controlled by
 :func:`repro.eval.harness.current_scale` (``REPRO_SCALE=paper`` for the
 full protocol).
+
+Every experiment grid here is submitted as one
+:class:`~repro.exec.ExperimentPlan` to a
+:class:`~repro.exec.Runner` — pass ``runner=`` (or set
+``REPRO_WORKERS``) to fan a figure's experiments across a process
+pool; results are independent of the runner, so serial and parallel
+figures are bitwise identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -17,6 +25,7 @@ from ..config import SystemConfig, default_config
 from ..core.background import background_subtract
 from ..core.spectrogram import Spectrogram, spectrogram_from_sweeps
 from ..core.tof import TOFEstimator
+from ..exec import ExperimentPlan, Runner, WorkItem, default_runner, synthesize
 from ..sim.motion import random_walk, stand_still
 from ..sim.room import through_wall_room
 from ..sim.scenario import Scenario
@@ -24,9 +33,11 @@ from ..sim.gestures import pointing_session
 from ..sim.body import sample_population
 from .harness import (
     ExperimentScale,
+    MultiTrackingOutcome,
     TrackingExperiment,
     current_scale,
     run_fall_experiment,
+    run_multi_tracking_experiment,
     run_pointing_experiment,
     run_tracking_experiment,
     make_activity_trajectory,
@@ -78,7 +89,9 @@ def fig3_tof_pipeline(
     rng = np.random.default_rng(seed)
     room = through_wall_room()
     walk = random_walk(room, rng, duration_s=duration_s)
-    measured = Scenario(walk, room=room, seed=seed + 1, config=config).run()
+    measured = synthesize(
+        Scenario(walk, room=room, seed=seed + 1, config=config)
+    )
 
     raw = spectrogram_from_sweeps(
         measured.spectra[0],
@@ -151,14 +164,16 @@ def fig5_gesture(
     positions = np.vstack([walk.positions, stand.positions[1:]])
     combined = Trajectory(times, positions, label="walk_then_point")
 
-    measured = Scenario(
-        combined,
-        room=room,
-        seed=seed + 1,
-        config=config,
-        gesture=gesture,
-        gesture_start_s=walk_s + 2.0,
-    ).run()
+    measured = synthesize(
+        Scenario(
+            combined,
+            room=room,
+            seed=seed + 1,
+            config=config,
+            gesture=gesture,
+            gesture_start_s=walk_s + 2.0,
+        )
+    )
 
     raw = spectrogram_from_sweeps(
         measured.spectra[0],
@@ -195,14 +210,22 @@ class Fig6Data:
 
 
 def fig6_fall_elevations(
-    seed: int = 0, config: SystemConfig | None = None
+    seed: int = 0,
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
 ) -> Fig6Data:
     """Regenerate Fig. 6's four elevation traces via full tracking."""
+    runner = runner or default_runner()
+    plan = ExperimentPlan.from_grid(
+        run_fall_experiment,
+        [
+            {"seed": seed * 17 + i, "activity": activity, "config": config}
+            for i, activity in enumerate(FALL_ACTIVITIES)
+        ],
+        name="fig6",
+    )
     traces: dict[str, tuple[np.ndarray, np.ndarray]] = {}
-    for i, activity in enumerate(FALL_ACTIVITIES):
-        outcome = run_fall_experiment(
-            seed=seed * 17 + i, activity=activity, config=config
-        )
+    for activity, outcome in zip(FALL_ACTIVITIES, runner.run(plan)):
         n = len(outcome.elevation_trace)
         times = np.arange(n) * 0.0125
         traces[activity] = (times, outcome.elevation_trace)
@@ -235,21 +258,27 @@ def fig8_error_cdf(
     through_wall: bool,
     scale: ExperimentScale | None = None,
     config: SystemConfig | None = None,
+    runner: Runner | None = None,
 ) -> Fig8Data:
     """Regenerate Fig. 8(a) (line of sight) or 8(b) (through wall)."""
     scale = scale or current_scale()
-    errors = []
-    for seed in range(scale.num_experiments):
-        outcome = run_tracking_experiment(
-            TrackingExperiment(
-                seed=seed,
-                through_wall=through_wall,
-                duration_s=scale.duration_s,
-                config=config,
-            )
-        )
-        errors.append(outcome.errors_xyz)
-    stacked = np.vstack(errors)
+    runner = runner or default_runner()
+    plan = ExperimentPlan.from_grid(
+        run_tracking_experiment,
+        [
+            {
+                "exp": TrackingExperiment(
+                    seed=seed,
+                    through_wall=through_wall,
+                    duration_s=scale.duration_s,
+                    config=config,
+                )
+            }
+            for seed in range(scale.num_experiments)
+        ],
+        name="fig8",
+    )
+    stacked = np.vstack([o.errors_xyz for o in runner.run(plan)])
     return Fig8Data(
         cdf_x=error_cdf(stacked[:, 0]),
         cdf_y=error_cdf(stacked[:, 1]),
@@ -259,6 +288,43 @@ def fig8_error_cdf(
         summary_z=summarize_errors(stacked[:, 2]),
         through_wall=through_wall,
     )
+
+
+# -- Figs. 9 & 10 share one submit/aggregate shape ----------------------------
+
+
+def _tracking_error_grid(
+    values: Sequence[float],
+    experiment_for: Callable[[float, int], TrackingExperiment],
+    per_point: int,
+    runner: Runner,
+    name: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run ``per_point`` tracking experiments per grid value, in one plan.
+
+    The whole (value × seed) grid is submitted as a single
+    :class:`~repro.exec.ExperimentPlan`, so a process pool balances the
+    full figure instead of one grid point at a time. Returns per-value
+    per-dimension ``(median_cm, p90_cm)``, each ``(len(values), 3)``.
+    """
+    items = tuple(
+        WorkItem(
+            fn=run_tracking_experiment,
+            kwargs={"exp": experiment_for(value, seed)},
+            key=f"{name}[{value}] seed={seed}",
+        )
+        for value in values
+        for seed in range(per_point)
+    )
+    outcomes = runner.run(ExperimentPlan(items=items, name=name))
+    medians = []
+    p90s = []
+    for i in range(len(values)):
+        group = outcomes[i * per_point : (i + 1) * per_point]
+        stacked = np.vstack([o.errors_xyz for o in group])
+        medians.append(np.nanmedian(stacked, axis=0) * 100.0)
+        p90s.append(np.nanpercentile(stacked, 90, axis=0) * 100.0)
+    return np.asarray(medians), np.asarray(p90s)
 
 
 # -- Fig. 9: error vs distance ------------------------------------------------
@@ -283,33 +349,32 @@ def fig9_error_vs_distance(
     scale: ExperimentScale | None = None,
     distances: tuple[float, ...] = (3.0, 5.0, 7.0, 9.0, 11.0),
     config: SystemConfig | None = None,
+    runner: Runner | None = None,
 ) -> Fig9Data:
     """Regenerate Fig. 9 by walking the subject at varying depths."""
     scale = scale or current_scale()
     per_point = max(scale.num_experiments // len(distances), 2)
-    medians = []
-    p90s = []
-    for d in distances:
-        area = ((-2.0, 2.0), (max(d - 1.0, 1.0), d + 1.0))
-        errors = []
-        for seed in range(per_point):
-            outcome = run_tracking_experiment(
-                TrackingExperiment(
-                    seed=seed + int(d * 1000),
-                    through_wall=True,
-                    duration_s=scale.duration_s,
-                    walk_area=area,
-                    config=config,
-                )
-            )
-            errors.append(outcome.errors_xyz)
-        stacked = np.vstack(errors)
-        medians.append(np.nanmedian(stacked, axis=0) * 100.0)
-        p90s.append(np.nanpercentile(stacked, 90, axis=0) * 100.0)
+
+    def experiment_for(d: float, seed: int) -> TrackingExperiment:
+        return TrackingExperiment(
+            seed=seed + int(d * 1000),
+            through_wall=True,
+            duration_s=scale.duration_s,
+            walk_area=((-2.0, 2.0), (max(d - 1.0, 1.0), d + 1.0)),
+            config=config,
+        )
+
+    medians, p90s = _tracking_error_grid(
+        distances,
+        experiment_for,
+        per_point,
+        runner or default_runner(),
+        name="fig9",
+    )
     return Fig9Data(
         distances_m=np.asarray(distances),
-        median_cm=np.asarray(medians),
-        p90_cm=np.asarray(p90s),
+        median_cm=medians,
+        p90_cm=p90s,
     )
 
 
@@ -335,32 +400,32 @@ def fig10_error_vs_separation(
     scale: ExperimentScale | None = None,
     separations: tuple[float, ...] = (0.25, 0.5, 1.0, 1.5, 2.0),
     config: SystemConfig | None = None,
+    runner: Runner | None = None,
 ) -> Fig10Data:
     """Regenerate Fig. 10: five T sizes, through-wall workload."""
     scale = scale or current_scale()
     per_point = max(scale.num_experiments // len(separations), 2)
-    medians = []
-    p90s = []
-    for sep in separations:
-        errors = []
-        for seed in range(per_point):
-            outcome = run_tracking_experiment(
-                TrackingExperiment(
-                    seed=seed + int(sep * 10000),
-                    through_wall=True,
-                    duration_s=scale.duration_s,
-                    antenna_separation_m=sep,
-                    config=config,
-                )
-            )
-            errors.append(outcome.errors_xyz)
-        stacked = np.vstack(errors)
-        medians.append(np.nanmedian(stacked, axis=0) * 100.0)
-        p90s.append(np.nanpercentile(stacked, 90, axis=0) * 100.0)
+
+    def experiment_for(sep: float, seed: int) -> TrackingExperiment:
+        return TrackingExperiment(
+            seed=seed + int(sep * 10000),
+            through_wall=True,
+            duration_s=scale.duration_s,
+            antenna_separation_m=sep,
+            config=config,
+        )
+
+    medians, p90s = _tracking_error_grid(
+        separations,
+        experiment_for,
+        per_point,
+        runner or default_runner(),
+        name="fig10",
+    )
     return Fig10Data(
         separations_m=np.asarray(separations),
-        median_cm=np.asarray(medians),
-        p90_cm=np.asarray(p90s),
+        median_cm=medians,
+        p90_cm=p90s,
     )
 
 
@@ -383,15 +448,18 @@ class Fig11Data:
 def fig11_pointing_cdf(
     scale: ExperimentScale | None = None,
     config: SystemConfig | None = None,
+    runner: Runner | None = None,
 ) -> Fig11Data:
     """Regenerate Fig. 11 from repeated pointing experiments."""
     scale = scale or current_scale()
+    runner = runner or default_runner()
     num = max(scale.num_experiments * 2, 8)
-    errors = []
-    for seed in range(num):
-        outcome = run_pointing_experiment(seed, config=config)
-        errors.append(outcome.error_deg)
-    arr = np.asarray(errors)
+    plan = ExperimentPlan.from_grid(
+        run_pointing_experiment,
+        [{"seed": seed, "config": config} for seed in range(num)],
+        name="fig11",
+    )
+    arr = np.asarray([o.error_deg for o in runner.run(plan)])
     detected = float(np.mean(np.isfinite(arr)))
     return Fig11Data(cdf=error_cdf(arr), detected_fraction=detected)
 
@@ -417,28 +485,74 @@ class FallTableData:
 def fall_detection_table(
     scale: ExperimentScale | None = None,
     config: SystemConfig | None = None,
+    runner: Runner | None = None,
 ) -> FallTableData:
     """Regenerate the Section 9.5 results (paper: 33 runs x 4 activities)."""
     scale = scale or current_scale()
+    runner = runner or default_runner()
     runs = (
         33 if scale.name == "paper" else max(scale.num_experiments, 4)
+    )
+    grid = [
+        (activity, i * 41 + a_idx * 1009)
+        for a_idx, activity in enumerate(FALL_ACTIVITIES)
+        for i in range(runs)
+    ]
+    plan = ExperimentPlan.from_grid(
+        run_fall_experiment,
+        [
+            {"seed": seed, "activity": activity, "config": config}
+            for activity, seed in grid
+        ],
+        name="fall-table",
     )
     predictions: list[bool] = []
     labels: list[bool] = []
     confusion: dict[tuple[str, str], int] = {}
-    for a_idx, activity in enumerate(FALL_ACTIVITIES):
-        for i in range(runs):
-            outcome = run_fall_experiment(
-                seed=i * 41 + a_idx * 1009,
-                activity=activity,
-                config=config,
-            )
-            predictions.append(outcome.verdict.is_fall)
-            labels.append(activity == "fall")
-            key = (activity, outcome.verdict.activity)
-            confusion[key] = confusion.get(key, 0) + 1
+    for (activity, _), outcome in zip(grid, runner.run(plan)):
+        predictions.append(outcome.verdict.is_fall)
+        labels.append(activity == "fall")
+        key = (activity, outcome.verdict.activity)
+        confusion[key] = confusion.get(key, 0) + 1
     return FallTableData(
         scores=classification_scores(predictions, labels),
         confusion=confusion,
         per_activity_runs=runs,
     )
+
+
+# -- Multi-person sweep: accuracy vs K ----------------------------------------
+
+
+def multi_person_sweep(
+    ks: tuple[int, ...] = (1, 2, 3),
+    seed: int = 0,
+    duration_s: float = 12.0,
+    through_wall: bool = True,
+    min_separation_m: float = 1.0,
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
+) -> dict[int, MultiTrackingOutcome]:
+    """One scored K-person experiment per K, submitted as one plan.
+
+    This is the grid behind ``benchmarks/bench_multi_person.py`` (and
+    any accuracy-vs-K study): K walkers per point, everything else
+    fixed, each point an independent work item.
+    """
+    runner = runner or default_runner()
+    plan = ExperimentPlan.from_grid(
+        run_multi_tracking_experiment,
+        [
+            {
+                "num_people": k,
+                "seed": seed,
+                "duration_s": duration_s,
+                "through_wall": through_wall,
+                "min_separation_m": min_separation_m,
+                "config": config,
+            }
+            for k in ks
+        ],
+        name="multi-sweep",
+    )
+    return dict(zip(ks, runner.run(plan)))

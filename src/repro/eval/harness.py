@@ -13,11 +13,13 @@ few short experiments so the whole benchmark suite finishes in minutes.
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..config import ArrayConfig, SystemConfig, default_config
+from ..exec.cache import synthesize
 from ..core.falls import FallDetector, FallVerdict
 from ..core.pointing import PointingEstimator
 from ..core.tof import TOFEstimator
@@ -70,13 +72,32 @@ CI_SCALE = ExperimentScale(num_experiments=6, duration_s=12.0, name="ci")
 
 
 def current_scale() -> ExperimentScale:
-    """Resolve the active scale from the ``REPRO_SCALE`` environment."""
-    value = os.environ.get("REPRO_SCALE", "ci").lower()
+    """Resolve the active scale from the ``REPRO_SCALE`` environment.
+
+    Accepted forms: ``ci`` (the default), ``paper`` (the full Section 8
+    protocol), or ``<n>x<secs>`` for a custom scale — e.g.
+    ``REPRO_SCALE=20x30`` runs 20 experiments of 30 seconds each
+    (fractional seconds allowed: ``20x7.5``).
+    """
+    value = os.environ.get("REPRO_SCALE", "ci").strip().lower()
     if value == "paper":
         return PAPER_SCALE
     if value == "ci":
         return CI_SCALE
-    raise ValueError(f"unknown REPRO_SCALE: {value!r} (use 'ci' or 'paper')")
+    match = re.fullmatch(r"(\d+)x(\d+(?:\.\d+)?)", value)
+    if match:
+        num, secs = int(match.group(1)), float(match.group(2))
+        if num >= 1 and secs > 0:
+            return ExperimentScale(
+                num_experiments=num, duration_s=secs, name=value
+            )
+    raise ValueError(
+        f"unknown REPRO_SCALE: {value!r} — accepted forms: 'ci' "
+        f"({CI_SCALE.num_experiments} x {CI_SCALE.duration_s:.0f} s), "
+        f"'paper' ({PAPER_SCALE.num_experiments} x "
+        f"{PAPER_SCALE.duration_s:.0f} s), or '<n>x<secs>' for n >= 1 "
+        "experiments of <secs> > 0 seconds each (e.g. '20x30')"
+    )
 
 
 @dataclass(frozen=True)
@@ -178,7 +199,7 @@ def run_tracking_experiment(exp: TrackingExperiment) -> TrackingOutcome:
     scenario = Scenario(
         trajectory, room=room, body=body, config=config, seed=exp.seed + 1
     )
-    measured = scenario.run()
+    measured = synthesize(scenario)  # spectra-cache aware (REPRO_CACHE)
 
     tracker = WiTrack(config, array=scenario.array)
     if exp.mode == "stream":
@@ -271,9 +292,11 @@ def run_multi_tracking_experiment(
         duration_s=duration_s,
         min_separation_m=min_separation_m,
     )
-    measured = MultiScenario(
-        list(zip(bodies, walks)), room=room, config=config, seed=seed + 1
-    ).run()
+    measured = synthesize(
+        MultiScenario(
+            list(zip(bodies, walks)), room=room, config=config, seed=seed + 1
+        )
+    )
     tracker = MultiWiTrack(
         config, max_people=num_people, room=room
     )
@@ -351,7 +374,7 @@ def run_pointing_experiment(
         gesture_start_s=lead,
         seed=seed + 1,
     )
-    measured = scenario.run()
+    measured = synthesize(scenario)
 
     estimator = TOFEstimator(
         config.fmcw.sweep_duration_s, measured.range_bin_m, config.pipeline
@@ -429,7 +452,7 @@ def run_fall_experiment(
     scenario = Scenario(
         trajectory, room=room, body=body, config=config, seed=seed + 1
     )
-    measured = scenario.run()
+    measured = synthesize(scenario)
     track = WiTrack(config, array=scenario.array).track(
         measured.spectra, measured.range_bin_m
     )

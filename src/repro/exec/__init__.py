@@ -1,0 +1,67 @@
+"""Sharded experiment execution: one parallel runner under every loop.
+
+The paper's Section 8 protocol — 100 × 1-minute experiments per figure
+— is embarrassingly parallel, and this package is the one place the
+repository schedules it:
+
+* :mod:`repro.exec.plan` — :class:`WorkItem` / :class:`ExperimentPlan`
+  turn a figure's grid (seeds × distances × separations × activities)
+  into picklable, schedulable units;
+* :mod:`repro.exec.runners` — :class:`SerialRunner` and the chunked
+  :class:`ProcessPoolRunner` execute a plan with results in plan order
+  (``REPRO_WORKERS`` picks the default pool size);
+* :mod:`repro.exec.stream` — :class:`ShardedStreamRunner` splits one
+  long :meth:`Scenario.frames` stream at pipeline-reset boundaries and
+  merges the per-shard :class:`~repro.pipeline.runner.PipelineResult`\\ s;
+* :mod:`repro.exec.cache` — :class:`SpectraCache`, a content-keyed
+  on-disk ``.npz`` cache so repeated figure/benchmark runs skip
+  re-synthesis (``REPRO_CACHE`` / ``REPRO_CACHE_DIR``).
+
+The load-bearing invariant, pinned by ``tests/test_exec_*``: for a
+fixed plan, every runner produces bitwise-identical results.
+"""
+
+from .cache import SpectraCache, content_key, default_cache, scenario_key, synthesize
+from .plan import ExperimentPlan, WorkItem
+from .runners import (
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+    WORKERS_ENV,
+    default_runner,
+    resolve_workers,
+)
+from .stream import (
+    MIN_SHARD_FRAMES,
+    Shard,
+    ShardedStreamRunner,
+    merge_results,
+    plan_shards,
+    results_identical,
+    sharded_speedup_benchmark,
+    track_scenario_shard,
+)
+
+__all__ = [
+    "ExperimentPlan",
+    "MIN_SHARD_FRAMES",
+    "ProcessPoolRunner",
+    "Runner",
+    "SerialRunner",
+    "Shard",
+    "ShardedStreamRunner",
+    "SpectraCache",
+    "WORKERS_ENV",
+    "WorkItem",
+    "content_key",
+    "default_cache",
+    "default_runner",
+    "merge_results",
+    "plan_shards",
+    "resolve_workers",
+    "results_identical",
+    "scenario_key",
+    "sharded_speedup_benchmark",
+    "synthesize",
+    "track_scenario_shard",
+]

@@ -1,0 +1,303 @@
+"""Content-keyed on-disk spectra cache.
+
+Scenario synthesis — the Dirichlet-kernel sweep synthesis behind every
+experiment — dominates figure and benchmark wall clock, yet a figure's
+grid is deterministic in its parameters and seed. This cache keys the
+*content* of a scenario (trajectory samples, room, body, antenna array,
+full :class:`~repro.config.SystemConfig`, gesture, seed) to a SHA-256
+digest and stores the synthesized arrays as one ``.npz`` per scenario,
+so repeated figure/benchmark runs skip re-synthesis entirely. Any
+parameter change — a config tweak, a different walk — changes the key,
+so stale hits are impossible by construction.
+
+Opt-in via environment (off by default so plain test runs stay
+write-free):
+
+* ``REPRO_CACHE=1`` enables it (``0``/``off`` disables even if a
+  directory is configured);
+* ``REPRO_CACHE_DIR=/path`` sets (and implies) the cache directory,
+  default ``~/.cache/repro/spectra``;
+* ``REPRO_CACHE_MAX_MB`` bounds on-disk size (default 2048); least
+  recently *used* entries are evicted after each store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+#: Environment switches (read at call time, so tests can monkeypatch).
+CACHE_ENV = "REPRO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+_FALSY = ("0", "off", "false", "no", "")
+
+
+def _hash_update(h: "hashlib._Hash", value: Any) -> None:
+    """Fold one (possibly nested) value into the digest, type-tagged."""
+    if value is None:
+        h.update(b"\x00none")
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        h.update(f"\x00nd{arr.dtype.str}{arr.shape}".encode())
+        h.update(arr.tobytes())
+    elif isinstance(value, (bool, int, float, complex, str, bytes)):
+        h.update(f"\x00{type(value).__name__}{value!r}".encode())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        h.update(f"\x00dc{type(value).__qualname__}".encode())
+        for f in dataclasses.fields(value):
+            h.update(f.name.encode())
+            _hash_update(h, getattr(value, f.name))
+    elif isinstance(value, dict):
+        h.update(b"\x00dict")
+        for k in sorted(value):
+            h.update(str(k).encode())
+            _hash_update(h, value[k])
+    elif isinstance(value, (list, tuple)):
+        h.update(f"\x00seq{len(value)}".encode())
+        for item in value:
+            _hash_update(h, item)
+    else:
+        raise TypeError(
+            f"cannot content-hash {type(value).__name__!r}; add picklable "
+            "primitives, arrays, or dataclasses only"
+        )
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 hex digest of arbitrarily nested parameter content."""
+    h = hashlib.sha256()
+    for part in parts:
+        _hash_update(h, part)
+    return h.hexdigest()
+
+
+def scenario_key(scenario: Any) -> str:
+    """Content key of a :class:`~repro.sim.scenario.Scenario` (or multi).
+
+    Everything the synthesized spectra depend on goes in; evaluation-side
+    parameters (VICON seeds, depth calibration) stay out.
+    """
+    from ..multi.scenario import MultiScenario
+    from ..sim.scenario import Scenario
+
+    if isinstance(scenario, Scenario):
+        return content_key(
+            "scenario.v1",
+            scenario.seed,
+            scenario.trajectory,
+            scenario.room,
+            scenario.body,
+            scenario.config,
+            scenario.array,
+            scenario.gesture,
+            scenario.gesture_start_s,
+        )
+    if isinstance(scenario, MultiScenario):
+        return content_key(
+            "multi_scenario.v1",
+            scenario.seed,
+            scenario.people,
+            scenario.room,
+            scenario.config,
+            scenario.array,
+        )
+    raise TypeError(f"unsupported scenario type: {type(scenario).__name__}")
+
+
+class SpectraCache:
+    """Get-or-synthesize cache for scenario outputs.
+
+    Args:
+        root: cache directory (created on first store).
+        max_bytes: on-disk budget; ``None`` disables eviction.
+    """
+
+    def __init__(self, root: Path | str, max_bytes: int | None = None) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def run(self, scenario: Any) -> Any:
+        """``scenario.run()``, memoized on the scenario's content key."""
+        key = scenario_key(scenario)
+        cached = self._load(scenario, key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        output = scenario.run()
+        self._store(key, output)
+        return output
+
+    # -- storage ----------------------------------------------------------
+
+    def _load(self, scenario: Any, key: str) -> Any:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+        except (OSError, ValueError):
+            return None  # torn write or foreign file: treat as a miss
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass  # a sibling worker evicted it; the data is already read
+        return self._unpack(scenario, arrays)
+
+    def _store(self, key: str, output: Any) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **self._pack(output))
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.evict()
+
+    def _pack(self, output: Any) -> dict[str, np.ndarray]:
+        from ..multi.scenario import MultiScenarioOutput
+        from ..sim.scenario import ScenarioOutput
+
+        if isinstance(output, ScenarioOutput):
+            arrays = {
+                "spectra": output.spectra,
+                "sweep_times_s": output.sweep_times_s,
+                "range_bin_m": np.float64(output.range_bin_m),
+                "surface_truth": output.surface_truth,
+                "true_round_trips": output.true_round_trips,
+            }
+            if output.hand_truth is not None:
+                arrays["hand_truth"] = output.hand_truth
+            return arrays
+        if isinstance(output, MultiScenarioOutput):
+            return {
+                "spectra": output.spectra,
+                "sweep_times_s": output.sweep_times_s,
+                "range_bin_m": np.float64(output.range_bin_m),
+                "surface_truths": output.surface_truths,
+                "true_round_trips": output.true_round_trips,
+            }
+        raise TypeError(f"unsupported output type: {type(output).__name__}")
+
+    def _unpack(self, scenario: Any, arrays: dict[str, np.ndarray]) -> Any:
+        from ..multi.scenario import MultiScenario, MultiScenarioOutput
+        from ..sim.scenario import ScenarioOutput
+
+        # Non-array fields are reconstructed from the scenario itself —
+        # they are inputs of the content key, so they match by definition.
+        if isinstance(scenario, MultiScenario):
+            return MultiScenarioOutput(
+                spectra=arrays["spectra"],
+                sweep_times_s=arrays["sweep_times_s"],
+                range_bin_m=float(arrays["range_bin_m"]),
+                truths=tuple(traj for _, traj in scenario.people),
+                surface_truths=arrays["surface_truths"],
+                true_round_trips=arrays["true_round_trips"],
+                config=scenario.config,
+                room=scenario.room,
+                bodies=tuple(body for body, _ in scenario.people),
+            )
+        return ScenarioOutput(
+            spectra=arrays["spectra"],
+            sweep_times_s=arrays["sweep_times_s"],
+            range_bin_m=float(arrays["range_bin_m"]),
+            truth=scenario.trajectory,
+            surface_truth=arrays["surface_truth"],
+            hand_truth=arrays.get("hand_truth"),
+            true_round_trips=arrays["true_round_trips"],
+            config=scenario.config,
+            room=scenario.room,
+            body=scenario.body,
+        )
+
+    # -- maintenance ------------------------------------------------------
+
+    def _entries_with_stats(self) -> list[tuple[Path, float, int]]:
+        """``(path, mtime, size)`` per entry, least recently used first.
+
+        Stats are captured once and missing files skipped, so a sibling
+        worker evicting concurrently cannot crash maintenance here.
+        """
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in self.root.glob("*.npz"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # evicted by a sibling between glob and stat
+            out.append((path, st.st_mtime, st.st_size))
+        out.sort(key=lambda t: t[1])
+        return out
+
+    def entries(self) -> list[Path]:
+        """Cached files, least recently used first."""
+        return [path for path, _, _ in self._entries_with_stats()]
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of the cache."""
+        return sum(size for _, _, size in self._entries_with_stats())
+
+    def evict(self) -> int:
+        """Drop least-recently-used entries until under ``max_bytes``."""
+        if self.max_bytes is None:
+            return 0
+        removed = 0
+        entries = self._entries_with_stats()
+        total = sum(size for _, _, size in entries)
+        for path, _, size in entries:
+            if total <= self.max_bytes:
+                break
+            total -= size
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Remove every cached entry."""
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+
+
+def default_cache() -> SpectraCache | None:
+    """The environment-configured cache, or ``None`` when disabled.
+
+    Enabled by ``REPRO_CACHE`` truthy or ``REPRO_CACHE_DIR`` set; an
+    explicit ``REPRO_CACHE=0`` wins over a configured directory.
+    """
+    flag = os.environ.get(CACHE_ENV)
+    directory = os.environ.get(CACHE_DIR_ENV)
+    if flag is not None and flag.strip().lower() in _FALSY:
+        return None
+    if flag is None and not directory:
+        return None
+    root = Path(directory) if directory else Path.home() / ".cache/repro/spectra"
+    max_mb = float(os.environ.get(CACHE_MAX_MB_ENV, "2048"))
+    return SpectraCache(root, max_bytes=int(max_mb * 1e6))
+
+
+def synthesize(scenario: Any) -> Any:
+    """``scenario.run()`` through the default cache when one is enabled.
+
+    This is the seam every harness experiment goes through; with the
+    cache disabled (the default) it is exactly ``scenario.run()``.
+    """
+    cache = default_cache()
+    if cache is None:
+        return scenario.run()
+    return cache.run(scenario)

@@ -1,0 +1,91 @@
+"""The unit of parallel work: picklable experiment plans.
+
+The paper's Section 8 protocol is a *grid* — seeds × distances ×
+separations × activities × modes, 100 one-minute experiments per figure
+— but the evaluation layer used to run it as ad-hoc ``for`` loops. This
+module turns one figure's grid into an explicit, schedulable object: an
+:class:`ExperimentPlan` is an ordered tuple of :class:`WorkItem`\\ s,
+each a module-level callable plus picklable keyword arguments, so any
+:class:`~repro.exec.runners.Runner` (serial or process pool) can
+execute it and return results *in plan order* — which is what makes
+parallel and serial execution bitwise-interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+
+def _default_key(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> str:
+    parts = [getattr(fn, "__name__", repr(fn))]
+    parts += [f"{k}={kwargs[k]!r}" for k in sorted(kwargs)]
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable experiment.
+
+    Attributes:
+        fn: a **module-level** callable (pickled by reference, so
+            lambdas and closures are rejected up front).
+        kwargs: keyword arguments for ``fn``; must be picklable.
+        key: stable human-readable identity (labels, logs, dedup).
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        name = getattr(self.fn, "__qualname__", "")
+        module = getattr(self.fn, "__module__", None)
+        if "<lambda>" in name or "<locals>" in name or module is None:
+            raise ValueError(
+                "WorkItem.fn must be a module-level callable so process "
+                f"pools can pickle it by reference; got {self.fn!r}"
+            )
+        if not self.key:
+            object.__setattr__(self, "key", _default_key(self.fn, self.kwargs))
+
+    def run(self) -> Any:
+        """Execute the item in the current process."""
+        return self.fn(**self.kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """An ordered, immutable batch of :class:`WorkItem`\\ s.
+
+    Runners must return one result per item, in this order.
+
+    Attributes:
+        items: the work items.
+        name: label for logs and benchmark artifacts.
+    """
+
+    items: tuple[WorkItem, ...]
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        return iter(self.items)
+
+    @classmethod
+    def from_grid(
+        cls,
+        fn: Callable[..., Any],
+        grid: Iterable[Mapping[str, Any]] | Sequence[Mapping[str, Any]],
+        name: str = "plan",
+    ) -> "ExperimentPlan":
+        """One item per grid point: ``fn(**point)`` for each point."""
+        return cls(
+            items=tuple(WorkItem(fn=fn, kwargs=dict(pt)) for pt in grid),
+            name=name,
+        )

@@ -1,0 +1,140 @@
+"""Runners: execute an :class:`~repro.exec.plan.ExperimentPlan`.
+
+Two executors under one interface:
+
+* :class:`SerialRunner` — the in-process reference implementation.
+* :class:`ProcessPoolRunner` — chunked fan-out over a ``fork`` process
+  pool; degrades gracefully to serial execution when only one worker is
+  requested, when the plan is trivial, or when the platform cannot
+  fork.
+
+Both return results **in plan order**, so swapping one for the other
+cannot change what a figure computes — the determinism invariant the
+``tests/test_exec_runners.py`` equivalence tests pin. Worker count
+defaults to the ``REPRO_WORKERS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from .plan import ExperimentPlan, WorkItem
+
+#: Environment variable holding the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit argument, else ``REPRO_WORKERS``.
+
+    Unset (or ``0``) means serial: parallelism is opt-in, so plain test
+    and CLI runs stay single-process unless asked otherwise.
+    """
+    if workers is not None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        return max(workers, 1)
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {WORKERS_ENV}: {raw!r} (expected an integer, "
+            "e.g. REPRO_WORKERS=4)"
+        ) from None
+    if value < 0:
+        raise ValueError(f"invalid {WORKERS_ENV}: {raw!r} (must be >= 0)")
+    return max(value, 1)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_item(item: WorkItem) -> Any:
+    """Module-level trampoline so pools pickle items, not closures."""
+    return item.run()
+
+
+class Runner:
+    """Executes a plan; subclasses define where the work happens."""
+
+    #: Label recorded in benchmark artifacts.
+    name = "runner"
+
+    def run(self, plan: ExperimentPlan) -> list[Any]:
+        """Execute every item and return results in plan order."""
+        raise NotImplementedError
+
+
+class SerialRunner(Runner):
+    """Run every item in the current process, one after another."""
+
+    name = "serial"
+
+    def run(self, plan: ExperimentPlan) -> list[Any]:
+        return [item.run() for item in plan]
+
+
+class ProcessPoolRunner(Runner):
+    """Fan a plan across a ``fork`` process pool, chunked.
+
+    Args:
+        max_workers: pool size; ``None`` reads ``REPRO_WORKERS``.
+        chunksize: items handed to a worker per round trip; ``None``
+            picks ``ceil(len(plan) / (4 * workers))`` — large enough to
+            amortize pickling, small enough to balance uneven items.
+
+    Falls back to in-process serial execution when the effective worker
+    count is 1, the plan has at most one item, or the platform lacks
+    ``fork`` (results are identical either way; only wall clock moves).
+    """
+
+    name = "process_pool"
+
+    def __init__(
+        self, max_workers: int | None = None, chunksize: int | None = None
+    ) -> None:
+        self.max_workers = resolve_workers(max_workers)
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.chunksize = chunksize
+
+    def _chunksize(self, n_items: int, workers: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, -(-n_items // (4 * workers)))
+
+    def run(self, plan: ExperimentPlan) -> list[Any]:
+        workers = min(self.max_workers, len(plan))
+        if workers <= 1 or not _fork_available():
+            return SerialRunner().run(plan)
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            return list(
+                pool.map(
+                    _run_item,
+                    plan.items,
+                    chunksize=self._chunksize(len(plan), workers),
+                )
+            )
+
+
+def default_runner(workers: int | None = None) -> Runner:
+    """The runner every experiment loop uses unless told otherwise.
+
+    ``workers`` (or ``REPRO_WORKERS``) of 0/1/unset gives the
+    :class:`SerialRunner`; anything larger gives a
+    :class:`ProcessPoolRunner` of that size.
+    """
+    count = resolve_workers(workers)
+    if count <= 1:
+        return SerialRunner()
+    return ProcessPoolRunner(max_workers=count)

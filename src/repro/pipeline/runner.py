@@ -165,11 +165,19 @@ class Pipeline:
                 return s
         raise KeyError(f"pipeline has no {kind.__name__} stage")
 
-    def reset(self) -> None:
-        """Forget all online state; ready for a fresh recording."""
+    def reset(self, start_frame: int = 0) -> None:
+        """Forget all online state; ready for a fresh recording.
+
+        Args:
+            start_frame: index assigned to the next input frame. A shard
+                runner resuming mid-recording passes the shard's first
+                global frame so timestamps stay on the session clock.
+        """
+        if start_frame < 0:
+            raise ValueError("start_frame must be >= 0")
         for s in self.stages:
             s.reset()
-        self._frames_in = 0
+        self._frames_in = start_frame
         self.latency = LatencyReport()
 
     def _crop(self, frames: np.ndarray) -> np.ndarray:

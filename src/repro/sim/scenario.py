@@ -157,7 +157,12 @@ class Scenario:
         """Frames :meth:`frames` will yield for this trajectory."""
         return self.num_sweeps // self.config.pipeline.sweeps_per_frame
 
-    def frames(self, chunk_frames: int = 256) -> Iterator[np.ndarray]:
+    def frames(
+        self,
+        chunk_frames: int = 256,
+        start_frame: int = 0,
+        stop_frame: int | None = None,
+    ) -> Iterator[np.ndarray]:
         """Lazily synthesize the session as per-frame sweep blocks.
 
         Yields one ``(n_rx, sweeps_per_frame, n_bins)`` block per 12.5 ms
@@ -181,6 +186,13 @@ class Scenario:
         Args:
             chunk_frames: frames synthesized per internal chunk (the
                 memory/speed knob; the output does not depend on it).
+            start_frame: first frame to yield. The skipped prefix only
+                advances the streaming AR states (cheap: no sweep
+                synthesis), so frame ``f`` of a shard is bitwise frame
+                ``f`` of the full stream — what
+                :class:`repro.exec.ShardedStreamRunner` shards on.
+            stop_frame: yield frames ``[start_frame, stop_frame)``;
+                ``None`` runs to the end of the trajectory.
         """
         if chunk_frames < 1:
             raise ValueError("chunk_frames must be >= 1")
@@ -229,10 +241,18 @@ class Scenario:
             )
         unused_rng = np.random.default_rng(0)
 
-        for f0 in range(0, n_frames, chunk_frames):
-            f1 = min(f0 + chunk_frames, n_frames)
-            s0, s1 = f0 * spf, f1 * spf
-            sweep_times = np.arange(s0, s1) * dt
+        stop = n_frames if stop_frame is None else int(stop_frame)
+        start = int(start_frame)
+        if not 0 <= start <= stop <= n_frames:
+            raise ValueError(
+                f"need 0 <= start_frame <= stop_frame <= {n_frames}, got "
+                f"[{start_frame}, {stop_frame})"
+            )
+
+        def advance(f0: int, f1: int) -> tuple:
+            """Advance every streaming state over frames [f0, f1)."""
+            nonlocal prev_hand
+            sweep_times = np.arange(f0 * spf, f1 * spf) * dt
             centers = self.trajectory.resample(sweep_times)
             activity = surface_stream.activity(centers)
             surface = surface_stream.points(centers, activity=activity)
@@ -242,15 +262,31 @@ class Scenario:
                 hand, prev_hand = self._hand_chunk(
                     sweep_times, dt, hand_walk, prev_hand
                 )
+            jitters = None
+            if wall_walks is not None:
+                jitters = [
+                    wall_std * walk.advance(activity) for walk in wall_walks
+                ]
+            return surface, hand, jitters
+
+        # Fast-forward the skipped prefix: the AR textures are sequential
+        # per sweep, so a shard must advance them — but not run the
+        # (expensive) sweep synthesis; noise is keyed per frame and needs
+        # no advancing at all.
+        for f0 in range(0, start, chunk_frames):
+            advance(f0, min(f0 + chunk_frames, start))
+
+        for f0 in range(start, stop, chunk_frames):
+            f1 = min(f0 + chunk_frames, stop)
+            s0, s1 = f0 * spf, f1 * spf
+            surface, hand, jitters = advance(f0, f1)
             chunk = np.empty(
                 (self.array.num_receivers, s1 - s0, synthesizer.num_bins),
                 dtype=np.complex128,
             )
             for i, rx in enumerate(self.array.rx):
                 jitter = (
-                    wall_std * wall_walks[i].advance(activity)
-                    if wall_walks is not None
-                    else np.zeros(s1 - s0)
+                    jitters[i] if jitters is not None else np.zeros(s1 - s0)
                 )
                 paths = self._paths_for_antenna(
                     rx, surface, hand, clutter, jitter

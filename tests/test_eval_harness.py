@@ -32,6 +32,35 @@ class TestScale:
         with pytest.raises(ValueError):
             current_scale()
 
+    def test_custom_scale_form(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "20x30")
+        scale = current_scale()
+        assert scale.num_experiments == 20
+        assert scale.duration_s == 30.0
+        assert scale.name == "20x30"
+
+    def test_custom_scale_fractional_seconds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "4x7.5")
+        scale = current_scale()
+        assert scale.num_experiments == 4
+        assert scale.duration_s == 7.5
+
+    @pytest.mark.parametrize(
+        "bad", ["0x30", "20x0", "x30", "20x", "20*30", "20x30x40"]
+    )
+    def test_malformed_custom_scale_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SCALE", bad)
+        with pytest.raises(ValueError, match="accepted forms"):
+            current_scale()
+
+    def test_error_message_lists_all_accepted_forms(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "nope")
+        with pytest.raises(ValueError) as excinfo:
+            current_scale()
+        message = str(excinfo.value)
+        for form in ("ci", "paper", "<n>x<secs>", "20x30"):
+            assert form in message
+
     def test_ci_smaller_than_paper(self):
         assert CI_SCALE.num_experiments < PAPER_SCALE.num_experiments
 

@@ -1,0 +1,168 @@
+"""Spectra-cache tests: hit/miss, content keys, invalidation, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig, default_config
+from repro.multi import MultiScenario
+from repro.exec import (
+    SpectraCache,
+    default_cache,
+    scenario_key,
+    synthesize,
+)
+from repro.sim import HumanBody, Scenario, random_walk, through_wall_room
+
+
+@pytest.fixture()
+def scenario():
+    room = through_wall_room()
+    walk = random_walk(room, np.random.default_rng(11), duration_s=3.0)
+    return Scenario(walk, room=room, seed=12)
+
+
+class TestScenarioKey:
+    def test_stable_across_equal_scenarios(self, scenario):
+        room = through_wall_room()
+        walk = random_walk(room, np.random.default_rng(11), duration_s=3.0)
+        again = Scenario(walk, room=room, seed=12)
+        assert scenario_key(scenario) == scenario_key(again)
+
+    def test_seed_changes_key(self, scenario):
+        other = Scenario(
+            scenario.trajectory, room=scenario.room, seed=13
+        )
+        assert scenario_key(scenario) != scenario_key(other)
+
+    def test_config_changes_key(self, scenario):
+        tweaked = default_config().replace(
+            pipeline=PipelineConfig(contour_threshold_db=9.0)
+        )
+        other = Scenario(
+            scenario.trajectory,
+            room=scenario.room,
+            config=tweaked,
+            seed=scenario.seed,
+        )
+        assert scenario_key(scenario) != scenario_key(other)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            scenario_key(object())
+
+
+class TestCacheHitMiss:
+    def test_miss_then_hit_bitwise(self, scenario, tmp_path):
+        cache = SpectraCache(tmp_path)
+        first = cache.run(scenario)
+        second = cache.run(scenario)
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert np.array_equal(first.spectra, second.spectra)
+        assert np.array_equal(first.surface_truth, second.surface_truth)
+        # The cached output is exactly what an uncached run produces.
+        reference = scenario.run()
+        assert np.array_equal(second.spectra, reference.spectra)
+        assert second.range_bin_m == reference.range_bin_m
+
+    def test_config_change_invalidates(self, scenario, tmp_path):
+        cache = SpectraCache(tmp_path)
+        cache.run(scenario)
+        tweaked = default_config().replace(
+            pipeline=PipelineConfig(max_range_m=20.0)
+        )
+        cache.run(
+            Scenario(
+                scenario.trajectory,
+                room=scenario.room,
+                config=tweaked,
+                seed=scenario.seed,
+            )
+        )
+        assert (cache.misses, cache.hits) == (2, 0)
+        assert len(cache.entries()) == 2
+
+    def test_multi_scenario_round_trip(self, tmp_path):
+        room = through_wall_room()
+        rng = np.random.default_rng(3)
+        walks = [
+            random_walk(room, rng, duration_s=2.0) for _ in range(2)
+        ]
+        people = [(HumanBody(name=f"p{i}"), w) for i, w in enumerate(walks)]
+        multi = MultiScenario(people, room=room, seed=4)
+        cache = SpectraCache(tmp_path)
+        first = cache.run(multi)
+        second = cache.run(multi)
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert np.array_equal(first.spectra, second.spectra)
+        assert second.bodies[1].name == "p1"
+
+    def test_corrupt_entry_is_a_miss(self, scenario, tmp_path):
+        cache = SpectraCache(tmp_path)
+        cache.run(scenario)
+        for path in cache.entries():
+            path.write_bytes(b"not an npz")
+        cache.run(scenario)
+        assert cache.misses == 2
+
+
+class TestEviction:
+    def test_lru_eviction_under_budget(self, scenario, tmp_path):
+        cache = SpectraCache(tmp_path)
+        out = cache.run(scenario)
+        entry_size = cache.size_bytes()
+        assert entry_size > 0
+
+        # Budget for ~one entry: storing a second evicts the first.
+        cache.max_bytes = int(entry_size * 1.5)
+        other = Scenario(scenario.trajectory, room=scenario.room, seed=99)
+        cache.run(other)
+        assert len(cache.entries()) == 1
+        # The survivor is the newer entry.
+        fresh = SpectraCache(tmp_path)
+        fresh.run(other)
+        assert (fresh.misses, fresh.hits) == (0, 1)
+        assert out.spectra.shape  # first output still usable in memory
+
+    def test_clear(self, scenario, tmp_path):
+        cache = SpectraCache(tmp_path)
+        cache.run(scenario)
+        cache.clear()
+        assert cache.entries() == []
+        assert cache.size_bytes() == 0
+
+
+class TestEnvironmentWiring:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache() is None
+
+    def test_dir_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = default_cache()
+        assert cache is not None and cache.root == tmp_path
+
+    def test_explicit_off_wins_over_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert default_cache() is None
+
+    def test_max_mb_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1")
+        assert default_cache().max_bytes == 1_000_000
+
+    def test_synthesize_uses_env_cache(self, scenario, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = synthesize(scenario)
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+        second = synthesize(scenario)
+        assert np.array_equal(first.spectra, second.spectra)
+
+    def test_synthesize_without_cache_is_plain_run(
+        self, scenario, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        out = synthesize(scenario)
+        assert out.spectra.ndim == 3

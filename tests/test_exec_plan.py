@@ -1,0 +1,53 @@
+"""Tests for the work-item / experiment-plan abstraction."""
+
+import pytest
+
+from repro.exec import ExperimentPlan, SerialRunner, WorkItem
+
+
+def double(x: int) -> int:
+    """Module-level so process pools could pickle it by reference."""
+    return 2 * x
+
+
+class TestWorkItem:
+    def test_runs_fn_with_kwargs(self):
+        assert WorkItem(fn=double, kwargs={"x": 21}).run() == 42
+
+    def test_default_key_is_stable_and_readable(self):
+        a = WorkItem(fn=double, kwargs={"x": 1})
+        b = WorkItem(fn=double, kwargs={"x": 1})
+        assert a.key == b.key
+        assert "double" in a.key and "x=1" in a.key
+
+    def test_explicit_key_wins(self):
+        assert WorkItem(fn=double, kwargs={"x": 1}, key="k").key == "k"
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ValueError, match="module-level"):
+            WorkItem(fn=lambda: 0)
+
+    def test_closure_rejected(self):
+        def local() -> int:
+            return 0
+
+        with pytest.raises(ValueError, match="module-level"):
+            WorkItem(fn=local)
+
+
+class TestExperimentPlan:
+    def test_from_grid_builds_one_item_per_point(self):
+        plan = ExperimentPlan.from_grid(
+            double, [{"x": i} for i in range(5)], name="doubles"
+        )
+        assert len(plan) == 5
+        assert plan.name == "doubles"
+        assert [item.kwargs["x"] for item in plan] == list(range(5))
+
+    def test_serial_runner_preserves_plan_order(self):
+        plan = ExperimentPlan.from_grid(double, [{"x": i} for i in range(7)])
+        assert SerialRunner().run(plan) == [2 * i for i in range(7)]
+
+    def test_items_normalized_to_tuple(self):
+        plan = ExperimentPlan(items=[WorkItem(fn=double, kwargs={"x": 0})])
+        assert isinstance(plan.items, tuple)

@@ -1,0 +1,145 @@
+"""Runner equivalence: parallel execution must not change any result.
+
+The load-bearing invariant of the execution engine — pinned here on
+real tracking experiments — is that a :class:`ProcessPoolRunner`
+returns bitwise-identical results to a :class:`SerialRunner` for the
+same plan, in the same order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import fig8_error_cdf
+from repro.eval.harness import (
+    ExperimentScale,
+    TrackingExperiment,
+    run_tracking_experiment,
+)
+from repro.exec import (
+    ExperimentPlan,
+    ProcessPoolRunner,
+    SerialRunner,
+    default_runner,
+    resolve_workers,
+)
+
+
+def failing(x: int) -> int:
+    """A work function that always raises (error-propagation test)."""
+    raise RuntimeError(f"boom {x}")
+
+
+def _tracking_plan(num: int, duration_s: float = 4.0) -> ExperimentPlan:
+    return ExperimentPlan.from_grid(
+        run_tracking_experiment,
+        [
+            {"exp": TrackingExperiment(seed=seed, duration_s=duration_s)}
+            for seed in range(num)
+        ],
+        name="equivalence",
+    )
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers() == 4
+
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_zero_means_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert resolve_workers() == 1
+
+    def test_garbage_env_rejected_with_hint(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestDefaultRunner:
+    def test_serial_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert isinstance(default_runner(), SerialRunner)
+
+    def test_pool_when_env_asks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        runner = default_runner()
+        assert isinstance(runner, ProcessPoolRunner)
+        assert runner.max_workers == 2
+
+    def test_explicit_workers_override_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert isinstance(default_runner(1), SerialRunner)
+
+
+class TestProcessPoolEquivalence:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        plan = _tracking_plan(2)
+        return (
+            SerialRunner().run(plan),
+            ProcessPoolRunner(max_workers=2).run(plan),
+        )
+
+    def test_bitwise_identical_outcomes(self, outcomes):
+        serial, pooled = outcomes
+        assert len(serial) == len(pooled) == 2
+        for a, b in zip(serial, pooled):
+            # errors_xyz carries the whole scoring chain; bitwise, not
+            # approximately: the pool must not change a single ulp.
+            assert np.array_equal(a.errors_xyz, b.errors_xyz,
+                                  equal_nan=True)
+            assert np.array_equal(a.track.positions, b.track.positions,
+                                  equal_nan=True)
+            assert a.body.name == b.body.name
+
+    def test_identical_error_summaries(self, outcomes):
+        serial, pooled = outcomes
+        for a, b in zip(serial, pooled):
+            assert a.summaries() == b.summaries()
+
+    def test_fig8_identical_serial_vs_pooled(self):
+        scale = ExperimentScale(num_experiments=2, duration_s=4.0, name="t")
+        a = fig8_error_cdf(True, scale=scale, runner=SerialRunner())
+        b = fig8_error_cdf(
+            True, scale=scale, runner=ProcessPoolRunner(max_workers=2)
+        )
+        assert (a.summary_x, a.summary_y, a.summary_z) == (
+            b.summary_x, b.summary_y, b.summary_z
+        )
+        assert np.array_equal(a.cdf_x.values, b.cdf_x.values)
+
+
+class TestPoolMechanics:
+    def test_single_worker_falls_back_to_serial(self):
+        plan = ExperimentPlan.from_grid(
+            run_tracking_experiment,
+            [{"exp": TrackingExperiment(seed=0, duration_s=4.0)}],
+        )
+        result = ProcessPoolRunner(max_workers=1).run(plan)
+        assert len(result) == 1
+
+    def test_worker_exception_propagates(self):
+        plan = ExperimentPlan.from_grid(failing, [{"x": 1}, {"x": 2}])
+        with pytest.raises(RuntimeError, match="boom"):
+            ProcessPoolRunner(max_workers=2).run(plan)
+
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(max_workers=2, chunksize=0)
+
+    def test_chunksize_default_amortizes(self):
+        runner = ProcessPoolRunner(max_workers=4)
+        assert runner._chunksize(100, 4) == 7
+        assert runner._chunksize(3, 4) == 1
