@@ -1,0 +1,191 @@
+"""Serving benchmark: session-multiplexed lockstep vs N independent pipelines.
+
+The claim under test (see ISSUE/ROADMAP "serving engine"): advancing N
+concurrent sessions through *one* session-vectorized pipeline — one
+``Pipeline.tick`` per frame step, stage state structure-of-arrays over
+the session axis — amortizes the per-frame numpy dispatch cost that N
+independent frame-at-a-time pipelines each pay in full. The baseline is
+exactly that counterfactual: N private ``Pipeline`` instances pushed
+round-robin in the same frame order.
+
+For each session count the benchmark reports aggregate frames/s for
+both executions, the speedup, per-session p95 latency against the
+paper's 75 ms budget (§7), and an exact-equality check of every
+session's outputs against its own serial ``run_stream`` reference.
+Results land in ``benchmarks/serving.json`` so CI runs leave a
+comparable artifact alongside ``throughput.json``.
+
+Run:
+    python benchmarks/bench_serving.py [--sessions 8] [--duration 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # fresh checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import WiTrack, default_config
+from repro.exec import cache_stats, results_identical, synthesize
+from repro.serve import ServingEngine, single_session
+from repro.sim import Scenario, random_walk, through_wall_room
+
+
+def synthesize_sessions(n_sessions: int, duration_s: float) -> tuple:
+    """N independent single-person session recordings, pre-synthesized."""
+    config = default_config()
+    room = through_wall_room()
+    outputs = []
+    for seed in range(n_sessions):
+        walk = random_walk(
+            room, np.random.default_rng(seed), duration_s=duration_s
+        )
+        # Through the cache seam: a warm REPRO_CACHE rerun skips the
+        # synthesis cost entirely and the JSON's counters show it.
+        outputs.append(
+            synthesize(
+                Scenario(walk, room=room, config=config, seed=seed + 100)
+            )
+        )
+    spf = config.pipeline.sweeps_per_frame
+    n_frames = min(o.num_sweeps // spf for o in outputs)
+    blocks = [
+        [o.spectra[:, f * spf : (f + 1) * spf, :] for f in range(n_frames)]
+        for o in outputs
+    ]
+    return config, outputs[0].range_bin_m, blocks, n_frames
+
+
+def run_baseline(config, range_bin_m, blocks, n_frames) -> dict:
+    """N private pipelines, frame-at-a-time, round-robin (today's way)."""
+    pipelines = [
+        WiTrack(config).pipeline(range_bin_m) for _ in range(len(blocks))
+    ]
+    start = time.perf_counter()
+    for f in range(n_frames):
+        for session, pipeline in zip(blocks, pipelines):
+            pipeline.push(session[f])
+    wall_s = time.perf_counter() - start
+    p95s = [p.latency.p95_s for p in pipelines]
+    return {"wall_s": wall_s, "p95_latency_ms": 1e3 * float(np.max(p95s))}
+
+
+def run_lockstep(config, range_bin_m, blocks, n_frames) -> dict:
+    """One engine, N admitted sessions, one vectorized tick per step."""
+    engine = ServingEngine()
+    spec = single_session(config, range_bin_m)
+    sessions = [engine.admit(spec) for _ in blocks]
+    start = time.perf_counter()
+    for f in range(n_frames):
+        for session, stream in zip(sessions, blocks):
+            session.offer(stream[f])
+        engine.tick()
+    wall_s = time.perf_counter() - start
+    results = [engine.close(s) for s in sessions]
+    p95s = [r.latency.p95_s for r in results]
+    return {
+        "wall_s": wall_s,
+        "p95_latency_ms": 1e3 * float(np.max(p95s)),
+        "results": results,
+    }
+
+
+def serial_references(config, range_bin_m, blocks) -> list:
+    """Each session's untimed ``run_stream`` reference (identity check)."""
+    refs = []
+    for stream in blocks:
+        pipeline = WiTrack(config).pipeline(range_bin_m)
+        refs.append(
+            pipeline.run_stream(np.concatenate(stream, axis=1))
+        )
+    return refs
+
+
+def bench_serving(n_sessions: int, duration_s: float) -> dict:
+    config, range_bin_m, all_blocks, n_frames = synthesize_sessions(
+        n_sessions, duration_s
+    )
+    rows = []
+    counts = sorted({1, max(n_sessions // 2, 1), n_sessions})
+    for n in counts:
+        blocks = all_blocks[:n]
+        baseline = run_baseline(config, range_bin_m, blocks, n_frames)
+        lockstep = run_lockstep(config, range_bin_m, blocks, n_frames)
+        refs = serial_references(config, range_bin_m, blocks)
+        identical = all(
+            results_identical(result, ref)
+            for result, ref in zip(lockstep["results"], refs)
+        )
+        total = n * n_frames
+        rows.append({
+            "sessions": n,
+            "frames_per_session": n_frames,
+            "baseline_s": baseline["wall_s"],
+            "lockstep_s": lockstep["wall_s"],
+            "baseline_fps": total / baseline["wall_s"],
+            "lockstep_fps": total / lockstep["wall_s"],
+            "speedup": baseline["wall_s"] / lockstep["wall_s"],
+            "baseline_p95_latency_ms": baseline["p95_latency_ms"],
+            "lockstep_p95_latency_ms": lockstep["p95_latency_ms"],
+            "within_75ms_budget": lockstep["p95_latency_ms"] <= 75.0,
+            "identical_to_serial": identical,
+        })
+    return {
+        "duration_s": duration_s,
+        "max_sessions": n_sessions,
+        "scaling": rows,
+        "cache": cache_stats(),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=8,
+                        help="maximum concurrent sessions")
+    parser.add_argument("--duration", type=float, default=8.0,
+                        help="seconds of scenario per session")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "serving.json")
+    args = parser.parse_args()
+
+    print(f"synthesizing {args.sessions} sessions of "
+          f"{args.duration:.0f} s each...")
+    payload = bench_serving(args.sessions, args.duration)
+
+    print("\nserving throughput (aggregate frames/s across sessions)")
+    print(f"{'N':>4}{'baseline':>12}{'lockstep':>12}{'speedup':>10}"
+          f"{'p95 (ms)':>10}{'identical':>11}")
+    for row in payload["scaling"]:
+        print(f"{row['sessions']:>4}{row['baseline_fps']:>12.0f}"
+              f"{row['lockstep_fps']:>12.0f}{row['speedup']:>9.2f}x"
+              f"{row['lockstep_p95_latency_ms']:>10.2f}"
+              f"{'yes' if row['identical_to_serial'] else 'NO':>11}")
+
+    top = payload["scaling"][-1]
+    print(f"\nat N={top['sessions']}: {top['speedup']:.2f}x over "
+          f"{top['sessions']} independent pipelines, per-session p95 "
+          f"{top['lockstep_p95_latency_ms']:.2f} ms "
+          f"(75 ms budget "
+          f"{'MET' if top['within_75ms_budget'] else 'EXCEEDED'})")
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    ok = all(
+        row["identical_to_serial"] and row["within_75ms_budget"]
+        for row in payload["scaling"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from .core.tracker import TrackResult, WiTrack
 from .exec import (
     ExperimentPlan,
     ProcessPoolRunner,
+    ResultCache,
     SerialRunner,
     ShardedStreamRunner,
     SpectraCache,
@@ -51,8 +52,9 @@ from .pipeline import (
     multi_person_pipeline,
     single_person_pipeline,
 )
+from .serve import ServingEngine, multi_session, single_session
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "constants",
@@ -75,11 +77,15 @@ __all__ = [
     "WiTrack",
     "ExperimentPlan",
     "ProcessPoolRunner",
+    "ResultCache",
     "SerialRunner",
+    "ServingEngine",
     "ShardedStreamRunner",
     "SpectraCache",
     "WorkItem",
     "default_runner",
+    "multi_session",
+    "single_session",
     "MultiScenario",
     "MultiTrack",
     "MultiWiTrack",

@@ -7,7 +7,12 @@ privacy much better than a camera."
 
 :class:`FallMonitor` wraps the tracking stack and the Section 6.2
 detector into the application a deployment would run: feed it recorded
-sessions (or stream them), get back fall alerts with timestamps.
+sessions (or stream them), get back fall alerts with timestamps. Since
+the serving engine landed, each analyzed session is a single-session
+view over the same :class:`~repro.serve.ServingEngine` the realtime
+apps and the ``repro serve`` multiplexer run — a fall-monitoring
+deployment watching many rooms is just one engine with many admitted
+sessions.
 """
 
 from __future__ import annotations
@@ -18,8 +23,8 @@ import numpy as np
 
 from ..config import SystemConfig, default_config
 from ..core.falls import FallDetector
-from ..core.tracker import WiTrack
 from ..geometry.antennas import AntennaArray
+from ..serve import ServingEngine, single_session
 from ..sim.room import Room
 
 
@@ -58,12 +63,16 @@ class FallMonitor:
         self.room = room
         self.config = config or default_config()
         self.detector = detector or FallDetector()
-        self.tracker = WiTrack(self.config, array=array)
+        self.array = array
 
     def analyze_session(
         self, spectra: np.ndarray, range_bin_m: float
     ) -> FallAlert | None:
         """Process one recorded session; return an alert if it was a fall.
+
+        The session is streamed through a fresh single-session view of
+        the serving engine — the same stage graph every other consumer
+        runs, frame-at-a-time as a live monitor would see it.
 
         Args:
             spectra: per-antenna sweep spectra ``(n_rx, n_sweeps, n_bins)``.
@@ -72,7 +81,20 @@ class FallMonitor:
         Returns:
             A :class:`FallAlert`, or None for non-fall activity.
         """
-        track = self.tracker.track(spectra, range_bin_m)
+        engine = ServingEngine()
+        session = engine.admit(
+            single_session(self.config, range_bin_m, array=self.array)
+        )
+        spectra = np.asarray(spectra)
+        spf = self.config.pipeline.sweeps_per_frame
+        for f in range(spectra.shape[1] // spf):
+            engine.submit(session, spectra[:, f * spf : (f + 1) * spf, :])
+        engine.drain()
+        track = engine.close(session)
+        if track.positions is None:
+            raise ValueError(
+                "session too short: nothing came out of the pipeline"
+            )
         elevation = track.positions[:, 2] - self.room.floor_z
         verdict = self.detector.classify(track.frame_times_s, elevation)
         if not verdict.is_fall:

@@ -4,18 +4,20 @@
 signal is received and a corresponding 3D location is output."
 
 :class:`RealtimeTracker` consumes sweeps one frame (5 sweeps) at a time
-and emits one 3D fix per frame. Since the unified engine landed it is a
-thin wrapper around the single-person
-:class:`~repro.pipeline.Pipeline` in streaming mode — the identical
-stage objects the batch :class:`~repro.core.tracker.WiTrack` drives
-vectorized, so the realtime app can no longer drift from the evaluated
-pipeline. Wall-clock processing time is recorded per frame so the
-latency benchmark can check the 75 ms budget.
+and emits one 3D fix per frame. Since the serving engine landed it is a
+thin *single-session view* over :class:`~repro.serve.ServingEngine` —
+the same engine that multiplexes N concurrent sessions through one
+vectorized pipeline. There is no second code path: an N=1 lockstep tick
+is bitwise today's stream (pinned by ``tests/test_serve.py``), so the
+realtime app can never drift from either the batch-evaluated pipeline
+or the serving deployment. Per-frame latency (enqueue to emit, queue
+wait included) is recorded per session so the latency benchmark can
+check the 75 ms budget.
 
 :class:`RealtimeMultiTracker` is the K-person counterpart: the same
-wrapper around :class:`~repro.multi.tracker.MultiWiTrack`'s pipeline
-(successive cancellation + track association), still inside the same
-latency budget.
+single-session view over a multi-person serving cohort (successive
+cancellation + track association), still inside the same latency
+budget.
 """
 
 from __future__ import annotations
@@ -23,18 +25,40 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import SystemConfig, default_config
-from ..core.localize import make_solver
 from ..geometry.antennas import AntennaArray, t_array
-from ..multi.tracker import MultiWiTrack
 from ..multi.tracks import MultiTrack, TrackManagerConfig
-from ..pipeline.multi import Associate
-from ..pipeline.runner import LatencyReport, single_person_pipeline
+from ..pipeline.runner import LatencyReport
+from ..pipeline.stages import Localize
+from ..serve import ServingEngine, multi_session, single_session
 from ..sim.room import Room
 
 __all__ = ["LatencyReport", "RealtimeTracker", "RealtimeMultiTracker"]
 
 
-class RealtimeTracker:
+class _SingleSessionView:
+    """Shared plumbing: one engine, one admitted session."""
+
+    def __init__(self, spec) -> None:
+        self.engine = ServingEngine()
+        self.session = self.engine.admit(spec)
+        #: The cohort's session-vectorized pipeline (this session is its
+        #: only occupant here; the serving engine shares it among many).
+        self.pipeline = self.session.cohort.pipeline
+
+    @property
+    def latency(self) -> LatencyReport:
+        """Per-frame enqueue-to-emit latency of this session."""
+        return self.session.latency
+
+    def _advance(self, sweep_block: np.ndarray) -> bool:
+        """Feed one frame and tick; True when a new output row emitted."""
+        emitted_before = self.session.frames_out
+        self.engine.submit(self.session, sweep_block)
+        self.engine.tick()
+        return self.session.frames_out > emitted_before
+
+
+class RealtimeTracker(_SingleSessionView):
     """Frame-by-frame streaming 3D tracker.
 
     Args:
@@ -51,21 +75,20 @@ class RealtimeTracker:
     ) -> None:
         self.config = config or default_config()
         self.array = array if array is not None else t_array(self.config.array)
-        self.solver = make_solver(self.array)
         self.range_bin_m = range_bin_m
-        self.pipeline = single_person_pipeline(
-            self.config, range_bin_m, solver=self.solver
+        super().__init__(
+            single_session(self.config, range_bin_m, array=array)
         )
+
+    @property
+    def solver(self):
+        """The live localization solver inside the pipeline."""
+        return self.pipeline.stage(Localize).solver
 
     @property
     def sweeps_per_frame(self) -> int:
         """Sweeps consumed per output fix."""
         return self.config.pipeline.sweeps_per_frame
-
-    @property
-    def latency(self) -> LatencyReport:
-        """Per-frame processing-time statistics."""
-        return self.pipeline.latency
 
     def process_frame(self, sweep_block: np.ndarray) -> np.ndarray:
         """Process one frame worth of sweeps for all antennas.
@@ -76,10 +99,12 @@ class RealtimeTracker:
         Returns:
             3D position, shape ``(3,)`` (NaN until localizable).
         """
-        frame = self.pipeline.push(sweep_block)
-        if frame is None or frame.position is None:
+        if not self._advance(sweep_block):
             return np.full(3, np.nan)
-        return frame.position
+        position = self.session.last_position
+        if position is None:
+            return np.full(3, np.nan)
+        return position
 
     def run(self, spectra: np.ndarray) -> np.ndarray:
         """Stream a whole recording; returns ``(n_frames, 3)`` positions.
@@ -99,7 +124,7 @@ class RealtimeTracker:
         return positions
 
 
-class RealtimeMultiTracker:
+class RealtimeMultiTracker(_SingleSessionView):
     """Frame-by-frame streaming multi-person 3D tracker.
 
     Args:
@@ -120,17 +145,20 @@ class RealtimeMultiTracker:
         room: Room | None = None,
         track_config: TrackManagerConfig | None = None,
     ) -> None:
-        self._tracker = MultiWiTrack(
-            config,
-            array=array,
-            max_people=max_people,
-            room=room,
-            track_config=track_config,
-        )
-        self.config = self._tracker.config
-        self.array = self._tracker.array
+        self.config = config or default_config()
+        self.array = array if array is not None else t_array(self.config.array)
         self.range_bin_m = range_bin_m
-        self.pipeline = self._tracker.pipeline(range_bin_m)
+        self._max_people = max_people
+        super().__init__(
+            multi_session(
+                self.config,
+                range_bin_m,
+                array=array,
+                max_people=max_people,
+                room=room,
+                track_config=track_config,
+            )
+        )
 
     @property
     def sweeps_per_frame(self) -> int:
@@ -140,17 +168,12 @@ class RealtimeMultiTracker:
     @property
     def max_people(self) -> int:
         """Upper bound on concurrently tracked people."""
-        return self._tracker.max_people
-
-    @property
-    def latency(self) -> LatencyReport:
-        """Per-frame processing-time statistics."""
-        return self.pipeline.latency
+        return self._max_people
 
     @property
     def manager(self):
-        """The shared :class:`~repro.multi.tracks.TrackManager`."""
-        return self.pipeline.stage(Associate).manager
+        """This session's :class:`~repro.multi.tracks.TrackManager`."""
+        return self.engine.track_manager(self.session)
 
     def process_frame(
         self, sweep_block: np.ndarray
@@ -164,10 +187,9 @@ class RealtimeMultiTracker:
             ``(track_id, position)`` for every currently reported
             person (empty until the first track confirms).
         """
-        frame = self.pipeline.push(sweep_block)
-        if frame is None or frame.tracks is None:
+        if not self._advance(sweep_block):
             return []
-        return frame.tracks
+        return self.session.last_tracks or []
 
     def run(self, spectra: np.ndarray) -> MultiTrack:
         """Stream a recording; returns ALL tracks accumulated so far.

@@ -57,20 +57,33 @@ class ContourResult:
 
 
 def _first_local_max_above(
-    row: np.ndarray, threshold: float, min_bin: int
-) -> int:
-    """Index of the first local maximum above ``threshold``, or -1.
+    power: np.ndarray, threshold: np.ndarray, min_bin: int
+) -> np.ndarray:
+    """Per-row index of the first local maximum above threshold, or -1.
 
-    A bin is a local maximum if it is not smaller than both neighbours.
-    ``min_bin`` skips the DC/Tx-leakage region.
+    A bin is a local maximum if it is not smaller than both neighbours;
+    ``min_bin`` skips the DC/Tx-leakage region. Vectorized over rows and
+    row-independent: the result for a row does not depend on which other
+    rows share the call, so frames can be batched across time, antennas,
+    or serving sessions interchangeably.
     """
-    n = len(row)
-    for k in range(max(min_bin, 1), n - 1):
-        if row[k] < threshold:
-            continue
-        if row[k] >= row[k - 1] and row[k] >= row[k + 1]:
-            return k
-    return -1
+    n_bins = power.shape[1]
+    if n_bins < 3:  # no interior bin can be a local maximum
+        return np.full(power.shape[0], -1)
+    center = power[:, 1:-1]
+    # ``~(x < t)`` rather than ``x >= t`` keeps the scalar code's NaN
+    # semantics: a NaN threshold rejects nothing.
+    candidate = (
+        ~(center < threshold[:, None])
+        & (center >= power[:, :-2])
+        & (center >= power[:, 2:])
+    )
+    lo = max(min_bin, 1)
+    if lo > 1:
+        candidate[:, : lo - 1] = False
+    found = candidate.any(axis=1)
+    first = np.argmax(candidate, axis=1) + 1
+    return np.where(found, first, -1)
 
 
 def track_bottom_contour(
@@ -115,19 +128,23 @@ def track_bottom_contour(
     peak_power = np.full(n_frames, np.nan)
     mask = np.zeros(n_frames, dtype=bool)
 
-    for i in range(n_frames):
-        k = _first_local_max_above(power[i], threshold[i], min_bin)
-        if k < 0:
-            continue
-        offset = 0.0
-        if subpixel and 0 < k < n_bins - 1:
-            left, mid, right = power[i, k - 1 : k + 2]
+    first = _first_local_max_above(power, threshold, min_bin)
+    rows = np.flatnonzero(first >= 0)
+    if rows.size:
+        k = first[rows]
+        offset = np.zeros(len(rows))
+        if subpixel:
+            # The scan never selects an edge bin, so k-1/k+1 exist.
+            left = power[rows, k - 1]
+            mid = power[rows, k]
+            right = power[rows, k + 1]
             denom = left - 2.0 * mid + right
-            if abs(denom) > 1e-30:
-                offset = float(np.clip(0.5 * (left - right) / denom, -0.5, 0.5))
-        contour[i] = (k + offset) * range_bin_m
-        peak_power[i] = power[i, k]
-        mask[i] = True
+            with np.errstate(invalid="ignore", divide="ignore"):
+                refined = np.clip(0.5 * (left - right) / denom, -0.5, 0.5)
+            offset = np.where(np.abs(denom) > 1e-30, refined, 0.0)
+        contour[rows] = (k + offset) * range_bin_m
+        peak_power[rows] = power[rows, k]
+        mask[rows] = True
 
     return ContourResult(
         round_trip_m=contour,

@@ -63,6 +63,10 @@ class TGeometrySolver:
             than this (or behind the array) are rejected.
     """
 
+    #: Each frame's solution depends on that frame alone, so rows may be
+    #: batched freely (across time or across serving sessions).
+    row_independent = True
+
     def __init__(self, array: AntennaArray, min_y_m: float = 0.2) -> None:
         self._validate_t_geometry(array)
         rx = array.rx_positions
@@ -139,6 +143,10 @@ class LeastSquaresSolver:
         warm_start: seed each frame with the previous frame's solution
             (the continuity prior of human motion).
     """
+
+    #: Batch solves chain a warm start frame to frame, so rows are NOT
+    #: independent — lockstep serving must solve row by row.
+    row_independent = False
 
     def __init__(
         self,

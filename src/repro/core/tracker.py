@@ -128,7 +128,7 @@ class WiTrack:
         result = self.pipeline(range_bin_m).run_batch(
             spectra, record_spectra=True
         )
-        return self._package(result, range_bin_m)
+        return self.package_result(result, range_bin_m)
 
     def track_stream(
         self,
@@ -157,7 +157,7 @@ class WiTrack:
         result = self.pipeline(range_bin_m).run_stream(
             spectra, record_spectra=record_spectra
         )
-        return self._package(result, range_bin_m)
+        return self.package_result(result, range_bin_m)
 
     def localize_estimates(
         self, estimates: tuple[TOFEstimate, ...]
@@ -193,8 +193,13 @@ class WiTrack:
             )
         return spectra
 
-    def _package(self, result, range_bin_m: float) -> TrackResult:
-        """Assemble a :class:`TrackResult` from a pipeline result."""
+    def package_result(self, result, range_bin_m: float) -> TrackResult:
+        """Assemble a :class:`TrackResult` from a pipeline result.
+
+        Public because the result-level cache
+        (:func:`repro.exec.cache.tracked_scenario`) re-packages stored
+        :class:`~repro.pipeline.PipelineResult` arrays on a hit.
+        """
         if result.tof_m is None:
             raise ValueError(
                 "recording produced no output frames (at least two "

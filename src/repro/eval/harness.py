@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ArrayConfig, SystemConfig, default_config
-from ..exec.cache import synthesize
+from ..exec.cache import synthesize, tracked_scenario
 from ..core.falls import FallDetector, FallVerdict
 from ..core.pointing import PointingEstimator
 from ..core.tof import TOFEstimator
@@ -199,13 +199,16 @@ def run_tracking_experiment(exp: TrackingExperiment) -> TrackingOutcome:
     scenario = Scenario(
         trajectory, room=room, body=body, config=config, seed=exp.seed + 1
     )
-    measured = synthesize(scenario)  # spectra-cache aware (REPRO_CACHE)
-
     tracker = WiTrack(config, array=scenario.array)
     if exp.mode == "stream":
+        # Streaming mode exists to exercise the frame-at-a-time path, so
+        # it only uses the spectra cache, never the result cache.
+        measured = synthesize(scenario)
         track = tracker.track_stream(measured.spectra, measured.range_bin_m)
     else:
-        track = tracker.track(measured.spectra, measured.range_bin_m)
+        # Batch mode goes through the result-level cache (REPRO_CACHE):
+        # an unchanged (scenario, pipeline) rerun skips tracking too.
+        track = tracked_scenario(scenario, tracker)
 
     # Ground truth: VICON capture of the body center, then the paper's
     # offline depth compensation.
@@ -452,10 +455,7 @@ def run_fall_experiment(
     scenario = Scenario(
         trajectory, room=room, body=body, config=config, seed=seed + 1
     )
-    measured = synthesize(scenario)
-    track = WiTrack(config, array=scenario.array).track(
-        measured.spectra, measured.range_bin_m
-    )
+    track = tracked_scenario(scenario, WiTrack(config, array=scenario.array))
 
     elevation = track.positions[:, 2] - room.floor_z
     detector = detector or FallDetector()

@@ -13,15 +13,30 @@ repository schedules it:
 * :mod:`repro.exec.stream` — :class:`ShardedStreamRunner` splits one
   long :meth:`Scenario.frames` stream at pipeline-reset boundaries and
   merges the per-shard :class:`~repro.pipeline.runner.PipelineResult`\\ s;
-* :mod:`repro.exec.cache` — :class:`SpectraCache`, a content-keyed
-  on-disk ``.npz`` cache so repeated figure/benchmark runs skip
-  re-synthesis (``REPRO_CACHE`` / ``REPRO_CACHE_DIR``).
+* :mod:`repro.exec.cache` — :class:`SpectraCache` and
+  :class:`ResultCache`, content-keyed on-disk ``.npz`` caches so
+  repeated figure/benchmark runs skip re-synthesis — and, at the
+  result level, re-tracking (``REPRO_CACHE`` / ``REPRO_CACHE_DIR``);
+  process-wide hit/miss/eviction counters via :func:`cache_stats`.
 
 The load-bearing invariant, pinned by ``tests/test_exec_*``: for a
 fixed plan, every runner produces bitwise-identical results.
 """
 
-from .cache import SpectraCache, content_key, default_cache, scenario_key, synthesize
+from .cache import (
+    NpzLruCache,
+    ResultCache,
+    SpectraCache,
+    cache_stats,
+    content_key,
+    default_cache,
+    default_result_cache,
+    reset_cache_stats,
+    result_key,
+    scenario_key,
+    synthesize,
+    tracked_scenario,
+)
 from .plan import ExperimentPlan, WorkItem
 from .runners import (
     ProcessPoolRunner,
@@ -45,7 +60,9 @@ from .stream import (
 __all__ = [
     "ExperimentPlan",
     "MIN_SHARD_FRAMES",
+    "NpzLruCache",
     "ProcessPoolRunner",
+    "ResultCache",
     "Runner",
     "SerialRunner",
     "Shard",
@@ -53,15 +70,20 @@ __all__ = [
     "SpectraCache",
     "WORKERS_ENV",
     "WorkItem",
+    "cache_stats",
     "content_key",
     "default_cache",
+    "default_result_cache",
     "default_runner",
     "merge_results",
     "plan_shards",
     "resolve_workers",
+    "reset_cache_stats",
+    "result_key",
     "results_identical",
     "scenario_key",
     "sharded_speedup_benchmark",
     "synthesize",
+    "tracked_scenario",
     "track_scenario_shard",
 ]

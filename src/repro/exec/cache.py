@@ -1,14 +1,25 @@
-"""Content-keyed on-disk spectra cache.
+"""Content-keyed on-disk caches: spectra and pipeline results.
 
 Scenario synthesis — the Dirichlet-kernel sweep synthesis behind every
 experiment — dominates figure and benchmark wall clock, yet a figure's
-grid is deterministic in its parameters and seed. This cache keys the
-*content* of a scenario (trajectory samples, room, body, antenna array,
-full :class:`~repro.config.SystemConfig`, gesture, seed) to a SHA-256
-digest and stores the synthesized arrays as one ``.npz`` per scenario,
-so repeated figure/benchmark runs skip re-synthesis entirely. Any
-parameter change — a config tweak, a different walk — changes the key,
-so stale hits are impossible by construction.
+grid is deterministic in its parameters and seed. :class:`SpectraCache`
+keys the *content* of a scenario (trajectory samples, room, body,
+antenna array, full :class:`~repro.config.SystemConfig`, gesture, seed)
+to a SHA-256 digest and stores the synthesized arrays as one ``.npz``
+per scenario, so repeated figure/benchmark runs skip re-synthesis
+entirely. Any parameter change — a config tweak, a different walk —
+changes the key, so stale hits are impossible by construction.
+
+:class:`ResultCache` goes one level higher — the adaptivity lesson of
+Bender et al.'s adaptive filters: a cache that stops at spectra still
+pays full *tracking* price on every pure re-aggregation run. It keys
+(scenario content, pipeline configuration) to the single-person
+:class:`~repro.pipeline.PipelineResult` arrays, so a figure rerun that
+only re-scores existing parameters skips synthesis **and** tracking
+(the :func:`tracked_scenario` seam). Both caches share the same
+storage/LRU machinery and environment switches, and feed the
+process-wide :func:`cache_stats` counters that ``repro bench`` and the
+throughput benchmarks surface.
 
 Opt-in via environment (off by default so plain test runs stay
 write-free):
@@ -16,9 +27,11 @@ write-free):
 * ``REPRO_CACHE=1`` enables it (``0``/``off`` disables even if a
   directory is configured);
 * ``REPRO_CACHE_DIR=/path`` sets (and implies) the cache directory,
-  default ``~/.cache/repro/spectra``;
-* ``REPRO_CACHE_MAX_MB`` bounds on-disk size (default 2048); least
-  recently *used* entries are evicted after each store.
+  default ``~/.cache/repro/spectra`` (pipeline results live in a
+  ``results/`` subdirectory of the same root);
+* ``REPRO_CACHE_MAX_MB`` bounds on-disk size (default 2048, applied to
+  each cache separately); least recently *used* entries are evicted
+  after each store.
 """
 
 from __future__ import annotations
@@ -37,6 +50,26 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
 
 _FALSY = ("0", "off", "false", "no", "")
+
+#: Process-wide hit/miss/eviction counters per cache kind. Instances are
+#: short-lived (``default_cache()`` builds one per call site), so the
+#: benchmarks read these aggregates instead.
+_STATS: dict[str, dict[str, int]] = {
+    "spectra": {"hits": 0, "misses": 0, "evictions": 0},
+    "results": {"hits": 0, "misses": 0, "evictions": 0},
+}
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Copy of the process-wide cache counters, keyed by cache kind."""
+    return {kind: dict(counts) for kind, counts in _STATS.items()}
+
+
+def reset_cache_stats() -> None:
+    """Zero the process-wide cache counters (test/benchmark isolation)."""
+    for counts in _STATS.values():
+        for key in counts:
+            counts[key] = 0
 
 
 def _hash_update(h: "hashlib._Hash", value: Any) -> None:
@@ -111,38 +144,40 @@ def scenario_key(scenario: Any) -> str:
     raise TypeError(f"unsupported scenario type: {type(scenario).__name__}")
 
 
-class SpectraCache:
-    """Get-or-synthesize cache for scenario outputs.
+class NpzLruCache:
+    """Shared storage layer: atomic ``.npz`` entries with LRU eviction.
+
+    Both caches store one content-keyed ``.npz`` per entry, touch
+    entries on read, and evict least-recently-used files after each
+    store. Per-instance counters (``hits``/``misses``/``evictions``)
+    also aggregate into the process-wide :func:`cache_stats` under the
+    subclass's ``stats_kind``.
 
     Args:
         root: cache directory (created on first store).
         max_bytes: on-disk budget; ``None`` disables eviction.
     """
 
+    #: Which :func:`cache_stats` bucket this cache reports into.
+    stats_kind = "spectra"
+
     def __init__(self, root: Path | str, max_bytes: int | None = None) -> None:
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _count(self, event: str, n: int = 1) -> None:
+        setattr(self, event, getattr(self, event) + n)
+        _STATS[self.stats_kind][event] += n
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.npz"
 
-    def run(self, scenario: Any) -> Any:
-        """``scenario.run()``, memoized on the scenario's content key."""
-        key = scenario_key(scenario)
-        cached = self._load(scenario, key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        output = scenario.run()
-        self._store(key, output)
-        return output
-
     # -- storage ----------------------------------------------------------
 
-    def _load(self, scenario: Any, key: str) -> Any:
+    def _load_arrays(self, key: str) -> dict[str, np.ndarray] | None:
         path = self._path(key)
         if not path.exists():
             return None
@@ -155,19 +190,87 @@ class SpectraCache:
             os.utime(path)  # LRU touch
         except OSError:
             pass  # a sibling worker evicted it; the data is already read
-        return self._unpack(scenario, arrays)
+        return arrays
 
-    def _store(self, key: str, output: Any) -> None:
+    def _store_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = path.with_suffix(f".tmp-{os.getpid()}")
         try:
             with open(tmp, "wb") as fh:
-                np.savez(fh, **self._pack(output))
+                np.savez(fh, **arrays)
             tmp.replace(path)
         finally:
             tmp.unlink(missing_ok=True)
         self.evict()
+
+    # -- maintenance ------------------------------------------------------
+
+    def _entries_with_stats(self) -> list[tuple[Path, float, int]]:
+        """``(path, mtime, size)`` per entry, least recently used first.
+
+        Stats are captured once and missing files skipped, so a sibling
+        worker evicting concurrently cannot crash maintenance here.
+        """
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in self.root.glob("*.npz"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # evicted by a sibling between glob and stat
+            out.append((path, st.st_mtime, st.st_size))
+        out.sort(key=lambda t: t[1])
+        return out
+
+    def entries(self) -> list[Path]:
+        """Cached files, least recently used first."""
+        return [path for path, _, _ in self._entries_with_stats()]
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of the cache."""
+        return sum(size for _, _, size in self._entries_with_stats())
+
+    def evict(self) -> int:
+        """Drop least-recently-used entries until under ``max_bytes``."""
+        if self.max_bytes is None:
+            return 0
+        removed = 0
+        entries = self._entries_with_stats()
+        total = sum(size for _, _, size in entries)
+        for path, _, size in entries:
+            if total <= self.max_bytes:
+                break
+            total -= size
+            path.unlink(missing_ok=True)
+            removed += 1
+        if removed:
+            self._count("evictions", removed)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every cached entry."""
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+
+
+class SpectraCache(NpzLruCache):
+    """Get-or-synthesize cache for scenario outputs."""
+
+    stats_kind = "spectra"
+
+    def run(self, scenario: Any) -> Any:
+        """``scenario.run()``, memoized on the scenario's content key."""
+        key = scenario_key(scenario)
+        arrays = self._load_arrays(key)
+        if arrays is not None:
+            self._count("hits")
+            return self._unpack(scenario, arrays)
+        self._count("misses")
+        output = scenario.run()
+        self._store_arrays(key, self._pack(output))
+        return output
 
     def _pack(self, output: Any) -> dict[str, np.ndarray]:
         from ..multi.scenario import MultiScenarioOutput
@@ -225,57 +328,62 @@ class SpectraCache:
             body=scenario.body,
         )
 
-    # -- maintenance ------------------------------------------------------
-
-    def _entries_with_stats(self) -> list[tuple[Path, float, int]]:
-        """``(path, mtime, size)`` per entry, least recently used first.
-
-        Stats are captured once and missing files skipped, so a sibling
-        worker evicting concurrently cannot crash maintenance here.
-        """
-        if not self.root.is_dir():
-            return []
-        out = []
-        for path in self.root.glob("*.npz"):
-            try:
-                st = path.stat()
-            except OSError:
-                continue  # evicted by a sibling between glob and stat
-            out.append((path, st.st_mtime, st.st_size))
-        out.sort(key=lambda t: t[1])
-        return out
-
-    def entries(self) -> list[Path]:
-        """Cached files, least recently used first."""
-        return [path for path, _, _ in self._entries_with_stats()]
-
-    def size_bytes(self) -> int:
-        """Total on-disk size of the cache."""
-        return sum(size for _, _, size in self._entries_with_stats())
-
-    def evict(self) -> int:
-        """Drop least-recently-used entries until under ``max_bytes``."""
-        if self.max_bytes is None:
-            return 0
-        removed = 0
-        entries = self._entries_with_stats()
-        total = sum(size for _, _, size in entries)
-        for path, _, size in entries:
-            if total <= self.max_bytes:
-                break
-            total -= size
-            path.unlink(missing_ok=True)
-            removed += 1
-        return removed
-
-    def clear(self) -> None:
-        """Remove every cached entry."""
-        for path in self.entries():
-            path.unlink(missing_ok=True)
+#: PipelineResult fields the result cache persists. ``subtracted``
+#: (per-frame complex spectrograms) is deliberately excluded — a cached
+#: result serves re-aggregation runs, which never need spectrograms, and
+#: storing them would make this cache as heavy as the spectra cache.
+_RESULT_FIELDS = ("tof_m", "raw_tof_m", "motion", "positions")
 
 
-def default_cache() -> SpectraCache | None:
-    """The environment-configured cache, or ``None`` when disabled.
+class ResultCache(NpzLruCache):
+    """Content-keyed cache of single-person pipeline results.
+
+    Where :class:`SpectraCache` memoizes synthesis, this memoizes
+    synthesis *plus tracking*: the per-frame arrays of a
+    :class:`~repro.pipeline.PipelineResult` keyed on (scenario content,
+    pipeline configuration). Pure re-aggregation runs — rescoring a
+    figure grid whose parameters did not change — then skip the
+    pipeline entirely.
+
+    Multi-person results (``tracks``) are not supported: their ragged
+    per-frame track lists have no stable array form, and the multi
+    figure grids are re-scored from :class:`~repro.multi.MultiTrack`
+    anyway.
+    """
+
+    stats_kind = "results"
+
+    def get(self, key: str):
+        """The cached :class:`PipelineResult` for ``key``, or ``None``."""
+        from ..pipeline.runner import PipelineResult
+
+        arrays = self._load_arrays(key)
+        if arrays is None:
+            self._count("misses")
+            return None
+        self._count("hits")
+        fields = {
+            name: arrays[name] for name in _RESULT_FIELDS if name in arrays
+        }
+        return PipelineResult(frame_times_s=arrays["frame_times_s"], **fields)
+
+    def put(self, key: str, result: Any) -> None:
+        """Store a single-person pipeline result under ``key``."""
+        if result.tracks is not None:
+            raise TypeError(
+                "ResultCache stores single-person results only; "
+                "multi-person track lists are not cacheable"
+            )
+        arrays = {"frame_times_s": result.frame_times_s}
+        for name in _RESULT_FIELDS:
+            value = getattr(result, name)
+            if value is not None:
+                arrays[name] = value
+        self._store_arrays(key, arrays)
+
+
+def _cache_env() -> tuple[Path, int] | None:
+    """Resolved (root, max_bytes) from the environment, or None (off).
 
     Enabled by ``REPRO_CACHE`` truthy or ``REPRO_CACHE_DIR`` set; an
     explicit ``REPRO_CACHE=0`` wins over a configured directory.
@@ -288,7 +396,30 @@ def default_cache() -> SpectraCache | None:
         return None
     root = Path(directory) if directory else Path.home() / ".cache/repro/spectra"
     max_mb = float(os.environ.get(CACHE_MAX_MB_ENV, "2048"))
-    return SpectraCache(root, max_bytes=int(max_mb * 1e6))
+    return root, int(max_mb * 1e6)
+
+
+def default_cache() -> SpectraCache | None:
+    """The environment-configured spectra cache, or ``None`` (disabled)."""
+    resolved = _cache_env()
+    if resolved is None:
+        return None
+    root, max_bytes = resolved
+    return SpectraCache(root, max_bytes=max_bytes)
+
+
+def default_result_cache() -> ResultCache | None:
+    """The environment-configured result cache, or ``None`` (disabled).
+
+    Shares the spectra cache's environment switches and root directory,
+    living in its ``results/`` subdirectory (entry globs are
+    non-recursive, so the two caches never see each other's files).
+    """
+    resolved = _cache_env()
+    if resolved is None:
+        return None
+    root, max_bytes = resolved
+    return ResultCache(root / "results", max_bytes=max_bytes)
 
 
 def synthesize(scenario: Any) -> Any:
@@ -301,3 +432,62 @@ def synthesize(scenario: Any) -> Any:
     if cache is None:
         return scenario.run()
     return cache.run(scenario)
+
+
+def result_key(scenario: Any, tracker: Any) -> str:
+    """Content key of (scenario, pipeline configuration).
+
+    Everything that shapes the single-person pipeline's output goes in:
+    the scenario content, the tracker's own system configuration (a
+    tracker built with a different config than the scenario's must not
+    collide), the solver class with its tunables, and the antenna
+    geometry it solves against.
+    """
+    solver = tracker.solver
+    return content_key(
+        "pipeline_result.v2",
+        scenario_key(scenario),
+        tracker.config,
+        type(solver).__name__,
+        solver.min_y_m,
+        getattr(solver, "warm_start", None),
+        tracker.array,
+    )
+
+
+def tracked_scenario(scenario: Any, tracker: Any) -> Any:
+    """Synthesize + batch-track a scenario, memoized at the result level.
+
+    The seam the single-person harness experiments go through. With the
+    cache disabled it is exactly ``tracker.track(synthesize(...))``; with
+    it enabled, a re-run whose (scenario, pipeline) content is unchanged
+    returns the stored :class:`~repro.pipeline.PipelineResult` without
+    synthesizing or tracking anything. A miss still flows through
+    :func:`synthesize`, so the spectra cache keeps helping runs that
+    changed only pipeline-side parameters.
+
+    Cached results carry no subtracted spectrograms, so the packaged
+    :class:`~repro.core.tracker.TrackResult` has empty ``tof_estimates``
+    on a hit — experiments that need spectrograms (pointing) keep their
+    own path.
+
+    Args:
+        scenario: a :class:`~repro.sim.scenario.Scenario`.
+        tracker: the :class:`~repro.core.tracker.WiTrack` to run.
+
+    Returns:
+        The tracker's :class:`~repro.core.tracker.TrackResult`.
+    """
+    cache = default_result_cache()
+    if cache is None:
+        measured = synthesize(scenario)
+        return tracker.track(measured.spectra, measured.range_bin_m)
+    key = result_key(scenario, tracker)
+    result = cache.get(key)
+    if result is None:
+        measured = synthesize(scenario)
+        result = tracker.pipeline(measured.range_bin_m).run_batch(
+            measured.spectra
+        )
+        cache.put(key, result)
+    return tracker.package_result(result, scenario.range_bin_m)

@@ -7,8 +7,8 @@ in ``WiTrack``, online in the realtime app, and again in the
 multi-person tracker. This package is the single implementation all of
 them now compose:
 
-* :mod:`frame` — the :class:`Frame`/:class:`FrameBlock` records stages
-  communicate through;
+* :mod:`frame` — the :class:`Frame`/:class:`FrameBlock`/
+  :class:`SessionTick` records stages communicate through;
 * :mod:`stages` — the stateful single-person stages;
 * :mod:`multi` — the multi-person stages (successive cancellation and
   track association);
@@ -16,12 +16,15 @@ them now compose:
   modes, ``run_stream`` (frame-at-a-time, latency-accounted) and
   ``run_batch`` (block-vectorized), plus the stage-graph factories.
 
-Both modes drive the same stage objects, so batch and streaming are
-provably the same code path — the seam future sharding and batching
-work builds on.
+All modes drive the same stage objects — batch, streaming, and the
+session-lockstep ``Pipeline.tick`` the serving engine
+(:mod:`repro.serve`) batches N sessions through. Stage state is
+structure-of-arrays over a session axis (``Stage.attach`` /
+``Stage.evict``), so one pipeline instance advances any number of
+independent sessions without a second code path.
 """
 
-from .frame import Frame, FrameBlock
+from .frame import Frame, FrameBlock, SessionTick
 from .runner import (
     LatencyReport,
     Pipeline,
@@ -43,6 +46,7 @@ from .multi import Associate, SuccessiveCancel
 __all__ = [
     "Frame",
     "FrameBlock",
+    "SessionTick",
     "LatencyReport",
     "Pipeline",
     "PipelineResult",

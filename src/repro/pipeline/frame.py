@@ -12,6 +12,15 @@ leading ``n_frames`` axis, so vectorizable stages can process a whole
 recording in one call while stateful stages fall back to a frame loop —
 both paths produce bitwise-identical fields, which is what makes batch
 and streaming provably the same pipeline.
+
+A :class:`SessionTick` is the *serving* mirror: the same fields with a
+leading ``n_active`` **session** axis. Where a FrameBlock is one session
+advanced many time steps, a SessionTick is many independent sessions
+advanced one time step each, in lockstep — the unit of work of the
+session-multiplexing engine in :mod:`repro.serve`. ``slots`` maps each
+row to the pipeline session slot whose structure-of-arrays state it
+advances, so ticks may carry any subset of the attached sessions (late
+joiners, stragglers, drained queues).
 """
 
 from __future__ import annotations
@@ -19,6 +28,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+#: SessionTick array fields whose leading axis is the session row.
+_TICK_ARRAYS = (
+    "spectrum",
+    "power",
+    "raw_tof_m",
+    "tof_m",
+    "motion",
+    "candidates_m",
+    "candidate_powers",
+    "positions",
+)
+#: Frame attribute corresponding to each tick array field.
+_FRAME_OF_TICK = {name: name for name in _TICK_ARRAYS}
+_FRAME_OF_TICK["positions"] = "position"
 
 
 @dataclass
@@ -82,3 +106,81 @@ class FrameBlock:
     def num_frames(self) -> int:
         """Number of frames in the block."""
         return len(self.times_s)
+
+
+@dataclass
+class SessionTick:
+    """One lockstep step of many sessions, session-major.
+
+    Every array mirrors the corresponding :class:`Frame` field with a
+    leading ``n_active`` axis (e.g. ``spectrum`` has shape
+    ``(n_active, n_rx, n_bins)``, ``tof_m`` has ``(n_active, n_rx)``,
+    ``positions`` has ``(n_active, 3)``). Rows are independent sessions:
+    no stage may let one row's values influence another's.
+
+    Attributes:
+        slots: pipeline session slot of each row, shape ``(n_active,)``.
+        indices: per-session input frame index of each row.
+        times_s: per-session frame center time of each row.
+        tracks: per-row reportable ``(track_id, position)`` lists
+            (multi-person pipelines only).
+    """
+
+    slots: np.ndarray
+    indices: np.ndarray
+    times_s: np.ndarray
+    spectrum: np.ndarray | None = None
+    power: np.ndarray | None = None
+    raw_tof_m: np.ndarray | None = None
+    tof_m: np.ndarray | None = None
+    motion: np.ndarray | None = None
+    candidates_m: np.ndarray | None = None
+    candidate_powers: np.ndarray | None = None
+    positions: np.ndarray | None = None
+    tracks: list[list[tuple[int, np.ndarray]]] | None = None
+
+    @property
+    def num_rows(self) -> int:
+        """Number of sessions carried by this tick."""
+        return len(self.slots)
+
+    def select(self, keep: np.ndarray) -> "SessionTick":
+        """A tick holding only the rows where ``keep`` is True."""
+        out = SessionTick(
+            slots=self.slots[keep],
+            indices=self.indices[keep],
+            times_s=self.times_s[keep],
+        )
+        for name in _TICK_ARRAYS:
+            value = getattr(self, name)
+            if value is not None:
+                setattr(out, name, value[keep])
+        if self.tracks is not None:
+            out.tracks = [t for t, k in zip(self.tracks, keep) if k]
+        return out
+
+    @classmethod
+    def of_frame(cls, frame: Frame, slot: int = 0) -> "SessionTick":
+        """Wrap one frame as a single-row tick on the given slot."""
+        tick = cls(
+            slots=np.array([slot], dtype=np.intp),
+            indices=np.array([frame.index], dtype=np.int64),
+            times_s=np.array([frame.time_s]),
+        )
+        for name, frame_name in _FRAME_OF_TICK.items():
+            value = getattr(frame, frame_name)
+            if value is not None:
+                setattr(tick, name, np.asarray(value)[None])
+        if frame.tracks is not None:
+            tick.tracks = [frame.tracks]
+        return tick
+
+    def write_frame(self, frame: Frame, row: int = 0) -> Frame:
+        """Copy one row's fields into a :class:`Frame` (views, no copy)."""
+        for name, frame_name in _FRAME_OF_TICK.items():
+            value = getattr(self, name)
+            if value is not None:
+                setattr(frame, frame_name, value[row])
+        if self.tracks is not None:
+            frame.tracks = self.tracks[row]
+        return frame

@@ -9,10 +9,15 @@ the contour/denoise/localize tail for
 * :class:`Associate` — cross-antenna association, ghost gating and the
   per-target Kalman track bank (:mod:`repro.multi.tracks`).
 
-Both run frame-at-a-time or block-at-a-time with identical results, so
-:class:`~repro.multi.tracker.MultiWiTrack` (batch) and
-:class:`~repro.apps.realtime.RealtimeMultiTracker` (streaming) are the
-same code path.
+Both run frame-at-a-time, block-at-a-time, or session-lockstep with
+identical results, so :class:`~repro.multi.tracker.MultiWiTrack`
+(batch), :class:`~repro.apps.realtime.RealtimeMultiTracker` (streaming)
+and a multi-person serving cohort (:mod:`repro.serve`) are the same
+code path. Session state: cancellation is stateless, and the
+association track banks are kept as one
+:class:`~repro.multi.tracks.TrackManager` per session slot — the
+structure-of-arrays analogue for inherently sequential per-session
+state.
 """
 
 from __future__ import annotations
@@ -33,7 +38,9 @@ class SuccessiveCancel(Stage):
     reflector's energy band, repeat up to ``max_targets`` times. Writes
     ``candidates_m`` and ``candidate_powers`` of shape
     ``(n_rx, max_targets)``. Every round is per-frame independent, so
-    the batch path is exactly the streaming path vectorized over frames.
+    the batch path is exactly the streaming path vectorized over frames
+    — and a lockstep tick is the same call with every (session,
+    antenna) row stacked.
     """
 
     def __init__(
@@ -65,17 +72,16 @@ class SuccessiveCancel(Stage):
             relative_threshold_db=self.relative_threshold_db,
         )
 
-    def process(self, frame):
-        n_rx = frame.power.shape[0]
-        candidates = np.full((n_rx, self.max_targets), np.nan)
-        powers = np.full((n_rx, self.max_targets), np.nan)
-        for a in range(n_rx):
-            result = self._contours(frame.power[a][None, :])
-            candidates[a] = result.round_trips_m[:, 0]
-            powers[a] = result.peak_powers[:, 0]
-        frame.candidates_m = candidates
-        frame.candidate_powers = powers
-        return frame
+    def process_tick(self, tick):
+        n_rows, n_rx, n_bins = tick.power.shape
+        result = self._contours(tick.power.reshape(n_rows * n_rx, n_bins))
+        tick.candidates_m = result.round_trips_m.T.reshape(
+            n_rows, n_rx, self.max_targets
+        )
+        tick.candidate_powers = result.peak_powers.T.reshape(
+            n_rows, n_rx, self.max_targets
+        )
+        return tick
 
     def process_block(self, block):
         n_frames, n_rx, _ = block.power.shape
@@ -97,6 +103,10 @@ class Associate(Stage):
     (which is inherently sequential — association depends on every
     previous frame). Writes ``tracks``: the reportable
     ``(track_id, position)`` pairs after this frame.
+
+    Session state is one independent manager per slot; the factory
+    builds managers for newly attached or recycled slots. Slot 0 is the
+    manager passed at construction, preserving the single-session API.
     """
 
     def __init__(
@@ -104,30 +114,62 @@ class Associate(Stage):
         manager: TrackManager,
         factory: Callable[[], TrackManager] | None = None,
     ) -> None:
-        self.manager = manager
+        self._capacity = 1
+        self._managers: list[TrackManager] = [manager]
         self._factory = factory
 
-    def _step(self, candidates: np.ndarray, powers: np.ndarray):
-        tracks = self.manager.step(
+    @property
+    def manager(self) -> TrackManager:
+        """Slot 0's track manager (the single-session view)."""
+        return self._managers[0]
+
+    def manager_for(self, slot: int) -> TrackManager:
+        """The track manager advancing the given session slot."""
+        return self._managers[slot]
+
+    def _spawn(self) -> TrackManager:
+        if self._factory is None:
+            raise RuntimeError(
+                "Associate needs a manager factory to manage sessions"
+            )
+        return self._factory()
+
+    def _grow(self, capacity: int) -> None:
+        while len(self._managers) < capacity:
+            self._managers.append(self._spawn())
+
+    def evict(self, slot: int) -> None:
+        self._managers[slot] = self._spawn()
+
+    def _step(
+        self, manager: TrackManager, candidates: np.ndarray, powers: np.ndarray
+    ):
+        tracks = manager.step(
             [candidates[a] for a in range(candidates.shape[0])],
             [powers[a] for a in range(powers.shape[0])],
         )
         return [(t.track_id, t.position.copy()) for t in tracks]
 
-    def process(self, frame):
-        frame.tracks = self._step(frame.candidates_m, frame.candidate_powers)
-        return frame
+    def process_tick(self, tick):
+        tick.tracks = [
+            self._step(
+                self._managers[tick.slots[row]],
+                tick.candidates_m[row],
+                tick.candidate_powers[row],
+            )
+            for row in range(tick.num_rows)
+        ]
+        return tick
 
     def process_block(self, block):
+        manager = self._managers[0]
         block.tracks = [
-            self._step(block.candidates_m[f], block.candidate_powers[f])
+            self._step(
+                manager, block.candidates_m[f], block.candidate_powers[f]
+            )
             for f in range(block.num_frames)
         ]
         return block
 
     def reset(self) -> None:
-        if self._factory is None:
-            raise RuntimeError(
-                "Associate cannot reset without a manager factory"
-            )
-        self.manager = self._factory()
+        self._managers = [self._spawn() for _ in self._managers]

@@ -26,7 +26,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..config import SystemConfig
-from .frame import Frame, FrameBlock
+from .frame import Frame, FrameBlock, SessionTick
 from .stages import (
     BackgroundSubtract,
     ContourExtract,
@@ -36,6 +36,10 @@ from .stages import (
     OutlierGate,
     Stage,
 )
+
+
+#: Reused slot vector for the single-session ``push`` fast path.
+_SLOT0 = np.zeros(1, dtype=np.intp)
 
 
 @dataclass
@@ -150,7 +154,8 @@ class Pipeline:
         self._max_bins: int | None = None
         if max_range_m is not None:
             self._max_bins = int(np.ceil(max_range_m / range_bin_m)) + 1
-        self._frames_in = 0
+        self._n_sessions = 1
+        self._frames_in = np.zeros(1, dtype=np.int64)
         self.latency = LatencyReport()
 
     @property
@@ -163,10 +168,16 @@ class Pipeline:
         for s in self.stages:
             if isinstance(s, kind):
                 return s
-        raise KeyError(f"pipeline has no {kind.__name__} stage")
+        present = ", ".join(type(s).__name__ for s in self.stages) or "none"
+        raise KeyError(
+            f"pipeline has no {getattr(kind, '__name__', kind)!s} stage "
+            f"(stages present: {present})"
+        )
 
     def reset(self, start_frame: int = 0) -> None:
         """Forget all online state; ready for a fresh recording.
+
+        Every session slot is reset (capacity is kept).
 
         Args:
             start_frame: index assigned to the next input frame. A shard
@@ -177,18 +188,120 @@ class Pipeline:
             raise ValueError("start_frame must be >= 0")
         for s in self.stages:
             s.reset()
-        self._frames_in = start_frame
+        self._frames_in[:] = start_frame
         self.latency = LatencyReport()
+
+    # -- session lifecycle -------------------------------------------------
+
+    @property
+    def num_sessions(self) -> int:
+        """Session slots the stage state is currently sized for."""
+        return self._n_sessions
+
+    def attach_sessions(self, n_sessions: int) -> None:
+        """Grow every stage's state to at least ``n_sessions`` slots.
+
+        Existing slots keep their state (growth never perturbs running
+        sessions); slot allocation/reuse is the caller's concern — the
+        serving engine keeps a free list and calls :meth:`evict_session`
+        when a session leaves.
+        """
+        if n_sessions < 1:
+            raise ValueError("n_sessions must be >= 1")
+        if n_sessions > self._n_sessions:
+            self._frames_in = np.concatenate(
+                [
+                    self._frames_in,
+                    np.zeros(n_sessions - self._n_sessions, dtype=np.int64),
+                ]
+            )
+            self._n_sessions = n_sessions
+        for s in self.stages:
+            s.attach(n_sessions)
+
+    def evict_session(self, slot: int) -> None:
+        """Forget one slot's state everywhere; the slot may be reused.
+
+        Eviction touches only that slot's structure-of-arrays rows, so
+        surviving sessions are unperturbed — pinned by the serving
+        tests.
+        """
+        if not 0 <= slot < self._n_sessions:
+            raise IndexError(
+                f"slot {slot} out of range for {self._n_sessions} sessions"
+            )
+        for s in self.stages:
+            s.evict(slot)
+        self._frames_in[slot] = 0
 
     def _crop(self, frames: np.ndarray) -> np.ndarray:
         if self._max_bins is None:
             return frames
         return frames[..., : min(self._max_bins, frames.shape[-1])]
 
-    # -- streaming mode ----------------------------------------------------
+    # -- streaming / lockstep mode -----------------------------------------
+
+    def tick(
+        self,
+        sweep_blocks: Sequence[np.ndarray],
+        slots: Sequence[int] | np.ndarray | None = None,
+    ) -> SessionTick:
+        """Advance N independent sessions one frame each, in lockstep.
+
+        One :class:`~repro.pipeline.frame.SessionTick` flows through one
+        ``process_tick`` call per stage, so the per-frame numpy dispatch
+        cost is paid once for the whole batch instead of once per
+        session — the amortization the serving engine exists for.
+
+        Args:
+            sweep_blocks: one ``(n_rx, sweeps_per_frame, n_bins)`` raw
+                sweep block per participating session.
+            slots: the session slot each block advances (defaults to
+                ``0..len(sweep_blocks)-1``). Slots must be distinct and
+                attached (:meth:`attach_sessions`).
+
+        Returns:
+            The final tick. Rows may be fewer than the input blocks —
+            a session whose frame only primed its background reference
+            produces no output row this tick.
+        """
+        if slots is None:
+            slots = np.arange(len(sweep_blocks), dtype=np.intp)
+        else:
+            slots = np.asarray(slots, dtype=np.intp)
+        if len(slots) != len(sweep_blocks):
+            raise ValueError("need exactly one slot per sweep block")
+        if len(slots) > 1 and len(np.unique(slots)) != len(slots):
+            raise ValueError(
+                "slots must be distinct: one session advances at most "
+                "one frame per tick"
+            )
+        stacked = (
+            sweep_blocks
+            if isinstance(sweep_blocks, np.ndarray)
+            else np.stack([np.asarray(b) for b in sweep_blocks])
+        )
+        averaged = self._crop(stacked.mean(axis=2))
+        indices = self._frames_in[slots]
+        self._frames_in[slots] += 1
+        tick = SessionTick(
+            slots=slots,
+            indices=indices,
+            times_s=(indices + 0.5) * self.frame_duration_s,
+            spectrum=averaged,
+        )
+        for stage in self.stages:
+            tick = stage.process_tick(tick)
+            if tick.num_rows == 0:
+                break
+        return tick
 
     def push(self, sweep_block: np.ndarray) -> Frame | None:
-        """Process one frame worth of sweeps for all antennas.
+        """Process one frame worth of sweeps for all antennas (slot 0).
+
+        This *is* a single-session lockstep tick — the N=1 view of the
+        same engine the serving layer batches, which is why N=1 serving
+        output is bitwise the streamed output.
 
         Args:
             sweep_block: shape ``(n_rx, sweeps_per_frame, n_bins)``.
@@ -199,18 +312,12 @@ class Pipeline:
             processing time is appended to :attr:`latency` either way.
         """
         start = perf_counter()
-        averaged = self._crop(np.asarray(sweep_block).mean(axis=1))
-        index = self._frames_in
-        self._frames_in += 1
-        frame: Frame | None = Frame(
-            index=index,
-            time_s=(index + 0.5) * self.frame_duration_s,
-            spectrum=averaged,
-        )
-        for stage in self.stages:
-            frame = stage.process(frame)
-            if frame is None:
-                break
+        tick = self.tick(np.asarray(sweep_block)[None], _SLOT0)
+        frame: Frame | None = None
+        if tick.num_rows:
+            frame = tick.write_frame(
+                Frame(index=int(tick.indices[0]), time_s=float(tick.times_s[0]))
+            )
         self.latency.latencies_s.append(perf_counter() - start)
         return frame
 
@@ -309,8 +416,8 @@ class Pipeline:
         averaged = self._crop(
             trimmed.reshape(n_rx, n_frames, spf, n_bins).mean(axis=2)
         )
-        base = self._frames_in
-        self._frames_in += n_frames
+        base = int(self._frames_in[0])
+        self._frames_in[0] += n_frames
         block = FrameBlock(
             times_s=(np.arange(base, base + n_frames) + 0.5)
             * self.frame_duration_s,

@@ -1,17 +1,30 @@
 """Composable, stateful pipeline stages (paper Section 4 + Section 7).
 
-Each stage implements the same interface twice:
+Each stage implements one core entry point plus two derived views:
 
+* ``process_tick(tick)`` — advance **many independent sessions one
+  frame each**, in lockstep, over a
+  :class:`~repro.pipeline.frame.SessionTick`. All mutable stage state
+  (background reference, outlier history, hold buffer, Kalman
+  covariances, track banks) lives in structure-of-arrays form with a
+  leading *session* axis; ``tick.slots`` selects which state rows this
+  tick advances. Rows are independent: batching sessions never changes
+  any session's output relative to running it alone, which is the
+  equivalence the serving tests pin.
 * ``process(frame)`` — one :class:`~repro.pipeline.frame.Frame` at a
-  time, holding whatever online state the stage needs (the previous
-  frame, the outlier gate's pending list, the Kalman covariance). This
-  is the realtime code path of Section 7.
+  time. This is the realtime code path of Section 7 and is *literally*
+  a single-row tick on session slot 0 — there is no second code path.
 * ``process_block(block)`` — a whole
-  :class:`~repro.pipeline.frame.FrameBlock` at once. Stateless or
-  per-frame-independent stages vectorize; stateful stages run the exact
-  per-frame update in a loop. Either way the outputs are
-  bitwise-identical to streaming the same frames through ``process``,
-  which is what the batch/stream equivalence tests pin down.
+  :class:`~repro.pipeline.frame.FrameBlock` at once. Per-frame
+  independent stages vectorize over time; stateful stages run the exact
+  tick update in a frame loop. Either way the outputs match streaming
+  the same frames through ``process``, which is what the batch/stream
+  equivalence tests pin down.
+
+Session lifecycle: :meth:`Stage.attach` grows the session axis to a
+requested capacity (existing state rows are preserved), and
+:meth:`Stage.evict` forgets one slot's state so the slot can be reused
+by a newly admitted session — without perturbing any other row.
 
 The single-person chain is
 
@@ -28,26 +41,63 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.contour import track_bottom_contour
-from ..core.kalman import KalmanFilter1D
+from .frame import SessionTick
+
+
+def _grow_rows(array: np.ndarray, capacity: int, fill) -> np.ndarray:
+    """Pad an SoA state array with default rows up to ``capacity``."""
+    if len(array) >= capacity:
+        return array
+    pad_shape = (capacity - len(array),) + array.shape[1:]
+    return np.concatenate([array, np.full(pad_shape, fill, dtype=array.dtype)])
 
 
 class Stage:
     """One stateful step of the pipeline.
 
-    Subclasses fill in :meth:`process` (streaming) and
-    :meth:`process_block` (batch); the two must agree exactly on the
-    fields they produce. :meth:`reset` forgets all online state so a
-    pipeline can be reused for a fresh recording.
+    Subclasses fill in :meth:`process_tick` (the lockstep core) and
+    :meth:`process_block` (batch); the derived :meth:`process` is a
+    single-row tick. :meth:`reset` forgets all online state so a
+    pipeline can be reused for a fresh recording; :meth:`attach` /
+    :meth:`evict` manage the session axis of the state arrays.
     """
 
+    #: Sessions the state arrays are sized for (slot 0 always exists).
+    _capacity: int = 1
+
+    def attach(self, n_sessions: int) -> None:
+        """Ensure state capacity for ``n_sessions`` slots.
+
+        Existing rows keep their state; new rows start fresh. Capacity
+        only grows — eviction frees *state*, not rows.
+        """
+        if n_sessions < 1:
+            raise ValueError("n_sessions must be >= 1")
+        if n_sessions > self._capacity:
+            self._capacity = n_sessions
+            self._grow(n_sessions)
+
+    def _grow(self, capacity: int) -> None:
+        """Grow already-allocated state arrays (default: stateless)."""
+
+    def evict(self, slot: int) -> None:
+        """Forget one slot's state (default: stateless, nothing held)."""
+
+    def process_tick(self, tick: SessionTick) -> SessionTick:
+        """Advance every session row of the tick by one frame."""
+        raise NotImplementedError
+
     def process(self, frame):
-        """Advance one frame; return it (possibly mutated) or ``None``.
+        """Advance one frame on session slot 0; return it or ``None``.
 
         Returning ``None`` consumes the frame without output — e.g. the
         first frame that only primes the background subtractor. Later
         stages are then skipped for this time step.
         """
-        raise NotImplementedError
+        tick = self.process_tick(SessionTick.of_frame(frame))
+        if tick.num_rows == 0:
+            return None
+        return tick.write_frame(frame)
 
     def process_block(self, block):
         """Advance a whole block; must match ``process`` frame by frame."""
@@ -58,7 +108,7 @@ class Stage:
         return []
 
     def reset(self) -> None:
-        """Forget all online state."""
+        """Forget all online state (every slot)."""
 
 
 class BackgroundSubtract(Stage):
@@ -66,40 +116,72 @@ class BackgroundSubtract(Stage):
 
     Static reflectors keep a constant TOF, so subtracting consecutive
     averaged frames cancels them; a moving body decorrelates across the
-    ~5 cm carrier wavelength and survives. The first frame only primes
-    the reference and produces no output.
+    ~5 cm carrier wavelength and survives. Each session's first frame
+    only primes that session's reference row and produces no output —
+    priming rows are dropped from the tick.
     """
 
     def __init__(self) -> None:
-        self._previous: np.ndarray | None = None
+        self._capacity = 1
+        self._previous: np.ndarray | None = None  # (capacity, n_rx, n_bins)
+        self._primed: np.ndarray | None = None  # (capacity,)
 
-    def process(self, frame):
-        current = frame.spectrum
+    def _ensure(self, n_rx: int, n_bins: int) -> None:
         if self._previous is None:
-            self._previous = current
-            return None
-        diff = current - self._previous
-        self._previous = current
-        frame.spectrum = diff
-        frame.power = np.abs(diff) ** 2
-        return frame
+            self._previous = np.zeros(
+                (self._capacity, n_rx, n_bins), dtype=np.complex128
+            )
+            self._primed = np.zeros(self._capacity, dtype=bool)
+
+    def _grow(self, capacity: int) -> None:
+        if self._previous is not None:
+            self._previous = _grow_rows(self._previous, capacity, 0.0)
+            self._primed = _grow_rows(self._primed, capacity, False)
+
+    def evict(self, slot: int) -> None:
+        if self._primed is not None:
+            self._primed[slot] = False
+
+    def process_tick(self, tick):
+        current = tick.spectrum
+        _, n_rx, n_bins = current.shape
+        self._ensure(n_rx, n_bins)
+        slots = tick.slots
+        primed = self._primed[slots]
+        previous = self._previous[slots]
+        self._previous[slots] = current
+        self._primed[slots] = True
+        if not primed.all():
+            tick = tick.select(primed)
+            current = current[primed]
+            previous = previous[primed]
+            if tick.num_rows == 0:
+                return tick
+        diff = current - previous
+        tick.spectrum = diff
+        tick.power = np.abs(diff) ** 2
+        return tick
 
     def process_block(self, block):
         frames = block.spectrum
-        if self._previous is not None:
-            frames = np.concatenate([self._previous[None], frames])
+        _, n_rx, n_bins = frames.shape
+        self._ensure(n_rx, n_bins)
+        if self._primed[0]:
+            frames = np.concatenate([self._previous[0][None], frames])
         else:
             block.times_s = block.times_s[1:]
         if len(frames) < 2:
             raise ValueError("background subtraction needs at least two frames")
         diff = frames[1:] - frames[:-1]
-        self._previous = frames[-1]
+        self._previous[0] = frames[-1]
+        self._primed[0] = True
         block.spectrum = diff
         block.power = np.abs(diff) ** 2
         return block
 
     def reset(self) -> None:
         self._previous = None
+        self._primed = None
 
 
 class ContourExtract(Stage):
@@ -108,7 +190,9 @@ class ContourExtract(Stage):
     Per antenna, the closest local maximum substantially above the noise
     floor. Writes ``raw_tof_m`` (kept for the pointing pipeline),
     ``tof_m`` (the working copy downstream stages clean), and
-    ``motion``.
+    ``motion``. Stateless, and the contour kernel is row-independent,
+    so a tick stacks every (session, antenna) row into one vectorized
+    call.
     """
 
     def __init__(
@@ -132,18 +216,13 @@ class ContourExtract(Stage):
             relative_threshold_db=self.relative_threshold_db,
         )
 
-    def process(self, frame):
-        n_rx = frame.power.shape[0]
-        tof = np.empty(n_rx)
-        motion = np.zeros(n_rx, dtype=bool)
-        for a in range(n_rx):
-            result = self._contour(frame.power[a][None, :])
-            tof[a] = result.round_trip_m[0]
-            motion[a] = result.motion_mask[0]
-        frame.raw_tof_m = tof
-        frame.tof_m = tof.copy()
-        frame.motion = motion
-        return frame
+    def process_tick(self, tick):
+        n_rows, n_rx, n_bins = tick.power.shape
+        result = self._contour(tick.power.reshape(n_rows * n_rx, n_bins))
+        tick.raw_tof_m = result.round_trip_m.reshape(n_rows, n_rx)
+        tick.tof_m = tick.raw_tof_m.copy()
+        tick.motion = result.motion_mask.reshape(n_rows, n_rx)
+        return tick
 
     def process_block(self, block):
         n_frames, n_rx, _ = block.power.shape
@@ -168,6 +247,12 @@ class OutlierGate(Stage):
     distance — a streaming-causal variant of
     :func:`repro.core.outliers.reject_outliers` that never rewrites
     already-emitted frames.
+
+    State is structure-of-arrays over (session, antenna): the last
+    accepted value, frames since acceptance, and a bounded pending
+    buffer of jump candidates (at most ``confirmation_frames`` values,
+    NaN-padded) with its fill count. Every update is elementwise, so
+    the whole gate advances one vectorized step per tick.
     """
 
     def __init__(
@@ -185,59 +270,90 @@ class OutlierGate(Stage):
         self.agreement_m = (
             agreement_m if agreement_m is not None else 2.0 * max_jump_m
         )
-        self._last: list[float] | None = None
-        self._since: list[int] | None = None
-        self._pending: list[list[float]] | None = None
+        self._capacity = 1
+        self._last: np.ndarray | None = None  # (capacity, n_rx)
+        self._since: np.ndarray | None = None  # (capacity, n_rx)
+        self._pending: np.ndarray | None = None  # (capacity, n_rx, P)
+        self._pending_len: np.ndarray | None = None  # (capacity, n_rx)
 
-    def _init(self, n_rx: int) -> None:
+    def _ensure(self, n_rx: int) -> None:
         if self._last is None:
-            self._last = [float("nan")] * n_rx
-            self._since = [1] * n_rx
-            self._pending = [[] for _ in range(n_rx)]
+            capacity = self._capacity
+            self._last = np.full((capacity, n_rx), np.nan)
+            self._since = np.ones((capacity, n_rx), dtype=np.int64)
+            self._pending = np.full(
+                (capacity, n_rx, self.confirmation_frames), np.nan
+            )
+            self._pending_len = np.zeros((capacity, n_rx), dtype=np.int64)
 
-    def _gate_one(self, a: int, value: float) -> float:
-        assert self._last is not None and self._since is not None
-        assert self._pending is not None
-        if np.isnan(value):
-            self._since[a] += 1
-            return float("nan")
-        if np.isnan(self._last[a]):
-            self._last[a] = value
-            self._since[a] = 1
-            return value
-        allowed = self.max_jump_m * self._since[a]
-        if abs(value - self._last[a]) <= allowed:
-            self._last[a] = value
-            self._since[a] = 1
-            self._pending[a].clear()
-            return value
-        # Candidate relocation: require persistence before believing it.
-        self._pending[a] = [
-            v for v in self._pending[a] if abs(v - value) <= self.agreement_m
-        ]
-        self._pending[a].append(value)
-        self._since[a] += 1
-        if len(self._pending[a]) >= self.confirmation_frames:
-            self._last[a] = value
-            self._since[a] = 1
-            self._pending[a].clear()
-            return value
-        return float("nan")
+    def _grow(self, capacity: int) -> None:
+        if self._last is not None:
+            self._last = _grow_rows(self._last, capacity, np.nan)
+            self._since = _grow_rows(self._since, capacity, 1)
+            self._pending = _grow_rows(self._pending, capacity, np.nan)
+            self._pending_len = _grow_rows(self._pending_len, capacity, 0)
 
-    def _step(self, tof: np.ndarray) -> np.ndarray:
-        self._init(len(tof))
-        return np.array(
-            [self._gate_one(a, float(v)) for a, v in enumerate(tof)]
+    def evict(self, slot: int) -> None:
+        if self._last is not None:
+            self._last[slot] = np.nan
+            self._since[slot] = 1
+            self._pending_len[slot] = 0
+
+    def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Gate a ``(n_rows, n_rx)`` tick; advances the given slots."""
+        self._ensure(values.shape[1])
+        last = self._last[slots]
+        since = self._since[slots]
+        pending = self._pending[slots]
+        pending_len = self._pending_len[slots]
+
+        missing = np.isnan(values)
+        no_last = np.isnan(last)
+        with np.errstate(invalid="ignore"):
+            small = np.abs(values - last) <= self.max_jump_m * since
+        direct = ~missing & (no_last | small)
+        candidate = ~missing & ~no_last & ~small
+
+        # Candidate relocation: keep only pending values that agree with
+        # the newest one, append it, and accept once enough agree.
+        p = self.confirmation_frames
+        filled = np.arange(p)[None, None, :] < pending_len[:, :, None]
+        with np.errstate(invalid="ignore"):
+            keep = filled & (
+                np.abs(pending - values[:, :, None]) <= self.agreement_m
+            )
+        order = np.argsort(~keep, axis=-1, kind="stable")
+        packed = np.take_along_axis(pending, order, axis=-1)
+        n_keep = keep.sum(axis=-1)
+        np.put_along_axis(
+            packed,
+            np.minimum(n_keep, p - 1)[:, :, None],
+            values[:, :, None],
+            axis=-1,
         )
+        confirmed = candidate & (n_keep + 1 >= p)
+        accept = direct | confirmed
 
-    def process(self, frame):
-        frame.tof_m = self._step(frame.tof_m)
-        return frame
+        out = np.where(accept, values, np.nan)
+        self._last[slots] = np.where(accept, values, last)
+        self._since[slots] = np.where(accept, 1, since + 1)
+        self._pending[slots] = np.where(
+            candidate[:, :, None], packed, pending
+        )
+        self._pending_len[slots] = np.where(
+            accept, 0, np.where(candidate, n_keep + 1, pending_len)
+        )
+        return out
+
+    def process_tick(self, tick):
+        tick.tof_m = self._step_rows(tick.tof_m, tick.slots)
+        return tick
 
     def process_block(self, block):
         out = np.empty_like(block.tof_m)
+        slot0 = np.zeros(1, dtype=np.intp)
         for f in range(len(out)):
-            out[f] = self._step(block.tof_m[f])
+            out[f] = self._step_rows(block.tof_m[f][None, :], slot0)[0]
         block.tof_m = out
         return block
 
@@ -245,6 +361,7 @@ class OutlierGate(Stage):
         self._last = None
         self._since = None
         self._pending = None
+        self._pending_len = None
 
 
 class HoldInterpolate(Stage):
@@ -258,26 +375,38 @@ class HoldInterpolate(Stage):
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self._held: np.ndarray | None = None
+        self._capacity = 1
+        self._held: np.ndarray | None = None  # (capacity, n_rx)
 
-    def _step(self, tof: np.ndarray) -> np.ndarray:
+    def _ensure(self, n_rx: int) -> None:
         if self._held is None:
-            self._held = np.full(len(tof), np.nan)
-        finite = np.isfinite(tof)
-        out = tof
-        if self.enabled:
-            out = np.where(finite, tof, self._held)
-        self._held = np.where(finite, tof, self._held)
+            self._held = np.full((self._capacity, n_rx), np.nan)
+
+    def _grow(self, capacity: int) -> None:
+        if self._held is not None:
+            self._held = _grow_rows(self._held, capacity, np.nan)
+
+    def evict(self, slot: int) -> None:
+        if self._held is not None:
+            self._held[slot] = np.nan
+
+    def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        self._ensure(values.shape[1])
+        held = self._held[slots]
+        finite = np.isfinite(values)
+        out = np.where(finite, values, held) if self.enabled else values
+        self._held[slots] = np.where(finite, values, held)
         return out
 
-    def process(self, frame):
-        frame.tof_m = self._step(frame.tof_m)
-        return frame
+    def process_tick(self, tick):
+        tick.tof_m = self._step_rows(tick.tof_m, tick.slots)
+        return tick
 
     def process_block(self, block):
         out = np.empty_like(block.tof_m)
+        slot0 = np.zeros(1, dtype=np.intp)
         for f in range(len(out)):
-            out[f] = self._step(block.tof_m[f])
+            out[f] = self._step_rows(block.tof_m[f][None, :], slot0)[0]
         block.tof_m = out
         return block
 
@@ -288,9 +417,13 @@ class HoldInterpolate(Stage):
 class KalmanSmooth(Stage):
     """Per-antenna constant-velocity Kalman smoothing (§4.4).
 
-    One :class:`~repro.core.kalman.KalmanFilter1D` per receive antenna
-    on the round-trip distance; NaN inputs advance the filter without a
-    measurement (prediction), exactly as the realtime loop needs.
+    The same filter as :class:`~repro.core.kalman.KalmanFilter1D`, but
+    with the ``[distance, velocity]`` means and 2x2 covariances kept in
+    structure-of-arrays form over (session, antenna) and every 2x2
+    matrix product unrolled to elementwise arithmetic — one vectorized
+    update advances every antenna of every session. NaN inputs advance
+    the filter without a measurement (prediction), exactly as the
+    realtime loop needs.
     """
 
     def __init__(
@@ -299,62 +432,143 @@ class KalmanSmooth(Stage):
         process_noise: float = 10.0,
         measurement_noise: float = 1e-3,
     ) -> None:
+        if frame_dt_s <= 0:
+            raise ValueError("frame_dt_s must be positive")
+        if process_noise <= 0 or measurement_noise <= 0:
+            raise ValueError("noise parameters must be positive")
         self.frame_dt_s = frame_dt_s
         self.process_noise = process_noise
         self.measurement_noise = measurement_noise
-        self._filters: list[KalmanFilter1D] | None = None
+        dt = frame_dt_s
+        # Discrete white-noise acceleration model.
+        self._q00 = process_noise * (dt**4 / 4.0)
+        self._q01 = process_noise * (dt**3 / 2.0)
+        self._q11 = process_noise * (dt**2)
+        self._capacity = 1
+        self._mean: np.ndarray | None = None  # (capacity, n_rx, 2)
+        self._cov: np.ndarray | None = None  # (capacity, n_rx, 2, 2)
+        self._initialized: np.ndarray | None = None  # (capacity, n_rx)
 
-    def _step(self, tof: np.ndarray) -> np.ndarray:
-        if self._filters is None:
-            self._filters = [
-                KalmanFilter1D(
-                    self.frame_dt_s,
-                    process_noise=self.process_noise,
-                    measurement_noise=self.measurement_noise,
-                )
-                for _ in range(len(tof))
-            ]
-        out = np.empty(len(tof))
-        for a, kf in enumerate(self._filters):
-            value = float(tof[a])
-            if np.isnan(value):
-                out[a] = kf.predict() if kf.initialized else np.nan
-            else:
-                out[a] = kf.update(value)
+    def _ensure(self, n_rx: int) -> None:
+        if self._mean is None:
+            capacity = self._capacity
+            self._mean = np.zeros((capacity, n_rx, 2))
+            self._cov = np.zeros((capacity, n_rx, 2, 2))
+            self._initialized = np.zeros((capacity, n_rx), dtype=bool)
+
+    def _grow(self, capacity: int) -> None:
+        if self._mean is not None:
+            self._mean = _grow_rows(self._mean, capacity, 0.0)
+            self._cov = _grow_rows(self._cov, capacity, 0.0)
+            self._initialized = _grow_rows(self._initialized, capacity, False)
+
+    def evict(self, slot: int) -> None:
+        if self._initialized is not None:
+            self._initialized[slot] = False
+
+    def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        self._ensure(values.shape[1])
+        mean = self._mean[slots]
+        cov = self._cov[slots]
+        live = self._initialized[slots]
+        measured = ~np.isnan(values)
+        dt = self.frame_dt_s
+
+        # Predict (all initialized filters advance, measured or not).
+        m0, m1 = mean[..., 0], mean[..., 1]
+        c00, c01 = cov[..., 0, 0], cov[..., 0, 1]
+        c10, c11 = cov[..., 1, 0], cov[..., 1, 1]
+        pm0 = m0 + dt * m1
+        a00 = c00 + dt * c10
+        a01 = c01 + dt * c11
+        p00 = (a00 + a01 * dt) + self._q00
+        p01 = a01 + self._q01
+        p10 = (c10 + c11 * dt) + self._q01
+        p11 = c11 + self._q11
+
+        # Update (initialized filters with a measurement).
+        innovation = values - pm0
+        s = p00 + self.measurement_noise
+        g0 = p00 / s
+        g1 = p10 / s
+        um0 = pm0 + g0 * innovation
+        um1 = m1 + g1 * innovation
+        u00 = (1.0 - g0) * p00
+        u01 = (1.0 - g0) * p01
+        u10 = (-g1) * p00 + p10
+        u11 = (-g1) * p01 + p11
+
+        # First measurement initializes; NaN before that stays NaN.
+        r = self.measurement_noise
+        out = np.where(
+            measured,
+            np.where(live, um0, values),
+            np.where(live, pm0, np.nan),
+        )
+        new = np.empty_like(mean)
+        new[..., 0] = np.where(
+            measured, np.where(live, um0, values), np.where(live, pm0, m0)
+        )
+        new[..., 1] = np.where(measured, np.where(live, um1, 0.0), m1)
+        newc = np.empty_like(cov)
+        newc[..., 0, 0] = np.where(
+            measured, np.where(live, u00, r), np.where(live, p00, c00)
+        )
+        newc[..., 0, 1] = np.where(
+            measured, np.where(live, u01, 0.0), np.where(live, p01, c01)
+        )
+        newc[..., 1, 0] = np.where(
+            measured, np.where(live, u10, 0.0), np.where(live, p10, c10)
+        )
+        newc[..., 1, 1] = np.where(
+            measured, np.where(live, u11, 1.0), np.where(live, p11, c11)
+        )
+        self._mean[slots] = new
+        self._cov[slots] = newc
+        self._initialized[slots] = live | measured
         return out
 
-    def process(self, frame):
-        frame.tof_m = self._step(frame.tof_m)
-        return frame
+    def process_tick(self, tick):
+        tick.tof_m = self._step_rows(tick.tof_m, tick.slots)
+        return tick
 
     def process_block(self, block):
         out = np.empty_like(block.tof_m)
+        slot0 = np.zeros(1, dtype=np.intp)
         for f in range(len(out)):
-            out[f] = self._step(block.tof_m[f])
+            out[f] = self._step_rows(block.tof_m[f][None, :], slot0)[0]
         block.tof_m = out
         return block
 
     def reset(self) -> None:
-        self._filters = None
+        self._mean = None
+        self._cov = None
+        self._initialized = None
 
 
 class Localize(Stage):
     """Ellipsoid-intersection 3D localization (§5).
 
     Solves the smoothed per-antenna round trips into one 3D position per
-    frame. The batch path hands the whole block to the solver in one
-    call (the closed-form T solver is fully vectorized); for the
-    closed form the two paths are bitwise-identical, while the
-    least-squares solver's warm start makes batch solutions (slightly)
-    better conditioned than frame-at-a-time ones.
+    frame. The closed-form T solver is row-independent and fully
+    vectorized, so batch frames and lockstep sessions hand the solver
+    one stacked call; solvers without ``row_independent`` (the
+    warm-started least-squares solver) fall back to per-row
+    ``solve_one`` in a tick so one session's iterate can never seed
+    another's.
     """
 
     def __init__(self, solver) -> None:
         self.solver = solver
 
-    def process(self, frame):
-        frame.position = self.solver.solve_one(frame.tof_m)
-        return frame
+    def process_tick(self, tick):
+        if getattr(self.solver, "row_independent", False):
+            tick.positions = self.solver.solve(tick.tof_m).positions
+        else:
+            tick.positions = np.stack(
+                [self.solver.solve_one(row) for row in tick.tof_m]
+            )
+        return tick
 
     def process_block(self, block):
         block.positions = self.solver.solve(block.tof_m).positions

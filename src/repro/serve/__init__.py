@@ -1,0 +1,41 @@
+"""Multi-session serving engine: one pipeline, N concurrent users.
+
+WiTrack's Section 7 deployment is one device, one pipeline, one user.
+This package turns that into a *serving* problem: stage state is
+vectorized across sessions (structure-of-arrays with a session axis —
+see :mod:`repro.pipeline.stages`), so one pipeline instance advances N
+independent sessions in lockstep, paying the per-frame numpy dispatch
+cost once instead of N times.
+
+* :mod:`session` — :class:`SessionSpec` (cohort identity),
+  :class:`Session` (bounded queue, per-session latency, accumulated
+  results), plus the :func:`single_session`/:func:`multi_session` spec
+  helpers;
+* :mod:`scheduler` — :class:`SessionManager` (admit/retire, slot
+  reuse) and :class:`Scheduler` (batch every ready session of a cohort
+  into one vectorized tick);
+* :mod:`engine` — the :class:`ServingEngine` facade the apps and the
+  ``repro serve`` CLI embed.
+
+Load-bearing invariants, pinned by ``tests/test_serve.py``:
+
+* N=1 serving output is **bitwise** ``Pipeline.run_stream`` output;
+* N-session lockstep output equals N serial per-session runs exactly,
+  across mixed single/multi cohorts and staggered start/stop;
+* evicting a session mid-run does not perturb the survivors.
+"""
+
+from .engine import ServingEngine
+from .scheduler import Cohort, Scheduler, SessionManager
+from .session import Session, SessionSpec, multi_session, single_session
+
+__all__ = [
+    "Cohort",
+    "Scheduler",
+    "ServingEngine",
+    "Session",
+    "SessionManager",
+    "SessionSpec",
+    "multi_session",
+    "single_session",
+]

@@ -1,0 +1,99 @@
+"""The serving engine facade: admit, feed, tick, close.
+
+:class:`ServingEngine` glues the :class:`~repro.serve.SessionManager`
+and :class:`~repro.serve.Scheduler` into the object an application
+embeds. One engine serves any number of concurrent tracking sessions —
+heterogeneous configurations land in separate cohorts, each advanced in
+lockstep through its shared session-vectorized pipeline.
+
+The N=1 degenerate case is exactly ``Pipeline.run_stream``: a tick with
+one session is the same ``Pipeline.tick`` call ``Pipeline.push`` makes,
+so the realtime apps are thin single-session views over this engine
+with no second code path (pinned bitwise by ``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..multi.tracks import TrackManager
+from ..pipeline.multi import Associate
+from ..pipeline.runner import PipelineResult
+from .scheduler import Scheduler, SessionManager
+from .session import Session, SessionSpec
+
+
+class ServingEngine:
+    """Serve many concurrent tracking sessions from one process.
+
+    Args:
+        queue_capacity: per-session input queue bound. A producer that
+            outruns the scheduler is refused frames (``offer`` returns
+            False) once its queue holds this many.
+
+    Example:
+        >>> from repro.serve import ServingEngine, single_session
+        >>> engine = ServingEngine()
+        >>> spec = single_session()
+        >>> a, b = engine.admit(spec), engine.admit(spec)  # one cohort
+        >>> # engine.offer(a, block); engine.tick(); a.last_position ...
+    """
+
+    def __init__(self, queue_capacity: int = 64) -> None:
+        self.manager = SessionManager(queue_capacity)
+        self.scheduler = Scheduler(self.manager)
+
+    @property
+    def num_sessions(self) -> int:
+        """Live sessions across every cohort."""
+        return self.manager.num_sessions
+
+    def admit(self, spec: SessionSpec) -> Session:
+        """Open a session; joins an existing cohort when specs match."""
+        return self.manager.admit(spec)
+
+    def offer(self, session: Session, sweep_block: np.ndarray) -> bool:
+        """Enqueue one frame for a session; False on backpressure."""
+        return session.offer(sweep_block)
+
+    def submit(self, session: Session, sweep_block: np.ndarray) -> None:
+        """Enqueue one frame, ticking the scheduler until accepted.
+
+        The blocking flavor of :meth:`offer`: backpressure is resolved
+        by advancing the whole engine (which drains this session's
+        queue along with everyone else's).
+        """
+        while not session.offer(sweep_block):
+            if self.scheduler.tick() == 0:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "queue full but nothing to schedule; "
+                    "this indicates an engine bug"
+                )
+
+    def tick(self) -> int:
+        """One lockstep pass over all cohorts; frames consumed."""
+        return self.scheduler.tick()
+
+    def drain(self) -> int:
+        """Tick until all queues are empty; total frames consumed."""
+        return self.scheduler.drain()
+
+    def close(self, session: Session) -> PipelineResult:
+        """Finish a session: drain its queue, free its slot, return all.
+
+        Closing evicts only this session's state rows — cohort mates
+        continue bit-identically, which the serving tests pin.
+        """
+        while session.queue:
+            self.scheduler.tick()
+        return self.manager.retire(session)
+
+    def evict(self, session: Session) -> None:
+        """Drop a session immediately, discarding any queued frames."""
+        self.manager.retire(session)
+
+    def track_manager(self, session: Session) -> TrackManager:
+        """The per-session track bank of a live multi-person session."""
+        cohort = self.manager.cohort_of(session)
+        stage = cohort.pipeline.stage(Associate)
+        return stage.manager_for(session.slot)

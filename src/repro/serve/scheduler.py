@@ -1,0 +1,184 @@
+"""Session admission and the lockstep multiplexing scheduler.
+
+:class:`SessionManager` owns the cohorts: it admits sessions (growing or
+recycling state slots in the cohort's shared vectorized pipeline),
+closes them (evicting their slot without perturbing survivors), and
+hands the :class:`Scheduler` the ready work. :class:`Scheduler.tick`
+batches, per cohort, every session with a queued frame into **one**
+:meth:`Pipeline.tick <repro.pipeline.Pipeline.tick>` call — N sessions,
+one pass of numpy dispatch — and routes each output row back to its
+session with its latency sample.
+
+Stragglers cost nothing: a session with an empty queue simply sits out
+the tick (its state rows are untouched), and a session whose producer
+runs hot hits its bounded queue and is refused frames until the
+scheduler catches up.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from ..pipeline.runner import Pipeline, PipelineResult
+from .session import Session, SessionSpec
+
+
+class Cohort:
+    """Sessions sharing one vectorized pipeline (same :class:`SessionSpec`).
+
+    Args:
+        key: the spec's content key.
+        spec: the shared pipeline structure.
+    """
+
+    def __init__(self, key: str, spec: SessionSpec) -> None:
+        self.key = key
+        self.spec = spec
+        self.pipeline: Pipeline = spec.build_pipeline()
+        self.sessions: dict[int, Session] = {}
+        self._free_slots: list[int] = []
+        self._high_slot = 0
+
+    @property
+    def num_sessions(self) -> int:
+        """Live sessions currently in the cohort."""
+        return len(self.sessions)
+
+    def allocate_slot(self) -> int:
+        """Reuse an evicted slot or grow the pipeline's session axis."""
+        if self._free_slots:
+            self._free_slots.sort()
+            return self._free_slots.pop(0)
+        slot = self._high_slot
+        self._high_slot += 1
+        self.pipeline.attach_sessions(max(self._high_slot, 1))
+        return slot
+
+    def release_slot(self, slot: int) -> None:
+        """Evict one slot's state and mark it reusable."""
+        self.pipeline.evict_session(slot)
+        self._free_slots.append(slot)
+
+
+class SessionManager:
+    """Admit, look up, and retire sessions across all cohorts.
+
+    Args:
+        queue_capacity: per-session input queue bound (backpressure).
+    """
+
+    def __init__(self, queue_capacity: int = 64) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.queue_capacity = queue_capacity
+        self.cohorts: dict[str, Cohort] = {}
+        self.sessions: dict[int, Session] = {}
+        self._next_id = 1
+
+    @property
+    def num_sessions(self) -> int:
+        """Live sessions across every cohort."""
+        return len(self.sessions)
+
+    def admit(self, spec: SessionSpec) -> Session:
+        """Open a session for ``spec``, joining or founding its cohort."""
+        key = spec.cohort_key()
+        cohort = self.cohorts.get(key)
+        if cohort is None:
+            cohort = Cohort(key, spec)
+            self.cohorts[key] = cohort
+        session = Session(
+            self._next_id, spec, cohort.allocate_slot(), self.queue_capacity
+        )
+        self._next_id += 1
+        session.cohort = cohort
+        cohort.sessions[session.session_id] = session
+        self.sessions[session.session_id] = session
+        return session
+
+    def cohort_of(self, session: Session) -> Cohort:
+        """The cohort a live session belongs to."""
+        return session.cohort
+
+    def retire(self, session: Session) -> PipelineResult:
+        """Close a session and free its slot; returns its final result.
+
+        Any still-queued frames are dropped — call
+        :meth:`Scheduler.drain` (or tick until the queue empties) first
+        if they must be processed. Eviction resets only this session's
+        state rows; cohort mates are unperturbed.
+        """
+        if session.closed:
+            raise RuntimeError(f"session {session.session_id} already closed")
+        cohort = self.cohort_of(session)
+        result = session.result()
+        session.closed = True
+        session.queue.clear()
+        del cohort.sessions[session.session_id]
+        del self.sessions[session.session_id]
+        cohort.release_slot(session.slot)
+        if not cohort.sessions:
+            # Last member out: drop the cohort so a long-running engine
+            # with churning heterogeneous specs cannot accumulate idle
+            # pipelines (and their grown state arrays) without bound.
+            del self.cohorts[cohort.key]
+        return result
+
+
+class Scheduler:
+    """Batch ready sessions into lockstep ticks, cohort by cohort.
+
+    Args:
+        manager: the session manager whose cohorts are scheduled.
+    """
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.manager = manager
+        self.ticks = 0
+        self.frames_processed = 0
+
+    def tick(self) -> int:
+        """One scheduling pass: every cohort, every ready session.
+
+        Pops one queued frame from each session that has one, advances
+        each cohort's batch through a single vectorized pipeline tick,
+        and routes output rows and latency samples back per session.
+
+        Returns:
+            Number of frames consumed (0 means every queue was empty).
+        """
+        consumed = 0
+        for cohort in self.manager.cohorts.values():
+            ready = [s for s in cohort.sessions.values() if s.queue]
+            if not ready:
+                continue
+            entries = [s.queue.popleft() for s in ready]
+            slots = np.fromiter(
+                (s.slot for s in ready), dtype=np.intp, count=len(ready)
+            )
+            tick = cohort.pipeline.tick([b for b, _ in entries], slots)
+            done = perf_counter()
+            row_of_slot = {
+                int(slot): row for row, slot in enumerate(tick.slots)
+            }
+            for session, (_, enqueued) in zip(ready, entries):
+                session.latency.latencies_s.append(done - enqueued)
+                row = row_of_slot.get(session.slot)
+                if row is not None:
+                    session.collect(tick, row)
+            consumed += len(ready)
+        if consumed:
+            self.ticks += 1
+            self.frames_processed += consumed
+        return consumed
+
+    def drain(self) -> int:
+        """Tick until every session queue is empty; frames consumed."""
+        total = 0
+        while True:
+            consumed = self.tick()
+            if consumed == 0:
+                return total
+            total += consumed

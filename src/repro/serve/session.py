@@ -1,0 +1,253 @@
+"""Serving sessions: what one connected user looks like to the engine.
+
+A :class:`SessionSpec` is the immutable description of a session's
+pipeline — single- or multi-person, full system configuration, range
+axis, solver. Specs that hash to the same content key are *cohort
+mates*: their sessions share one session-vectorized
+:class:`~repro.pipeline.Pipeline` instance and advance together in
+lockstep ticks. Heterogeneous deployments simply produce several
+cohorts.
+
+A :class:`Session` is one live stream: a bounded input queue of raw
+sweep blocks (the backpressure seam), the per-frame output accumulators,
+and a per-session :class:`~repro.pipeline.LatencyReport` measuring
+enqueue-to-emit wall time against the paper's 75 ms budget (§7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from ..config import SystemConfig, default_config
+from ..core.localize import make_solver
+from ..geometry.antennas import AntennaArray, t_array
+from ..multi.tracks import TrackManagerConfig
+from ..pipeline.frame import SessionTick
+from ..pipeline.runner import (
+    LatencyReport,
+    Pipeline,
+    PipelineResult,
+    single_person_pipeline,
+)
+from ..sim.room import Room
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything that determines a session's pipeline structure.
+
+    Two specs with equal content keys are guaranteed interchangeable
+    pipelines, so their sessions can share one vectorized instance.
+
+    Attributes:
+        kind: ``"single"`` (one tracked person per session) or
+            ``"multi"`` (successive cancellation + track bank).
+        config: full system configuration.
+        range_bin_m: round-trip distance per spectrum bin.
+        array: antenna array override (None: the configured T).
+        solver_method: localization solver selection.
+        max_people: multi-person only — upper bound K per session.
+        num_candidates: multi-person only — cancellation rounds
+            (None: ``max_people + 4`` as in MultiWiTrack).
+        room: multi-person only — tightens ghost gating.
+        track_config: multi-person only — track lifecycle tunables.
+    """
+
+    kind: str
+    config: SystemConfig
+    range_bin_m: float
+    array: AntennaArray | None = None
+    solver_method: str = "auto"
+    max_people: int = 3
+    num_candidates: int | None = None
+    room: Room | None = None
+    track_config: TrackManagerConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("single", "multi"):
+            raise ValueError(
+                f"unknown session kind: {self.kind!r} "
+                "(expected 'single' or 'multi')"
+            )
+
+    def cohort_key(self) -> str:
+        """Content key grouping interchangeable sessions into cohorts."""
+        from ..exec.cache import content_key
+
+        return content_key(
+            "serve.cohort.v1",
+            self.kind,
+            self.config,
+            self.range_bin_m,
+            self.array,
+            self.solver_method,
+            self.max_people,
+            self.num_candidates,
+            self.room,
+            self.track_config,
+        )
+
+    def build_pipeline(self) -> Pipeline:
+        """A fresh pipeline of this spec's structure (slot 0 attached)."""
+        if self.kind == "single":
+            array = self.array if self.array is not None else t_array(
+                self.config.array
+            )
+            solver = make_solver(array, method=self.solver_method)
+            return single_person_pipeline(
+                self.config, self.range_bin_m, solver=solver
+            )
+        from ..multi.tracker import MultiWiTrack
+
+        tracker = MultiWiTrack(
+            self.config,
+            array=self.array,
+            max_people=self.max_people,
+            num_candidates=self.num_candidates,
+            track_config=self.track_config,
+            room=self.room,
+            solver_method=self.solver_method,
+        )
+        return tracker.pipeline(self.range_bin_m)
+
+
+def single_session(
+    config: SystemConfig | None = None,
+    range_bin_m: float = 0.1774,
+    array: AntennaArray | None = None,
+    solver_method: str = "auto",
+) -> SessionSpec:
+    """Spec for a single-person tracking session."""
+    return SessionSpec(
+        kind="single",
+        config=config or default_config(),
+        range_bin_m=range_bin_m,
+        array=array,
+        solver_method=solver_method,
+    )
+
+
+def multi_session(
+    config: SystemConfig | None = None,
+    range_bin_m: float = 0.1774,
+    array: AntennaArray | None = None,
+    max_people: int = 3,
+    num_candidates: int | None = None,
+    room: Room | None = None,
+    track_config: TrackManagerConfig | None = None,
+    solver_method: str = "auto",
+) -> SessionSpec:
+    """Spec for a K-person tracking session."""
+    return SessionSpec(
+        kind="multi",
+        config=config or default_config(),
+        range_bin_m=range_bin_m,
+        array=array,
+        max_people=max_people,
+        num_candidates=num_candidates,
+        room=room,
+        track_config=track_config,
+        solver_method=solver_method,
+    )
+
+
+class Session:
+    """One live stream being served.
+
+    Created by :meth:`repro.serve.SessionManager.admit`; users feed raw
+    ``(n_rx, sweeps_per_frame, n_bins)`` sweep blocks through
+    :meth:`offer` and read results from :attr:`last_position` /
+    :attr:`last_tracks` (realtime) or :meth:`result` (accumulated).
+
+    Args:
+        session_id: stable engine-wide identity.
+        spec: the pipeline structure this session runs.
+        slot: state row in the cohort's vectorized pipeline.
+        queue_capacity: bound on frames queued ahead of processing;
+            a full queue refuses new frames (backpressure) instead of
+            letting one straggler grow without limit.
+    """
+
+    def __init__(
+        self,
+        session_id: int,
+        spec: SessionSpec,
+        slot: int,
+        queue_capacity: int,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.session_id = session_id
+        self.spec = spec
+        self.slot = slot
+        self.queue_capacity = queue_capacity
+        self.queue: deque[tuple[np.ndarray, float]] = deque()
+        self.latency = LatencyReport()
+        self.frames_in = 0
+        self.frames_out = 0
+        self.closed = False
+        #: Set by SessionManager.admit — the cohort serving this session.
+        self.cohort = None
+        self.last_position: np.ndarray | None = None
+        self.last_tracks: list[tuple[int, np.ndarray]] | None = None
+        self._times: list[float] = []
+        self._tofs: list[np.ndarray] = []
+        self._raws: list[np.ndarray] = []
+        self._motions: list[np.ndarray] = []
+        self._positions: list[np.ndarray] = []
+        self._tracks: list[list[tuple[int, np.ndarray]]] = []
+
+    @property
+    def pending(self) -> int:
+        """Frames queued but not yet processed."""
+        return len(self.queue)
+
+    def offer(self, sweep_block: np.ndarray) -> bool:
+        """Enqueue one frame; False when the bounded queue is full.
+
+        The enqueue timestamp starts this frame's latency clock — queue
+        wait counts against the 75 ms budget, exactly as it would for a
+        real user.
+        """
+        if self.closed:
+            raise RuntimeError(
+                f"session {self.session_id} is closed and takes no frames"
+            )
+        if len(self.queue) >= self.queue_capacity:
+            return False
+        self.queue.append((sweep_block, perf_counter()))
+        self.frames_in += 1
+        return True
+
+    def collect(self, tick: SessionTick, row: int) -> None:
+        """Accumulate one emitted tick row (engine-internal)."""
+        self._times.append(float(tick.times_s[row]))
+        if tick.tof_m is not None:
+            self._tofs.append(tick.tof_m[row])
+        if tick.raw_tof_m is not None:
+            self._raws.append(tick.raw_tof_m[row])
+        if tick.motion is not None:
+            self._motions.append(tick.motion[row])
+        if tick.positions is not None:
+            self.last_position = tick.positions[row]
+            self._positions.append(self.last_position)
+        if tick.tracks is not None:
+            self.last_tracks = tick.tracks[row]
+            self._tracks.append(self.last_tracks)
+        self.frames_out += 1
+
+    def result(self) -> PipelineResult:
+        """Everything this session has produced, ``run_stream``-shaped."""
+        return PipelineResult(
+            frame_times_s=np.asarray(self._times),
+            tof_m=np.stack(self._tofs) if self._tofs else None,
+            raw_tof_m=np.stack(self._raws) if self._raws else None,
+            motion=np.stack(self._motions) if self._motions else None,
+            positions=np.stack(self._positions) if self._positions else None,
+            tracks=self._tracks if self._tracks else None,
+            latency=self.latency,
+        )

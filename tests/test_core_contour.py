@@ -129,3 +129,14 @@ class TestMotionExtent:
         power = _power_with_peaks(5, 120, [])
         extent = motion_extent(power, BIN_M, threshold_db=20.0)
         assert np.isnan(extent).all()
+
+
+class TestTinySpectra:
+    def test_fewer_than_three_bins_is_no_detection(self):
+        """No interior bin exists, so nothing can be a local maximum."""
+        for n_bins in (1, 2):
+            result = track_bottom_contour(
+                np.ones((3, n_bins)), BIN_M, min_range_m=0.0
+            )
+            assert not result.motion_mask.any()
+            assert np.isnan(result.round_trip_m).all()

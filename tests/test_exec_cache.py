@@ -1,15 +1,27 @@
-"""Spectra-cache tests: hit/miss, content keys, invalidation, eviction."""
+"""Cache tests: hit/miss, content keys, invalidation, eviction, results.
+
+Covers the spectra cache, the result-level cache above it (synthesis
+*and* tracking skipped on a pure re-run), and the process-wide
+hit/miss/eviction counters the benchmarks surface.
+"""
 
 import numpy as np
 import pytest
 
 from repro.config import PipelineConfig, default_config
+from repro.core.tracker import WiTrack
 from repro.multi import MultiScenario
 from repro.exec import (
+    ResultCache,
     SpectraCache,
+    cache_stats,
     default_cache,
+    default_result_cache,
+    reset_cache_stats,
+    result_key,
     scenario_key,
     synthesize,
+    tracked_scenario,
 )
 from repro.sim import HumanBody, Scenario, random_walk, through_wall_room
 
@@ -166,3 +178,116 @@ class TestEnvironmentWiring:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         out = synthesize(scenario)
         assert out.spectra.ndim == 3
+
+
+class TestResultCache:
+    def test_round_trip_equals_uncached(self, scenario, tmp_path):
+        tracker = WiTrack(scenario.config)
+        measured = scenario.run()
+        direct = tracker.track(measured.spectra, measured.range_bin_m)
+
+        cache = ResultCache(tmp_path)
+        key = result_key(scenario, tracker)
+        assert cache.get(key) is None
+        result = tracker.pipeline(measured.range_bin_m).run_batch(
+            measured.spectra
+        )
+        cache.put(key, result)
+        restored = cache.get(key)
+        assert (cache.misses, cache.hits) == (1, 1)
+        np.testing.assert_array_equal(
+            restored.frame_times_s, direct.frame_times_s
+        )
+        np.testing.assert_array_equal(restored.positions, direct.positions)
+        np.testing.assert_array_equal(restored.tof_m.T, direct.round_trips_m)
+        np.testing.assert_array_equal(
+            restored.motion.any(axis=1), direct.motion_mask
+        )
+
+    def test_tracker_config_changes_key(self, scenario):
+        """A tracker whose pipeline differs must never share a key."""
+        base = WiTrack(scenario.config)
+        tweaked = WiTrack(
+            default_config().replace(
+                pipeline=PipelineConfig(kalman_process_noise=1000.0)
+            )
+        )
+        assert result_key(scenario, base) != result_key(scenario, tweaked)
+        no_warm = WiTrack(scenario.config, solver_method="least_squares")
+        no_warm.solver.warm_start = False
+        warm = WiTrack(scenario.config, solver_method="least_squares")
+        assert result_key(scenario, warm) != result_key(scenario, no_warm)
+
+    def test_multi_person_results_rejected(self, tmp_path):
+        from repro.pipeline import PipelineResult
+
+        cache = ResultCache(tmp_path)
+        bogus = PipelineResult(
+            frame_times_s=np.array([0.0]), tracks=[[(1, np.zeros(3))]]
+        )
+        with pytest.raises(TypeError):
+            cache.put("key", bogus)
+
+    def test_tracked_scenario_hit_skips_everything(
+        self, scenario, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_cache_stats()
+        tracker = WiTrack(scenario.config)
+        first = tracked_scenario(scenario, tracker)
+        assert cache_stats()["results"]["misses"] == 1
+        calls = []
+        monkeypatch.setattr(
+            type(scenario), "run",
+            lambda self: calls.append(1) or pytest.fail("synthesized on hit"),
+        )
+        second = tracked_scenario(scenario, tracker)
+        assert cache_stats()["results"]["hits"] == 1
+        np.testing.assert_array_equal(first.positions, second.positions)
+        np.testing.assert_array_equal(
+            first.frame_times_s, second.frame_times_s
+        )
+        assert second.tof_estimates == ()  # no spectrograms on a hit
+
+    def test_results_live_beside_spectra(
+        self, scenario, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        tracked_scenario(scenario, WiTrack(scenario.config))
+        assert len(list(tmp_path.glob("*.npz"))) == 1  # spectra
+        assert len(list((tmp_path / "results").glob("*.npz"))) == 1
+        # The two caches never see each other's entries.
+        assert default_cache().entries() != default_result_cache().entries()
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_result_cache() is None
+
+
+class TestCacheStats:
+    def test_counters_aggregate_across_instances(self, scenario, tmp_path):
+        reset_cache_stats()
+        SpectraCache(tmp_path).run(scenario)
+        SpectraCache(tmp_path).run(scenario)  # fresh instance, same dir
+        stats = cache_stats()["spectra"]
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+
+    def test_eviction_counted(self, scenario, tmp_path):
+        reset_cache_stats()
+        cache = SpectraCache(tmp_path)
+        cache.run(scenario)
+        size = cache.size_bytes()
+        cache.max_bytes = size // 2
+        assert cache.evict() == 1
+        assert cache.evictions == 1
+        assert cache_stats()["spectra"]["evictions"] == 1
+
+    def test_reset_zeroes(self):
+        reset_cache_stats()
+        stats = cache_stats()
+        assert all(
+            count == 0
+            for counts in stats.values()
+            for count in counts.values()
+        )
