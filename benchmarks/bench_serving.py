@@ -12,17 +12,25 @@ For each session count the benchmark reports aggregate frames/s for
 both executions, the speedup, per-session p95 latency against the
 paper's 75 ms budget (§7), and an exact-equality check of every
 session's outputs against its own serial ``run_stream`` reference.
+
+With ``--workers N`` (default ``REPRO_WORKERS``) a third execution runs
+per session count: the **distributed tier** — the same engine fronting
+N long-lived shard worker processes — recording shard count, per-shard
+tick p50/p95, mean IPC overhead, and the same exact-equality check.
 Results land in ``benchmarks/serving.json`` so CI runs leave a
-comparable artifact alongside ``throughput.json``.
+comparable artifact alongside ``throughput.json`` (the workers matrix
+uploads it as the ``serving-distributed`` artifact).
 
 Run:
-    python benchmarks/bench_serving.py [--sessions 8] [--duration 8]
+    python benchmarks/bench_serving.py [--sessions 8] [--duration 8] \\
+        [--workers 2]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -35,7 +43,13 @@ except ImportError:  # fresh checkout without `pip install -e .`
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro import WiTrack, default_config
-from repro.exec import cache_stats, results_identical, synthesize
+from repro.exec import (
+    cache_stats,
+    pool_available,
+    resolve_workers,
+    results_identical,
+    synthesize,
+)
 from repro.serve import ServingEngine, single_session
 from repro.sim import Scenario, random_walk, through_wall_room
 
@@ -79,24 +93,41 @@ def run_baseline(config, range_bin_m, blocks, n_frames) -> dict:
     return {"wall_s": wall_s, "p95_latency_ms": 1e3 * float(np.max(p95s))}
 
 
-def run_lockstep(config, range_bin_m, blocks, n_frames) -> dict:
-    """One engine, N admitted sessions, one vectorized tick per step."""
-    engine = ServingEngine()
-    spec = single_session(config, range_bin_m)
-    sessions = [engine.admit(spec) for _ in blocks]
-    start = time.perf_counter()
-    for f in range(n_frames):
-        for session, stream in zip(sessions, blocks):
-            session.offer(stream[f])
-        engine.tick()
-    wall_s = time.perf_counter() - start
-    results = [engine.close(s) for s in sessions]
-    p95s = [r.latency.p95_s for r in results]
-    return {
-        "wall_s": wall_s,
-        "p95_latency_ms": 1e3 * float(np.max(p95s)),
-        "results": results,
-    }
+def run_lockstep(config, range_bin_m, blocks, n_frames, workers=0) -> dict:
+    """One engine, N admitted sessions, one vectorized tick per step.
+
+    ``workers=0`` is the in-process engine; ``workers>=1`` fronts that
+    many shard worker processes (the distributed tier) and additionally
+    reports per-shard tick times and IPC overhead.
+    """
+    with ServingEngine(workers=workers) as engine:
+        spec = single_session(config, range_bin_m)
+        sessions = [engine.admit(spec) for _ in blocks]
+        start = time.perf_counter()
+        for f in range(n_frames):
+            for session, stream in zip(sessions, blocks):
+                session.offer(stream[f])
+            engine.tick()
+        wall_s = time.perf_counter() - start
+        results = [engine.close(s) for s in sessions]
+        p95s = [r.latency.p95_s for r in results]
+        out = {
+            "wall_s": wall_s,
+            "p95_latency_ms": 1e3 * float(np.max(p95s)),
+            "results": results,
+        }
+        if engine.distributed:
+            shards = engine.scheduler.shard_report()
+            out["shards"] = shards
+            out["num_shards"] = engine.scheduler.num_shards
+            with np.errstate(all="ignore"):
+                out["tick_p95_ms"] = float(
+                    np.nanmax([s["tick_p95_ms"] for s in shards])
+                )
+                out["ipc_overhead_mean_ms"] = float(
+                    np.nanmean([s["ipc_overhead_mean_ms"] for s in shards])
+                )
+    return out
 
 
 def serial_references(config, range_bin_m, blocks) -> list:
@@ -110,7 +141,7 @@ def serial_references(config, range_bin_m, blocks) -> list:
     return refs
 
 
-def bench_serving(n_sessions: int, duration_s: float) -> dict:
+def bench_serving(n_sessions: int, duration_s: float, workers: int = 0) -> dict:
     config, range_bin_m, all_blocks, n_frames = synthesize_sessions(
         n_sessions, duration_s
     )
@@ -126,7 +157,7 @@ def bench_serving(n_sessions: int, duration_s: float) -> dict:
             for result, ref in zip(lockstep["results"], refs)
         )
         total = n * n_frames
-        rows.append({
+        row = {
             "sessions": n,
             "frames_per_session": n_frames,
             "baseline_s": baseline["wall_s"],
@@ -138,10 +169,33 @@ def bench_serving(n_sessions: int, duration_s: float) -> dict:
             "lockstep_p95_latency_ms": lockstep["p95_latency_ms"],
             "within_75ms_budget": lockstep["p95_latency_ms"] <= 75.0,
             "identical_to_serial": identical,
-        })
+        }
+        if workers > 0:
+            dist = run_lockstep(
+                config, range_bin_m, blocks, n_frames, workers=workers
+            )
+            row["distributed"] = {
+                "workers": workers,
+                "num_shards": dist["num_shards"],
+                "wall_s": dist["wall_s"],
+                "fps": total / dist["wall_s"],
+                "speedup_vs_lockstep": lockstep["wall_s"] / dist["wall_s"],
+                "p95_latency_ms": dist["p95_latency_ms"],
+                "within_75ms_budget": dist["p95_latency_ms"] <= 75.0,
+                "tick_p95_ms": dist["tick_p95_ms"],
+                "ipc_overhead_mean_ms": dist["ipc_overhead_mean_ms"],
+                "shards": dist["shards"],
+                "identical_to_serial": all(
+                    results_identical(result, ref)
+                    for result, ref in zip(dist["results"], refs)
+                ),
+            }
+        rows.append(row)
     return {
         "duration_s": duration_s,
         "max_sessions": n_sessions,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
         "scaling": rows,
         "cache": cache_stats(),
     }
@@ -153,22 +207,49 @@ def main() -> int:
                         help="maximum concurrent sessions")
     parser.add_argument("--duration", type=float, default=8.0,
                         help="seconds of scenario per session")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard worker processes for the distributed "
+                             "rows (default: REPRO_WORKERS, else skip; "
+                             "0 disables)")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).parent / "serving.json")
     args = parser.parse_args()
 
+    if args.workers is not None:
+        if args.workers < 0:
+            parser.error("--workers must be >= 0")
+        workers = args.workers
+    else:
+        # REPRO_WORKERS=1 still measures the distributed tier (one
+        # shard: the pure-IPC-overhead baseline); unset or explicitly
+        # 0 skips it — 0 means "no parallelism" everywhere else too.
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = resolve_workers() if raw and raw != "0" else 0
+    if workers and not pool_available():
+        print("fork unavailable; skipping the distributed rows")
+        workers = 0
+
     print(f"synthesizing {args.sessions} sessions of "
           f"{args.duration:.0f} s each...")
-    payload = bench_serving(args.sessions, args.duration)
+    payload = bench_serving(args.sessions, args.duration, workers=workers)
 
     print("\nserving throughput (aggregate frames/s across sessions)")
-    print(f"{'N':>4}{'baseline':>12}{'lockstep':>12}{'speedup':>10}"
-          f"{'p95 (ms)':>10}{'identical':>11}")
+    header = (f"{'N':>4}{'baseline':>12}{'lockstep':>12}{'speedup':>10}"
+              f"{'p95 (ms)':>10}{'identical':>11}")
+    if workers:
+        header += f"{'distrib':>12}{'shard p95':>11}{'ipc (ms)':>10}"
+    print(header)
     for row in payload["scaling"]:
-        print(f"{row['sessions']:>4}{row['baseline_fps']:>12.0f}"
-              f"{row['lockstep_fps']:>12.0f}{row['speedup']:>9.2f}x"
-              f"{row['lockstep_p95_latency_ms']:>10.2f}"
-              f"{'yes' if row['identical_to_serial'] else 'NO':>11}")
+        line = (f"{row['sessions']:>4}{row['baseline_fps']:>12.0f}"
+                f"{row['lockstep_fps']:>12.0f}{row['speedup']:>9.2f}x"
+                f"{row['lockstep_p95_latency_ms']:>10.2f}"
+                f"{'yes' if row['identical_to_serial'] else 'NO':>11}")
+        if "distributed" in row:
+            dist = row["distributed"]
+            line += (f"{dist['fps']:>12.0f}"
+                     f"{dist['tick_p95_ms']:>11.2f}"
+                     f"{dist['ipc_overhead_mean_ms']:>10.2f}")
+        print(line)
 
     top = payload["scaling"][-1]
     print(f"\nat N={top['sessions']}: {top['speedup']:.2f}x over "
@@ -176,6 +257,22 @@ def main() -> int:
           f"{top['lockstep_p95_latency_ms']:.2f} ms "
           f"(75 ms budget "
           f"{'MET' if top['within_75ms_budget'] else 'EXCEEDED'})")
+    if "distributed" in top:
+        dist = top["distributed"]
+        print(f"distributed ({dist['workers']} workers, "
+              f"{dist['num_shards']} shards): "
+              f"{dist['fps']:.0f} frames/s "
+              f"({dist['speedup_vs_lockstep']:.2f}x vs in-process), "
+              f"shard tick p95 {dist['tick_p95_ms']:.2f} ms, "
+              f"mean IPC overhead {dist['ipc_overhead_mean_ms']:.2f} ms, "
+              f"identical "
+              f"{'yes' if dist['identical_to_serial'] else 'NO'}")
+        cores = payload["cpu_count"] or 1
+        if cores <= dist["workers"]:
+            print(f"NOTE: only {cores} CPU core(s) — shard workers are "
+                  "time-slicing, so distributed throughput cannot "
+                  "exceed in-process here; scaling needs >= workers+1 "
+                  "cores")
 
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -183,6 +280,12 @@ def main() -> int:
     ok = all(
         row["identical_to_serial"] and row["within_75ms_budget"]
         for row in payload["scaling"]
+    )
+    ok = ok and all(
+        row["distributed"]["identical_to_serial"]
+        and row["distributed"]["within_75ms_budget"]
+        for row in payload["scaling"]
+        if "distributed" in row
     )
     return 0 if ok else 1
 

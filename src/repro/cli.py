@@ -283,7 +283,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     through one :class:`~repro.serve.ServingEngine`. Sessions join with
     staggered starts (``--stagger`` frames apart) and leave when their
     stream ends, so admission, cohort batching, lockstep ticking, and
-    slot eviction all run in one command.
+    slot eviction all run in one command. With ``--workers N`` the
+    engine shards its cohorts across N long-lived worker processes —
+    same results, more cores.
     """
     from .multi import MultiScenario
     from .serve import ServingEngine, multi_session, single_session
@@ -327,7 +329,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "multi": multi_session(config, range_bin_m, max_people=2, room=room),
     }
 
-    engine = ServingEngine(queue_capacity=args.queue)
+    workers = args.workers if args.workers is not None else 0
+    engine = ServingEngine(queue_capacity=args.queue, workers=workers)
     live: dict[int, tuple[object, object]] = {}  # index -> (session, stream)
     reports = []
     start = time.perf_counter()
@@ -364,6 +367,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         step += 1
     wall_s = time.perf_counter() - start
 
+    shard_report = (
+        engine.scheduler.shard_report() if engine.distributed else None
+    )
+    engine.shutdown()
+
     reports.sort(key=lambda r: r["session"])
     total_frames = sum(r["frames"] for r in reports)
     rows = [
@@ -372,23 +380,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
          "yes" if r["within_75ms"] else "NO"]
         for r in reports
     ]
+    mode = (f"{engine.workers} shard workers" if engine.distributed
+            else "in-process")
     print(f"served {len(reports)} sessions "
           f"({total_frames} frames) in {wall_s:.2f} s "
-          f"({total_frames / wall_s:.0f} frames/s aggregate)")
+          f"({total_frames / wall_s:.0f} frames/s aggregate, {mode})")
     print(format_table(
         ["session", "kind", "frames", "median", "p95", "<75ms"], rows
     ))
+    if shard_report is not None:
+        for entry in shard_report:
+            print(f"shard {entry['shard']}: {entry['steps']} steps  "
+                  f"tick p95 {entry['tick_p95_ms']:.2f} ms  "
+                  f"ipc {entry['ipc_overhead_mean_ms']:.2f} ms"
+                  f"{'  EXCLUDED' if entry['excluded'] else ''}")
     all_within = all(r["within_75ms"] for r in reports)
     print(f"75 ms budget (paper Section 7): "
           f"{'MET by every session' if all_within else 'EXCEEDED'}")
     if args.output is not None:
         payload = {
             "sessions": len(reports),
+            "workers": engine.workers,
             "duration_s": args.duration,
             "wall_s": wall_s,
             "aggregate_fps": total_frames / wall_s,
             "per_session": reports,
         }
+        if shard_report is not None:
+            payload["shards"] = shard_report
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.output}")
     return 0 if all_within else 1
@@ -485,6 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="frames between successive session admissions")
     p.add_argument("--queue", type=int, default=8,
                    help="per-session input queue bound (backpressure)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shard worker processes for the serving tier "
+                        "(default: in-process; N>=1 distributes cohorts "
+                        "across N long-lived workers)")
     p.add_argument("--chunk", type=int, default=128,
                    help="frames synthesized per chunk (single-person)")
     p.add_argument("--seed", type=int, default=0)

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ArrayConfig, SystemConfig, default_config
-from ..exec.cache import synthesize, tracked_scenario
+from ..exec.cache import synthesize, tracked_multi_scenario, tracked_scenario
 from ..core.falls import FallDetector, FallVerdict
 from ..core.pointing import PointingEstimator
 from ..core.tof import TOFEstimator
@@ -295,15 +295,17 @@ def run_multi_tracking_experiment(
         duration_s=duration_s,
         min_separation_m=min_separation_m,
     )
-    measured = synthesize(
-        MultiScenario(
-            list(zip(bodies, walks)), room=room, config=config, seed=seed + 1
-        )
+    scenario = MultiScenario(
+        list(zip(bodies, walks)), room=room, config=config, seed=seed + 1
     )
     tracker = MultiWiTrack(
         config, max_people=num_people, room=room
     )
-    result = tracker.track(measured.spectra, measured.range_bin_m)
+    # Through the result-level cache (REPRO_CACHE): an unchanged
+    # (scenario, pipeline) rerun skips synthesis *and* tracking, for
+    # multi-person runs too since the track arrays gained a stable
+    # serialization.
+    result = tracked_multi_scenario(scenario, tracker)
 
     vicon = ViconSystem()
     calibration = DepthCalibration()

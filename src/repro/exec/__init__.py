@@ -7,9 +7,16 @@ repository schedules it:
 * :mod:`repro.exec.plan` — :class:`WorkItem` / :class:`ExperimentPlan`
   turn a figure's grid (seeds × distances × separations × activities)
   into picklable, schedulable units;
+* :mod:`repro.exec.pool` — :class:`WorkerPool`, the persistent
+  process runtime both tiers share: long-lived ``fork`` workers behind
+  request/response IPC, stateless ``apply`` requests for plan chunks
+  and per-worker actors (``invoke``) for the distributed serving
+  shards (:mod:`repro.serve.shard`), with crash isolation
+  (:class:`WorkerCrash`/:class:`RemoteError`);
 * :mod:`repro.exec.runners` — :class:`SerialRunner` and the chunked
   :class:`ProcessPoolRunner` execute a plan with results in plan order
-  (``REPRO_WORKERS`` picks the default pool size);
+  (``REPRO_WORKERS`` picks the default pool size; the pool persists
+  across runs);
 * :mod:`repro.exec.stream` — :class:`ShardedStreamRunner` splits one
   long :meth:`Scenario.frames` stream at pipeline-reset boundaries and
   merges the per-shard :class:`~repro.pipeline.runner.PipelineResult`\\ s;
@@ -31,13 +38,16 @@ from .cache import (
     content_key,
     default_cache,
     default_result_cache,
+    multi_result_key,
     reset_cache_stats,
     result_key,
     scenario_key,
     synthesize,
+    tracked_multi_scenario,
     tracked_scenario,
 )
 from .plan import ExperimentPlan, WorkItem
+from .pool import RemoteError, WorkerCrash, WorkerPool, pool_available
 from .runners import (
     ProcessPoolRunner,
     Runner,
@@ -62,6 +72,7 @@ __all__ = [
     "MIN_SHARD_FRAMES",
     "NpzLruCache",
     "ProcessPoolRunner",
+    "RemoteError",
     "ResultCache",
     "Runner",
     "SerialRunner",
@@ -70,13 +81,17 @@ __all__ = [
     "SpectraCache",
     "WORKERS_ENV",
     "WorkItem",
+    "WorkerCrash",
+    "WorkerPool",
     "cache_stats",
     "content_key",
     "default_cache",
     "default_result_cache",
     "default_runner",
     "merge_results",
+    "multi_result_key",
     "plan_shards",
+    "pool_available",
     "resolve_workers",
     "reset_cache_stats",
     "result_key",
@@ -84,6 +99,7 @@ __all__ = [
     "scenario_key",
     "sharded_speedup_benchmark",
     "synthesize",
+    "tracked_multi_scenario",
     "tracked_scenario",
     "track_scenario_shard",
 ]

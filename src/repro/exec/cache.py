@@ -13,10 +13,12 @@ changes the key, so stale hits are impossible by construction.
 :class:`ResultCache` goes one level higher — the adaptivity lesson of
 Bender et al.'s adaptive filters: a cache that stops at spectra still
 pays full *tracking* price on every pure re-aggregation run. It keys
-(scenario content, pipeline configuration) to the single-person
-:class:`~repro.pipeline.PipelineResult` arrays, so a figure rerun that
-only re-scores existing parameters skips synthesis **and** tracking
-(the :func:`tracked_scenario` seam). Both caches share the same
+(scenario content, pipeline configuration) to the
+:class:`~repro.pipeline.PipelineResult` arrays — multi-person track
+lists included, via the stable array serialization in
+:mod:`repro.multi.tracks` — so a figure rerun that only re-scores
+existing parameters skips synthesis **and** tracking (the
+:func:`tracked_scenario` / :func:`tracked_multi_scenario` seams). Both caches share the same
 storage/LRU machinery and environment switches, and feed the
 process-wide :func:`cache_stats` counters that ``repro bench`` and the
 throughput benchmarks surface.
@@ -336,7 +338,7 @@ _RESULT_FIELDS = ("tof_m", "raw_tof_m", "motion", "positions")
 
 
 class ResultCache(NpzLruCache):
-    """Content-keyed cache of single-person pipeline results.
+    """Content-keyed cache of pipeline results, single- and multi-person.
 
     Where :class:`SpectraCache` memoizes synthesis, this memoizes
     synthesis *plus tracking*: the per-frame arrays of a
@@ -345,16 +347,20 @@ class ResultCache(NpzLruCache):
     figure grid whose parameters did not change — then skip the
     pipeline entirely.
 
-    Multi-person results (``tracks``) are not supported: their ragged
-    per-frame track lists have no stable array form, and the multi
-    figure grids are re-scored from :class:`~repro.multi.MultiTrack`
-    anyway.
+    Multi-person results are supported at two levels: the ragged
+    per-frame ``tracks`` lists of a :class:`PipelineResult` flatten
+    through :func:`repro.multi.tracks.tracks_to_arrays` (a stable
+    array serialization, so they round-trip bitwise through ``.npz``),
+    and whole :class:`~repro.multi.MultiTrack` results store via
+    :meth:`get_multi`/:meth:`put_multi` — the format the
+    :func:`tracked_multi_scenario` seam uses.
     """
 
     stats_kind = "results"
 
     def get(self, key: str):
         """The cached :class:`PipelineResult` for ``key``, or ``None``."""
+        from ..multi.tracks import tracks_from_arrays
         from ..pipeline.runner import PipelineResult
 
         arrays = self._load_arrays(key)
@@ -365,21 +371,44 @@ class ResultCache(NpzLruCache):
         fields = {
             name: arrays[name] for name in _RESULT_FIELDS if name in arrays
         }
-        return PipelineResult(frame_times_s=arrays["frame_times_s"], **fields)
+        tracks = None
+        if "track_counts" in arrays:
+            tracks = tracks_from_arrays(
+                arrays["track_counts"],
+                arrays["track_ids_flat"],
+                arrays["track_positions_flat"],
+            )
+        return PipelineResult(
+            frame_times_s=arrays["frame_times_s"], tracks=tracks, **fields
+        )
 
     def put(self, key: str, result: Any) -> None:
-        """Store a single-person pipeline result under ``key``."""
-        if result.tracks is not None:
-            raise TypeError(
-                "ResultCache stores single-person results only; "
-                "multi-person track lists are not cacheable"
-            )
+        """Store a pipeline result under ``key``."""
+        from ..multi.tracks import tracks_to_arrays
+
         arrays = {"frame_times_s": result.frame_times_s}
         for name in _RESULT_FIELDS:
             value = getattr(result, name)
             if value is not None:
                 arrays[name] = value
+        if result.tracks is not None:
+            arrays.update(tracks_to_arrays(result.tracks))
         self._store_arrays(key, arrays)
+
+    def get_multi(self, key: str):
+        """The cached :class:`~repro.multi.MultiTrack`, or ``None``."""
+        from ..multi.tracks import MultiTrack
+
+        arrays = self._load_arrays(key)
+        if arrays is None:
+            self._count("misses")
+            return None
+        self._count("hits")
+        return MultiTrack.from_arrays(arrays)
+
+    def put_multi(self, key: str, track: Any) -> None:
+        """Store a :class:`~repro.multi.MultiTrack` under ``key``."""
+        self._store_arrays(key, track.to_arrays())
 
 
 def _cache_env() -> tuple[Path, int] | None:
@@ -491,3 +520,63 @@ def tracked_scenario(scenario: Any, tracker: Any) -> Any:
         )
         cache.put(key, result)
     return tracker.package_result(result, scenario.range_bin_m)
+
+
+def multi_result_key(scenario: Any, tracker: Any) -> str:
+    """Content key of (multi scenario, multi pipeline configuration).
+
+    Everything that shapes a :class:`~repro.multi.MultiWiTrack` run's
+    output goes in: the scenario content, the tracker's system
+    configuration and antenna geometry, cancellation depth, the track
+    lifecycle tunables, the ghost gate and bounce-plane images, and the
+    solver selection.
+    """
+    solver = tracker.solver
+    return content_key(
+        "multi_track.v1",
+        scenario_key(scenario),
+        tracker.config,
+        tracker.array,
+        tracker.max_people,
+        tracker.num_candidates,
+        tracker.track_config,
+        tracker.gate,
+        tracker.ghost_images,
+        type(solver).__name__,
+        solver.min_y_m,
+        getattr(solver, "warm_start", None),
+    )
+
+
+def tracked_multi_scenario(scenario: Any, tracker: Any) -> Any:
+    """Synthesize + batch-track a multi-person scenario, memoized.
+
+    The multi-person mirror of :func:`tracked_scenario`, closing the
+    single-person-only caveat the result cache shipped with: a
+    re-aggregation run whose (scenario, pipeline) content is unchanged
+    returns the stored :class:`~repro.multi.MultiTrack` — dense arrays
+    via :meth:`MultiTrack.to_arrays
+    <repro.multi.tracks.MultiTrack.to_arrays>` — without synthesizing
+    or tracking anything. With the cache disabled it is exactly
+    ``tracker.track(synthesize(...))``; a miss still flows through
+    :func:`synthesize`, so the spectra cache keeps helping runs that
+    changed only pipeline-side parameters.
+
+    Args:
+        scenario: a :class:`~repro.multi.MultiScenario`.
+        tracker: the :class:`~repro.multi.MultiWiTrack` to run.
+
+    Returns:
+        The tracker's :class:`~repro.multi.MultiTrack`.
+    """
+    cache = default_result_cache()
+    if cache is None:
+        measured = synthesize(scenario)
+        return tracker.track(measured.spectra, measured.range_bin_m)
+    key = multi_result_key(scenario, tracker)
+    track = cache.get_multi(key)
+    if track is None:
+        measured = synthesize(scenario)
+        track = tracker.track(measured.spectra, measured.range_bin_m)
+        cache.put_multi(key, track)
+    return track

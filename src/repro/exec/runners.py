@@ -3,10 +3,12 @@
 Two executors under one interface:
 
 * :class:`SerialRunner` — the in-process reference implementation.
-* :class:`ProcessPoolRunner` — chunked fan-out over a ``fork`` process
-  pool; degrades gracefully to serial execution when only one worker is
-  requested, when the plan is trivial, or when the platform cannot
-  fork.
+* :class:`ProcessPoolRunner` — chunked fan-out over a **persistent**
+  :class:`~repro.exec.pool.WorkerPool` of long-lived ``fork`` workers;
+  the pool is created on first use, reused across ``run`` calls (a
+  figure sweep stops paying fork + import per plan), and degrades
+  gracefully to serial execution when only one worker is requested,
+  when the plan is trivial, or when the platform cannot fork.
 
 Both return results **in plan order**, so swapping one for the other
 cannot change what a figure computes — the determinism invariant the
@@ -16,12 +18,11 @@ defaults to the ``REPRO_WORKERS`` environment variable.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any
+from typing import Any, Sequence
 
 from .plan import ExperimentPlan, WorkItem
+from .pool import WorkerPool, pool_available
 
 #: Environment variable holding the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -52,13 +53,9 @@ def resolve_workers(workers: int | None = None) -> int:
     return max(value, 1)
 
 
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-def _run_item(item: WorkItem) -> Any:
-    """Module-level trampoline so pools pickle items, not closures."""
-    return item.run()
+def _run_items(items: Sequence[WorkItem]) -> list[Any]:
+    """Module-level chunk trampoline so pools pickle items, not closures."""
+    return [item.run() for item in items]
 
 
 class Runner:
@@ -82,13 +79,27 @@ class SerialRunner(Runner):
 
 
 class ProcessPoolRunner(Runner):
-    """Fan a plan across a ``fork`` process pool, chunked.
+    """Fan a plan across a persistent worker pool, chunked.
 
     Args:
         max_workers: pool size; ``None`` reads ``REPRO_WORKERS``.
         chunksize: items handed to a worker per round trip; ``None``
             picks ``ceil(len(plan) / (4 * workers))`` — large enough to
             amortize pickling, small enough to balance uneven items.
+
+    The underlying :class:`~repro.exec.pool.WorkerPool` is built lazily
+    on the first parallel ``run`` and kept alive for subsequent plans;
+    :meth:`close` (or context-manager exit) releases it. Chunks are
+    dispatched dynamically — an idle worker immediately receives the
+    next chunk — and results are reassembled in plan order, so uneven
+    item costs balance without changing any output.
+
+    Long-lived workers see the parent's process-global state (env
+    vars, module globals) as of the fork at pool creation. Work items
+    are pure functions of their pickled kwargs throughout this repo,
+    so that cannot change results here — but a caller who mutates
+    process state between runs and needs workers to observe it must
+    :meth:`close` first so the next run re-forks.
 
     Falls back to in-process serial execution when the effective worker
     count is 1, the plan has at most one item, or the platform lacks
@@ -104,27 +115,70 @@ class ProcessPoolRunner(Runner):
         if chunksize is not None and chunksize < 1:
             raise ValueError("chunksize must be >= 1")
         self.chunksize = chunksize
+        self._pool: WorkerPool | None = None
 
     def _chunksize(self, n_items: int, workers: int) -> int:
         if self.chunksize is not None:
             return self.chunksize
         return max(1, -(-n_items // (4 * workers)))
 
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None or not self._pool.live_workers():
+            if self._pool is not None:
+                self._pool.close()
+            self._pool = WorkerPool(self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     def run(self, plan: ExperimentPlan) -> list[Any]:
         workers = min(self.max_workers, len(plan))
-        if workers <= 1 or not _fork_available():
+        if workers <= 1 or not pool_available():
             return SerialRunner().run(plan)
-        context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as pool:
-            return list(
-                pool.map(
-                    _run_item,
-                    plan.items,
-                    chunksize=self._chunksize(len(plan), workers),
-                )
-            )
+        pool = self._ensure_pool()
+        size = self._chunksize(len(plan), workers)
+        chunks = [
+            (start, plan.items[start : start + size])
+            for start in range(0, len(plan), size)
+        ]
+        results: list[Any] = [None] * len(plan)
+        next_chunk = 0
+        assigned: dict[int, tuple[int, Sequence[WorkItem]]] = {}
+        live = pool.live_workers()[:workers]
+        try:
+            for worker in live:
+                if next_chunk >= len(chunks):
+                    break
+                start, items = chunks[next_chunk]
+                pool.submit(worker, "apply", _run_items, (items,))
+                assigned[worker] = chunks[next_chunk]
+                next_chunk += 1
+            while assigned:
+                for worker in pool.ready():
+                    start, items = assigned.pop(worker)
+                    chunk_results = pool.result(worker)
+                    results[start : start + len(items)] = chunk_results
+                    if next_chunk < len(chunks):
+                        start, items = chunks[next_chunk]
+                        pool.submit(worker, "apply", _run_items, (items,))
+                        assigned[worker] = chunks[next_chunk]
+                        next_chunk += 1
+        except BaseException:
+            # A failed plan poisons in-flight requests; drop the pool so
+            # the next run starts from a clean slate.
+            self.close()
+            raise
+        return results
 
 
 def default_runner(workers: int | None = None) -> Runner:

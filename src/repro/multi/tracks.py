@@ -36,6 +36,62 @@ from ..core.kalman import KalmanFilter1D
 from .association import FixGate, Solver, assign_fixes, candidate_fixes
 
 
+def tracks_to_arrays(
+    tracks: list[list[tuple[int, np.ndarray]]],
+) -> dict[str, np.ndarray]:
+    """Stable array serialization of per-frame track lists.
+
+    The ragged ``tracks`` field of a multi-person
+    :class:`~repro.pipeline.PipelineResult` — one ``(track_id,
+    position)`` list per frame — flattened into three fixed-dtype
+    arrays: per-frame entry counts, flat track ids, and flat positions.
+    This is what lets the result-level cache hold multi-person runs
+    (the caveat PR 4 left open): the arrays round-trip through ``.npz``
+    bitwise, and :func:`tracks_from_arrays` rebuilds the exact lists.
+
+    Args:
+        tracks: per-frame reportable ``(track_id, position)`` lists.
+
+    Returns:
+        ``{"track_counts", "track_ids_flat", "track_positions_flat"}``
+        with shapes ``(n_frames,)``, ``(total,)``, ``(total, 3)``.
+    """
+    counts = np.asarray([len(frame) for frame in tracks], dtype=np.int64)
+    flat = [entry for frame in tracks for entry in frame]
+    ids = np.asarray([tid for tid, _ in flat], dtype=np.int64)
+    if flat:
+        positions = np.stack([np.asarray(pos, dtype=np.float64)
+                              for _, pos in flat])
+    else:
+        positions = np.zeros((0, 3))
+    return {
+        "track_counts": counts,
+        "track_ids_flat": ids,
+        "track_positions_flat": positions,
+    }
+
+
+def tracks_from_arrays(
+    counts: np.ndarray, ids: np.ndarray, positions: np.ndarray
+) -> list[list[tuple[int, np.ndarray]]]:
+    """Rebuild per-frame track lists from :func:`tracks_to_arrays`."""
+    if int(counts.sum()) != len(ids) or len(ids) != len(positions):
+        raise ValueError(
+            f"inconsistent track arrays: counts sum to {int(counts.sum())} "
+            f"but {len(ids)} ids / {len(positions)} positions given"
+        )
+    out: list[list[tuple[int, np.ndarray]]] = []
+    offset = 0
+    for count in counts:
+        frame = [
+            (int(ids[offset + j]), positions[offset + j].copy())
+            for j in range(int(count))
+        ]
+        out.append(frame)
+        offset += int(count)
+    return out
+
+
 class TrackStatus(enum.Enum):
     """Lifecycle state of one track."""
 
@@ -315,6 +371,31 @@ class MultiTrack:
         """Positions of one track by id, shape ``(n_frames, 3)``."""
         idx = self.track_ids.index(track_id)
         return self.positions[idx]
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Pure-array form of the whole result (``.npz``-storable).
+
+        Everything a :class:`MultiTrack` carries is already dense
+        arrays except the ``track_ids`` tuple; :meth:`from_arrays`
+        round-trips bitwise — the multi-person result-cache entry
+        format.
+        """
+        return {
+            "frame_times_s": self.frame_times_s,
+            "positions": self.positions,
+            "track_ids": np.asarray(self.track_ids, dtype=np.int64),
+            "coasting": self.coasting,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "MultiTrack":
+        """Rebuild a :class:`MultiTrack` from :meth:`to_arrays` output."""
+        return cls(
+            frame_times_s=arrays["frame_times_s"],
+            positions=arrays["positions"],
+            track_ids=tuple(int(i) for i in arrays["track_ids"]),
+            coasting=arrays["coasting"].astype(bool),
+        )
 
 
 @dataclass

@@ -141,6 +141,22 @@ class Associate(Stage):
     def evict(self, slot: int) -> None:
         self._managers[slot] = self._spawn()
 
+    def snapshot_slot(self, slot: int) -> dict:
+        """Hand off the slot's manager (move semantics — see Stage).
+
+        The manager is inherently sequential state; the hand-off carries
+        the object itself (picklable, so it survives a pipe to another
+        process). Evict the source slot afterwards — two pipelines must
+        never advance one manager.
+        """
+        return {"manager": self._managers[slot]}
+
+    def restore_slot(self, slot: int, state: dict) -> None:
+        if not state:
+            self.evict(slot)
+            return
+        self._managers[slot] = state["manager"]
+
     def _step(
         self, manager: TrackManager, candidates: np.ndarray, powers: np.ndarray
     ):

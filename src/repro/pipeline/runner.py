@@ -234,6 +234,46 @@ class Pipeline:
             s.evict(slot)
         self._frames_in[slot] = 0
 
+    def snapshot_session(self, slot: int) -> dict:
+        """Picklable hand-off of one session's entire pipeline state.
+
+        Everything needed to continue the session bit-exactly in another
+        pipeline **of the same spec** — another cohort's instance after
+        an adaptive split, or a shard worker in another process (the
+        state dict crosses the IPC pipe as-is). Hand-off semantics:
+        restore into exactly one slot and :meth:`evict_session` the
+        source, or discard.
+        """
+        if not 0 <= slot < self._n_sessions:
+            raise IndexError(
+                f"slot {slot} out of range for {self._n_sessions} sessions"
+            )
+        return {
+            "frames_in": int(self._frames_in[slot]),
+            "stages": [s.snapshot_slot(slot) for s in self.stages],
+        }
+
+    def restore_session(self, slot: int, state: dict) -> None:
+        """Install a :meth:`snapshot_session` hand-off into one slot.
+
+        The slot must be attached, and this pipeline must have the same
+        stage structure as the snapshot's source (same spec).
+        """
+        if not 0 <= slot < self._n_sessions:
+            raise IndexError(
+                f"slot {slot} out of range for {self._n_sessions} sessions"
+            )
+        stage_states = state["stages"]
+        if len(stage_states) != len(self.stages):
+            raise ValueError(
+                f"snapshot carries {len(stage_states)} stage states but "
+                f"this pipeline has {len(self.stages)} stages; snapshots "
+                "only restore into pipelines of the same spec"
+            )
+        self._frames_in[slot] = state["frames_in"]
+        for stage, stage_state in zip(self.stages, stage_states):
+            stage.restore_slot(slot, stage_state)
+
     def _crop(self, frames: np.ndarray) -> np.ndarray:
         if self._max_bins is None:
             return frames

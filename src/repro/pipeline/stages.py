@@ -83,6 +83,27 @@ class Stage:
     def evict(self, slot: int) -> None:
         """Forget one slot's state (default: stateless, nothing held)."""
 
+    def snapshot_slot(self, slot: int) -> dict:
+        """Picklable hand-off of one slot's state (default: stateless).
+
+        The returned mapping is everything :meth:`restore_slot` needs to
+        continue the slot bit-exactly in *another* pipeline of the same
+        structure — possibly in another process (cohort migration). It
+        is a **hand-off**, not a shared view: restore it into exactly
+        one slot and :meth:`evict` the source, or discard it.
+        """
+        return {}
+
+    def restore_slot(self, slot: int, state: dict) -> None:
+        """Install a :meth:`snapshot_slot` hand-off into one slot.
+
+        An empty state means the source slot held nothing yet (the
+        stage had not allocated, or the slot was fresh) and restores to
+        a fresh slot. The slot must already be attached.
+        """
+        if not state:
+            self.evict(slot)
+
     def process_tick(self, tick: SessionTick) -> SessionTick:
         """Advance every session row of the tick by one frame."""
         raise NotImplementedError
@@ -141,6 +162,20 @@ class BackgroundSubtract(Stage):
     def evict(self, slot: int) -> None:
         if self._primed is not None:
             self._primed[slot] = False
+
+    def snapshot_slot(self, slot: int) -> dict:
+        if self._previous is None or not self._primed[slot]:
+            return {}
+        return {"previous": self._previous[slot].copy()}
+
+    def restore_slot(self, slot: int, state: dict) -> None:
+        if not state:
+            self.evict(slot)
+            return
+        previous = state["previous"]
+        self._ensure(*previous.shape)
+        self._previous[slot] = previous
+        self._primed[slot] = True
 
     def process_tick(self, tick):
         current = tick.spectrum
@@ -299,6 +334,26 @@ class OutlierGate(Stage):
             self._since[slot] = 1
             self._pending_len[slot] = 0
 
+    def snapshot_slot(self, slot: int) -> dict:
+        if self._last is None:
+            return {}
+        return {
+            "last": self._last[slot].copy(),
+            "since": self._since[slot].copy(),
+            "pending": self._pending[slot].copy(),
+            "pending_len": self._pending_len[slot].copy(),
+        }
+
+    def restore_slot(self, slot: int, state: dict) -> None:
+        if not state:
+            self.evict(slot)
+            return
+        self._ensure(len(state["last"]))
+        self._last[slot] = state["last"]
+        self._since[slot] = state["since"]
+        self._pending[slot] = state["pending"]
+        self._pending_len[slot] = state["pending_len"]
+
     def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
         """Gate a ``(n_rows, n_rx)`` tick; advances the given slots."""
         self._ensure(values.shape[1])
@@ -390,6 +445,18 @@ class HoldInterpolate(Stage):
         if self._held is not None:
             self._held[slot] = np.nan
 
+    def snapshot_slot(self, slot: int) -> dict:
+        if self._held is None:
+            return {}
+        return {"held": self._held[slot].copy()}
+
+    def restore_slot(self, slot: int, state: dict) -> None:
+        if not state:
+            self.evict(slot)
+            return
+        self._ensure(len(state["held"]))
+        self._held[slot] = state["held"]
+
     def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
         self._ensure(values.shape[1])
         held = self._held[slots]
@@ -465,6 +532,24 @@ class KalmanSmooth(Stage):
     def evict(self, slot: int) -> None:
         if self._initialized is not None:
             self._initialized[slot] = False
+
+    def snapshot_slot(self, slot: int) -> dict:
+        if self._mean is None:
+            return {}
+        return {
+            "mean": self._mean[slot].copy(),
+            "cov": self._cov[slot].copy(),
+            "initialized": self._initialized[slot].copy(),
+        }
+
+    def restore_slot(self, slot: int, state: dict) -> None:
+        if not state:
+            self.evict(slot)
+            return
+        self._ensure(len(state["mean"]))
+        self._mean[slot] = state["mean"]
+        self._cov[slot] = state["cov"]
+        self._initialized[slot] = state["initialized"]
 
     def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
         self._ensure(values.shape[1])

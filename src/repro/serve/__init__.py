@@ -14,28 +14,43 @@ cost once instead of N times.
 * :mod:`scheduler` — :class:`SessionManager` (admit/retire, slot
   reuse) and :class:`Scheduler` (batch every ready session of a cohort
   into one vectorized tick);
+* :mod:`shard` — the distributed tier: :class:`ShardWorker` (cohort
+  pipelines inside long-lived worker processes) and
+  :class:`DistributedScheduler` (whole-cohort placement, batched
+  per-shard steps, failover, adaptive re-batching);
 * :mod:`engine` — the :class:`ServingEngine` facade the apps and the
-  ``repro serve`` CLI embed.
+  ``repro serve`` CLI embed; ``workers=N`` turns it into the front end
+  of the distributed tier, ``workers=0`` keeps everything in-process.
 
-Load-bearing invariants, pinned by ``tests/test_serve.py``:
+Load-bearing invariants, pinned by ``tests/test_serve.py`` and
+``tests/test_serve_distributed.py``:
 
 * N=1 serving output is **bitwise** ``Pipeline.run_stream`` output;
 * N-session lockstep output equals N serial per-session runs exactly,
   across mixed single/multi cohorts and staggered start/stop;
-* evicting a session mid-run does not perturb the survivors.
+* distributed serving (workers >= 2) is result-identical to
+  single-process serving for the same admission schedule;
+* evicting a session mid-run does not perturb the survivors, and a
+  shard worker failing mid-tick fails its sessions over to survivors
+  without perturbing anyone else.
 """
 
 from .engine import ServingEngine
-from .scheduler import Cohort, Scheduler, SessionManager
+from .scheduler import Cohort, Scheduler, SessionManager, StragglerDetector
 from .session import Session, SessionSpec, multi_session, single_session
+from .shard import DistributedScheduler, PlacedCohort, ShardWorker
 
 __all__ = [
     "Cohort",
+    "DistributedScheduler",
+    "PlacedCohort",
     "Scheduler",
     "ServingEngine",
     "Session",
     "SessionManager",
     "SessionSpec",
+    "ShardWorker",
+    "StragglerDetector",
     "multi_session",
     "single_session",
 ]

@@ -1,10 +1,23 @@
-"""The serving engine facade: admit, feed, tick, close.
+"""The serving engine facade: admit, feed, tick, close — local or sharded.
 
-:class:`ServingEngine` glues the :class:`~repro.serve.SessionManager`
-and :class:`~repro.serve.Scheduler` into the object an application
-embeds. One engine serves any number of concurrent tracking sessions —
-heterogeneous configurations land in separate cohorts, each advanced in
-lockstep through its shared session-vectorized pipeline.
+:class:`ServingEngine` glues admission and scheduling into the object
+an application embeds. One engine serves any number of concurrent
+tracking sessions — heterogeneous configurations land in separate
+cohorts, each advanced in lockstep through a shared session-vectorized
+pipeline.
+
+With ``workers=0`` (the default) everything runs in this process: the
+:class:`~repro.serve.SessionManager` + :class:`~repro.serve.Scheduler`
+pair of PR 4, bit-for-bit. With ``workers=N`` the engine becomes the
+**front end of a distributed tier**: N long-lived shard worker
+processes (one :class:`~repro.serve.shard.ShardWorker` each, behind a
+:class:`~repro.exec.pool.WorkerPool`) host the cohort pipelines, and a
+:class:`~repro.serve.shard.DistributedScheduler` places whole cohorts,
+routes admissions/frames/evictions, and merges per-session results and
+latency reports. For the same admission schedule the two modes produce
+identical outputs (test-pinned): tick rows are independent sessions,
+so partitioning them across processes changes where the arithmetic
+runs, never what it computes.
 
 The N=1 degenerate case is exactly ``Pipeline.run_stream``: a tick with
 one session is the same ``Pipeline.tick`` call ``Pipeline.push`` makes,
@@ -16,40 +29,70 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exec.pool import WorkerPool, pool_available
 from ..multi.tracks import TrackManager
 from ..pipeline.multi import Associate
 from ..pipeline.runner import PipelineResult
 from .scheduler import Scheduler, SessionManager
 from .session import Session, SessionSpec
+from .shard import DistributedScheduler, ShardWorker
 
 
 class ServingEngine:
-    """Serve many concurrent tracking sessions from one process.
+    """Serve many concurrent tracking sessions, from one process or many.
 
     Args:
         queue_capacity: per-session input queue bound. A producer that
             outruns the scheduler is refused frames (``offer`` returns
             False) once its queue holds this many.
+        workers: shard worker processes. 0 (default) serves everything
+            in-process — today's single-process path, unchanged. N >= 1
+            forks N long-lived shard workers and distributes cohorts
+            across them; on platforms without ``fork`` the engine falls
+            back to in-process serving (check :attr:`workers` for the
+            effective count).
 
     Example:
         >>> from repro.serve import ServingEngine, single_session
-        >>> engine = ServingEngine()
+        >>> engine = ServingEngine()          # or ServingEngine(workers=4)
         >>> spec = single_session()
         >>> a, b = engine.admit(spec), engine.admit(spec)  # one cohort
         >>> # engine.offer(a, block); engine.tick(); a.last_position ...
     """
 
-    def __init__(self, queue_capacity: int = 64) -> None:
-        self.manager = SessionManager(queue_capacity)
-        self.scheduler = Scheduler(self.manager)
+    def __init__(self, queue_capacity: int = 64, workers: int = 0) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if workers and not pool_available():
+            workers = 0  # graceful serial fallback (no fork, no shards)
+        self.workers = workers
+        self.pool: WorkerPool | None = None
+        if workers:
+            self.pool = WorkerPool(workers, actor_factory=ShardWorker)
+            self.manager = None
+            self.scheduler: Scheduler | DistributedScheduler = (
+                DistributedScheduler(self.pool, queue_capacity)
+            )
+        else:
+            self.manager = SessionManager(queue_capacity)
+            self.scheduler = Scheduler(self.manager)
+
+    @property
+    def distributed(self) -> bool:
+        """True when sessions are served by shard worker processes."""
+        return self.pool is not None
 
     @property
     def num_sessions(self) -> int:
         """Live sessions across every cohort."""
+        if self.distributed:
+            return self.scheduler.num_sessions
         return self.manager.num_sessions
 
     def admit(self, spec: SessionSpec) -> Session:
         """Open a session; joins an existing cohort when specs match."""
+        if self.distributed:
+            return self.scheduler.admit(spec)
         return self.manager.admit(spec)
 
     def offer(self, session: Session, sweep_block: np.ndarray) -> bool:
@@ -86,14 +129,44 @@ class ServingEngine:
         """
         while session.queue:
             self.scheduler.tick()
-        return self.manager.retire(session)
+        return self._retire(session)
 
     def evict(self, session: Session) -> None:
         """Drop a session immediately, discarding any queued frames."""
-        self.manager.retire(session)
+        self._retire(session)
+
+    def _retire(self, session: Session) -> PipelineResult:
+        if self.distributed:
+            return self.scheduler.retire(session)
+        return self.manager.retire(session)
+
+    def shutdown(self) -> None:
+        """Stop the shard workers (no-op for an in-process engine).
+
+        Idempotent; live sessions' accumulated results stay readable
+        (they live in the front end), but no further frames can be
+        processed.
+        """
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     def track_manager(self, session: Session) -> TrackManager:
-        """The per-session track bank of a live multi-person session."""
+        """The per-session track bank of a live multi-person session.
+
+        In-process engines only: a distributed session's track bank
+        lives inside its shard worker and has no parent-side object.
+        """
+        if self.distributed:
+            raise RuntimeError(
+                "track managers live inside shard workers when serving "
+                "distributed; use workers=0 for in-process access"
+            )
         cohort = self.manager.cohort_of(session)
         stage = cohort.pipeline.stage(Associate)
         return stage.manager_for(session.slot)

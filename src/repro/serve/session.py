@@ -155,6 +155,25 @@ def multi_session(
     )
 
 
+def tick_row_fields(tick: SessionTick, row: int) -> dict:
+    """One tick row as a plain field dict (the IPC transport unit).
+
+    Everything :meth:`Session.collect_fields` accumulates, extracted
+    from one row of a :class:`~repro.pipeline.frame.SessionTick`. The
+    local scheduler consumes it in-process; a shard worker ships it
+    through the worker-pool pipe — same values either way, which is what
+    keeps distributed serving bitwise-identical to single-process.
+    """
+    return {
+        "time_s": float(tick.times_s[row]),
+        "tof_m": None if tick.tof_m is None else tick.tof_m[row],
+        "raw_tof_m": None if tick.raw_tof_m is None else tick.raw_tof_m[row],
+        "motion": None if tick.motion is None else tick.motion[row],
+        "positions": None if tick.positions is None else tick.positions[row],
+        "tracks": None if tick.tracks is None else tick.tracks[row],
+    }
+
+
 class Session:
     """One live stream being served.
 
@@ -225,18 +244,27 @@ class Session:
 
     def collect(self, tick: SessionTick, row: int) -> None:
         """Accumulate one emitted tick row (engine-internal)."""
-        self._times.append(float(tick.times_s[row]))
-        if tick.tof_m is not None:
-            self._tofs.append(tick.tof_m[row])
-        if tick.raw_tof_m is not None:
-            self._raws.append(tick.raw_tof_m[row])
-        if tick.motion is not None:
-            self._motions.append(tick.motion[row])
-        if tick.positions is not None:
-            self.last_position = tick.positions[row]
+        self.collect_fields(tick_row_fields(tick, row))
+
+    def collect_fields(self, fields: dict) -> None:
+        """Accumulate one emitted output frame's field dict.
+
+        The distributed scheduler routes shard responses through here;
+        the local scheduler arrives via :meth:`collect`. Both paths
+        append identical values.
+        """
+        self._times.append(fields["time_s"])
+        if fields["tof_m"] is not None:
+            self._tofs.append(fields["tof_m"])
+        if fields["raw_tof_m"] is not None:
+            self._raws.append(fields["raw_tof_m"])
+        if fields["motion"] is not None:
+            self._motions.append(fields["motion"])
+        if fields["positions"] is not None:
+            self.last_position = fields["positions"]
             self._positions.append(self.last_position)
-        if tick.tracks is not None:
-            self.last_tracks = tick.tracks[row]
+        if fields["tracks"] is not None:
+            self.last_tracks = fields["tracks"]
             self._tracks.append(self.last_tracks)
         self.frames_out += 1
 

@@ -1,0 +1,753 @@
+"""The distributed serving tier: shard cohorts across worker processes.
+
+PR 4's lockstep tick made one process serve N sessions; this module
+makes N *processes* serve N·M. The division of labor:
+
+* :class:`ShardWorker` — the actor living inside each
+  :class:`~repro.exec.pool.WorkerPool` worker process. It owns whole
+  cohorts (shared vectorized pipelines plus slot bookkeeping) and
+  advances them with the same :meth:`Pipeline.tick
+  <repro.pipeline.Pipeline.tick>` the single-process engine uses, so a
+  shard's outputs are bitwise the single-process outputs for the same
+  frames — tick rows are independent sessions, and partitioning rows
+  across processes changes nothing.
+* :class:`DistributedScheduler` — the front-end mirror of
+  :class:`~repro.serve.scheduler.Scheduler`. It places **whole
+  cohorts** onto shards (least-loaded placement, Kadabra-style: where
+  work lands adapts to observed load), keeps every session's bounded
+  queue and accumulated results in the parent, and per tick sends each
+  shard one batched ``step`` — all shards are submitted before any
+  response is awaited, so shard compute overlaps.
+
+Failure is survivable by construction: the parent owns the queues, so
+when a shard dies mid-step (crash or a raised exception), its in-flight
+frames are requeued at the head of their sessions' queues, the shard is
+excluded (the ``excluded``-style bookkeeping the exec layer uses for
+bad runners), and its cohorts are re-placed onto survivors. The
+re-placed sessions restart their pipeline state at a reset boundary —
+exactly the semantics of the sharded stream runner — so each failed-over
+session re-primes background subtraction on its next frame and loses
+one output frame, deterministically, while every other session is
+untouched.
+
+Adaptive re-batching crosses processes here: a straggling session's
+state is pulled out of its shard via :meth:`Pipeline.snapshot_session`
+(picklable by design), restored bit-exactly into a fresh singleton
+cohort on the least-loaded shard, and drained at ``catchup_burst``
+frames per tick.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from ..exec.pool import WorkerCrash, WorkerPool, remote_failure
+from ..pipeline.runner import PipelineResult
+from .scheduler import Cohort, StragglerDetector
+from .session import Session, SessionSpec, tick_row_fields
+
+
+class ShardWorker:
+    """Cohort pipelines hosted inside one long-lived worker process.
+
+    Instantiated by the worker pool *inside* the worker (actor
+    factory); every method is an IPC entry point with picklable
+    arguments and returns. Reuses :class:`~repro.serve.scheduler.Cohort`
+    for pipeline construction and slot recycling, so shard-side slot
+    lifecycle is the single-process lifecycle.
+    """
+
+    def __init__(self) -> None:
+        self.cohorts: dict[str, Cohort] = {}
+        self._placement: dict[int, tuple[str, int]] = {}  # sid -> (key, slot)
+        self.steps = 0
+        self.frames_processed = 0
+        self._fail_in: int | None = None
+
+    # -- session lifecycle -------------------------------------------------
+
+    def _cohort(self, key: str, spec: SessionSpec) -> Cohort:
+        cohort = self.cohorts.get(key)
+        if cohort is None:
+            cohort = Cohort(key, spec)
+            self.cohorts[key] = cohort
+        return cohort
+
+    def admit(
+        self, session_id: int, key: str, spec: SessionSpec, start_frame: int = 0
+    ) -> int:
+        """Open a fresh state slot for a session; returns the slot.
+
+        Args:
+            session_id: engine-wide session identity.
+            key: placement key of the session's cohort.
+            spec: pipeline structure (builds the cohort on first use).
+            start_frame: index of the session's next input frame — 0
+                for a new session; a failover re-admission passes the
+                frames already consumed so the fresh state starts *on
+                the session clock*, exactly like
+                :meth:`Pipeline.reset(start_frame)
+                <repro.pipeline.Pipeline.reset>` at a shard boundary.
+        """
+        if session_id in self._placement:
+            raise RuntimeError(f"session {session_id} already on this shard")
+        cohort = self._cohort(key, spec)
+        slot = cohort.allocate_slot()
+        if start_frame:
+            pipeline = cohort.pipeline
+            pipeline.restore_session(
+                slot,
+                {
+                    "frames_in": start_frame,
+                    "stages": [{} for _ in pipeline.stages],
+                },
+            )
+        cohort.sessions[session_id] = session_id  # membership marker
+        self._placement[session_id] = (key, slot)
+        return slot
+
+    def restore(
+        self, session_id: int, key: str, spec: SessionSpec, state: dict
+    ) -> int:
+        """Admit a session and install a migrated pipeline snapshot."""
+        slot = self.admit(session_id, key, spec)
+        self.cohorts[key].pipeline.restore_session(slot, state)
+        return slot
+
+    def snapshot(self, session_id: int) -> dict:
+        """Hand off one session's pipeline state (for migration)."""
+        key, slot = self._placement[session_id]
+        return self.cohorts[key].pipeline.snapshot_session(slot)
+
+    def evict(self, session_id: int) -> None:
+        """Forget a session's state slot; drop its cohort when empty."""
+        key, slot = self._placement.pop(session_id)
+        cohort = self.cohorts[key]
+        del cohort.sessions[session_id]
+        cohort.release_slot(slot)
+        if not cohort.sessions:
+            del self.cohorts[key]
+
+    @property
+    def num_sessions(self) -> int:
+        """Sessions currently placed on this shard."""
+        return len(self._placement)
+
+    # -- the unit of work --------------------------------------------------
+
+    def step(
+        self, batch: list[tuple[int, list[np.ndarray]]]
+    ) -> tuple[dict[int, list[dict]], float]:
+        """Advance this shard one scheduler tick.
+
+        Args:
+            batch: ``(session_id, [sweep_block, ...])`` pairs — usually
+                one block each; split cohorts catching up send several.
+
+        Returns:
+            ``(outputs, tick_s)``: per-session lists of emitted output
+            field dicts (see :func:`~repro.serve.session.tick_row_fields`;
+            may be shorter than the input when a frame only primed), and
+            the wall-clock seconds spent ticking pipelines — the parent
+            subtracts this from the round-trip time to measure IPC
+            overhead.
+        """
+        if self._fail_in is not None:
+            self._fail_in -= 1
+            if self._fail_in <= 0:
+                self._fail_in = None
+                raise RuntimeError("injected shard failure (fail_next_step)")
+        start = perf_counter()
+        outputs: dict[int, list[dict]] = {sid: [] for sid, _ in batch}
+        by_cohort: dict[str, list[tuple[int, int, list[np.ndarray]]]] = {}
+        for sid, blocks in batch:
+            key, slot = self._placement[sid]
+            by_cohort.setdefault(key, []).append((sid, slot, blocks))
+        for key, members in by_cohort.items():
+            pipeline = self.cohorts[key].pipeline
+            rounds = max(len(blocks) for _, _, blocks in members)
+            for r in range(rounds):
+                active = [m for m in members if r < len(m[2])]
+                slots = np.fromiter(
+                    (slot for _, slot, _ in active),
+                    dtype=np.intp,
+                    count=len(active),
+                )
+                tick = pipeline.tick(
+                    [blocks[r] for _, _, blocks in active], slots
+                )
+                row_of_slot = {
+                    int(slot): row for row, slot in enumerate(tick.slots)
+                }
+                for sid, slot, _ in active:
+                    row = row_of_slot.get(slot)
+                    if row is not None:
+                        outputs[sid].append(tick_row_fields(tick, row))
+                self.frames_processed += len(active)
+        self.steps += 1
+        return outputs, perf_counter() - start
+
+    # -- introspection / fault injection -----------------------------------
+
+    def stats(self) -> dict:
+        """Shard-side counters (steps, frames, cohorts, sessions)."""
+        return {
+            "steps": self.steps,
+            "frames_processed": self.frames_processed,
+            "cohorts": len(self.cohorts),
+            "sessions": self.num_sessions,
+        }
+
+    def fail_next_step(self, after: int = 1) -> None:
+        """Arm fault injection: the ``after``-th next step raises.
+
+        Test seam for the failover path — a shard that raises mid-tick
+        must be excluded and its sessions requeued, not kill the engine.
+        """
+        self._fail_in = max(int(after), 1)
+
+
+class PlacedCohort:
+    """Front-end bookkeeping for one cohort living on a shard.
+
+    The parent-side mirror of the shard's :class:`Cohort`: no pipeline,
+    just membership, placement, and the catch-up burst budget. Unlike
+    the single-process engine — where a spec has exactly one cohort —
+    the distributed tier may run **one cohort per (spec, shard)**: the
+    cohort is the placement unit (it always lives whole on one shard),
+    and homogeneous traffic spreads across shards by founding sibling
+    cohorts of the same spec. Partitioning sessions into more cohorts
+    never changes outputs (tick rows are independent); it only changes
+    where they are computed.
+
+    Args:
+        key: unique placement key (``<spec key>#<seq>`` in the
+            distributed tier).
+        spec_key: the spec's content key — shared by sibling cohorts.
+        spec: the shared pipeline structure.
+        shard: worker index currently hosting the cohort.
+        burst: frames per session per tick the scheduler may drain.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        spec_key: str,
+        spec: SessionSpec,
+        shard: int,
+        burst: int = 1,
+    ) -> None:
+        self.key = key
+        self.spec_key = spec_key
+        self.spec = spec
+        self.shard = shard
+        self.burst = burst
+        #: True for cohorts born from an adaptive split (rejoin candidates).
+        self.split = False
+        self.sessions: dict[int, Session] = {}
+
+    @property
+    def num_sessions(self) -> int:
+        """Live sessions in this cohort."""
+        return len(self.sessions)
+
+
+class ShardStats:
+    """Per-shard timing ledger kept by the front end.
+
+    Attributes:
+        tick_s: worker-reported pipeline-tick seconds per step.
+        round_trip_s: submit-to-response wall seconds per step.
+    """
+
+    def __init__(self) -> None:
+        self.tick_s: list[float] = []
+        self.round_trip_s: list[float] = []
+
+    def summary(self) -> dict:
+        """p50/p95 tick time plus mean IPC overhead, in milliseconds."""
+        if not self.tick_s:
+            return {
+                "steps": 0,
+                "tick_p50_ms": float("nan"),
+                "tick_p95_ms": float("nan"),
+                "ipc_overhead_mean_ms": float("nan"),
+            }
+        ticks = np.asarray(self.tick_s)
+        overhead = np.asarray(self.round_trip_s) - ticks
+        return {
+            "steps": len(self.tick_s),
+            "tick_p50_ms": 1e3 * float(np.median(ticks)),
+            "tick_p95_ms": 1e3 * float(np.percentile(ticks, 95)),
+            "ipc_overhead_mean_ms": 1e3 * float(np.mean(overhead)),
+        }
+
+
+class DistributedScheduler:
+    """Place cohorts on shard workers; batch, route, merge, survive.
+
+    The distributed mirror of the local pair (:class:`SessionManager` +
+    :class:`Scheduler`): one object serves both roles because placement
+    *is* admission here. Sessions keep their bounded queues and
+    accumulated results in the parent; shards hold only pipeline state.
+
+    Args:
+        pool: worker pool whose actors are :class:`ShardWorker`\\ s.
+        queue_capacity: per-session input queue bound (backpressure).
+        adaptive_split: enable straggler re-batching across shards.
+        split_backlog: queue-depth lag that marks a straggler.
+        split_patience: consecutive lagging ticks before splitting.
+        catchup_burst: frames per tick a split cohort may drain.
+        rejoin_patience: consecutive caught-up observations before a
+            split session migrates back into a sibling cohort.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        queue_capacity: int = 64,
+        adaptive_split: bool = True,
+        split_backlog: int = 8,
+        split_patience: int = 4,
+        catchup_burst: int = 4,
+        rejoin_patience: int = 4,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if catchup_burst < 1 or rejoin_patience < 1:
+            raise ValueError("catchup_burst and rejoin_patience must be >= 1")
+        self.pool = pool
+        self.queue_capacity = queue_capacity
+        self.adaptive_split = adaptive_split
+        self.catchup_burst = catchup_burst
+        self.rejoin_patience = rejoin_patience
+        self.detector = StragglerDetector(split_backlog, split_patience)
+        self._caught_up: dict[int, int] = {}
+        self.cohorts: dict[str, PlacedCohort] = {}
+        self.sessions: dict[int, Session] = {}
+        self.excluded_shards: set[int] = set()
+        self.shard_stats: dict[int, ShardStats] = {
+            w: ShardStats() for w in range(pool.num_workers)
+        }
+        self.ticks = 0
+        self.frames_processed = 0
+        self.splits = 0
+        self.rejoins = 0
+        #: Most recent shard failure (surfaced when the tier goes down).
+        self.last_failure: BaseException | None = None
+        self.failovers = 0
+        self._next_id = 1
+        self._split_seq = 0
+
+    # -- placement ---------------------------------------------------------
+
+    @property
+    def num_sessions(self) -> int:
+        """Live sessions across every cohort."""
+        return len(self.sessions)
+
+    @property
+    def num_shards(self) -> int:
+        """Shards still serving (live and not excluded)."""
+        return len(self._live_shards())
+
+    def _live_shards(self) -> list[int]:
+        return [
+            w for w in self.pool.live_workers() if w not in self.excluded_shards
+        ]
+
+    def _shard_load(self) -> dict[int, int]:
+        load = {w: 0 for w in self._live_shards()}
+        for cohort in self.cohorts.values():
+            if cohort.shard in load:
+                load[cohort.shard] += cohort.num_sessions
+        return load
+
+    def _least_loaded(self) -> int:
+        load = self._shard_load()
+        if not load:
+            # Chain the last remote failure: when a poison input (e.g. a
+            # malformed frame that deterministically raises) has burned
+            # through every shard, the root cause must surface here, not
+            # vanish into the failover bookkeeping.
+            raise RuntimeError(
+                "no live shard workers remain; the serving tier is down"
+            ) from self.last_failure
+        return min(load, key=lambda w: (load[w], w))
+
+    def _exclude_shard(
+        self,
+        shard: int,
+        in_flight: list[tuple[Session, list[tuple[np.ndarray, float]]]],
+    ) -> None:
+        """Mark a failed shard excluded and requeue its in-flight frames.
+
+        In-flight frames go back to the *head* of their sessions'
+        queues (oldest first, enqueue timestamps preserved), so no
+        frame is lost and ordering holds. :meth:`_failover` re-places
+        the dead shard's cohorts — kept separate so multiple failures
+        in one tick are all excluded before any placement decision, and
+        so re-admission never races a step still in flight elsewhere.
+        """
+        self.excluded_shards.add(shard)
+        try:
+            self.pool.kill(shard)
+        except Exception:  # pragma: no cover - already dead
+            pass
+        self.failovers += 1
+        for session, entries in in_flight:
+            session.queue.extendleft(reversed(entries))
+
+    def _failover(self) -> None:
+        """Re-place every cohort stranded on an excluded shard.
+
+        Re-placed sessions restart their pipeline state at a reset
+        boundary on the new shard (the state died with the worker):
+        their next frame re-primes background subtraction, exactly like
+        a shard boundary in the sharded stream runner. Runs to a fixed
+        point: a target shard dying *during* re-placement is excluded
+        in turn and its strandees (including any just moved there) are
+        re-placed again, until every cohort sits on a live shard — or
+        none remain and the tier is declared down.
+        """
+        while True:
+            cohort = next(
+                (
+                    c
+                    for c in self.cohorts.values()
+                    if c.shard in self.excluded_shards
+                ),
+                None,
+            )
+            if cohort is None:
+                return
+            target = self._least_loaded()
+            try:
+                for sid, session in cohort.sessions.items():
+                    consumed = session.frames_in - len(session.queue)
+                    self.pool.invoke(
+                        target, "admit", sid, cohort.key, cohort.spec, consumed
+                    )
+            except Exception as exc:
+                if not remote_failure(exc):
+                    raise
+                self.last_failure = exc
+                self._exclude_shard(target, [])
+                continue
+            cohort.shard = target
+
+    def _fail_shard(
+        self,
+        shard: int,
+        in_flight: list[tuple[Session, list[tuple[np.ndarray, float]]]],
+    ) -> None:
+        """Exclude + fail over in one call (no other requests in flight)."""
+        self._exclude_shard(shard, in_flight)
+        self._failover()
+
+    # -- admission / retirement --------------------------------------------
+
+    def admit(self, spec: SessionSpec) -> Session:
+        """Open a session on the least-loaded shard.
+
+        The session joins the same-spec cohort already living on that
+        shard when there is one, and founds a sibling cohort there
+        otherwise — so homogeneous traffic spreads across every shard
+        while each shard still batches its same-spec sessions into one
+        vectorized pipeline tick.
+        """
+        spec_key = spec.cohort_key()
+        target = self._least_loaded()
+        cohort = next(
+            (
+                c
+                for c in self.cohorts.values()
+                # Never admit into a split cohort: it is mid-catch-up,
+                # and a second member would stop it from ever rejoining.
+                if c.spec_key == spec_key and c.shard == target and not c.split
+            ),
+            None,
+        )
+        if cohort is None:
+            key = f"{spec_key}#{self._split_seq}"
+            self._split_seq += 1
+            cohort = PlacedCohort(key, spec_key, spec, target)
+            self.cohorts[key] = cohort
+        session = Session(self._next_id, spec, -1, self.queue_capacity)
+        self._next_id += 1
+        try:
+            session.slot = self.pool.invoke(
+                cohort.shard, "admit", session.session_id, cohort.key, spec
+            )
+        except Exception as exc:
+            if not remote_failure(exc):
+                raise
+            self.last_failure = exc
+            self._fail_shard(cohort.shard, [])
+            session.slot = self.pool.invoke(
+                cohort.shard, "admit", session.session_id, cohort.key, spec
+            )
+        session.cohort = cohort
+        cohort.sessions[session.session_id] = session
+        self.sessions[session.session_id] = session
+        return session
+
+    def retire(self, session: Session) -> PipelineResult:
+        """Close a session; frees its shard slot and returns its result."""
+        if session.closed:
+            raise RuntimeError(f"session {session.session_id} already closed")
+        cohort: PlacedCohort = session.cohort
+        result = session.result()
+        session.closed = True
+        session.queue.clear()
+        self.detector.forget(session)
+        del cohort.sessions[session.session_id]
+        del self.sessions[session.session_id]
+        try:
+            self.pool.invoke(cohort.shard, "evict", session.session_id)
+        except Exception as exc:
+            if not remote_failure(exc):
+                raise
+            self.last_failure = exc
+            self._fail_shard(cohort.shard, [])
+        if not cohort.sessions:
+            del self.cohorts[cohort.key]
+        return result
+
+    # -- the scheduling loop -----------------------------------------------
+
+    def tick(self) -> int:
+        """One distributed pass: batch per shard, overlap, route, merge.
+
+        Pops up to ``burst`` queued frames per ready session, submits
+        every involved shard its batch *before* awaiting any response
+        (shard compute overlaps), then routes each shard's output rows
+        and latency samples back as responses arrive. A shard that
+        fails mid-step is excluded and failed over without dropping a
+        frame.
+
+        Returns:
+            Number of frames consumed (0 means every queue was empty).
+        """
+        batches: dict[
+            int, list[tuple[Session, list[tuple[np.ndarray, float]]]]
+        ] = {}
+        for cohort in list(self.cohorts.values()):
+            for session in cohort.sessions.values():
+                take = min(len(session.queue), cohort.burst)
+                if take:
+                    entries = [session.queue.popleft() for _ in range(take)]
+                    batches.setdefault(cohort.shard, []).append(
+                        (session, entries)
+                    )
+        consumed = 0
+        submitted: dict[int, float] = {}
+        failed: list[int] = []
+        for shard, batch in batches.items():
+            payload = [
+                (session.session_id, [block for block, _ in entries])
+                for session, entries in batch
+            ]
+            try:
+                self.pool.submit(shard, "invoke", "step", (payload,))
+            except WorkerCrash as exc:
+                self.last_failure = exc
+                failed.append(shard)
+                continue
+            submitted[shard] = perf_counter()
+        pending = set(submitted)
+        while pending:
+            # Drain every ready response (timestamping each arrival)
+            # before routing any rows, so one shard's parent-side row
+            # routing cannot inflate a sibling's measured IPC overhead.
+            arrivals = []
+            for shard in self.pool.ready():
+                if shard not in pending:
+                    continue  # pragma: no cover - foreign response
+                pending.discard(shard)
+                try:
+                    outputs, tick_s = self.pool.result(shard)
+                except Exception as exc:
+                    if not remote_failure(exc):
+                        raise
+                    self.last_failure = exc
+                    failed.append(shard)
+                    continue
+                arrivals.append((shard, outputs, tick_s, perf_counter()))
+            for shard, outputs, tick_s, done in arrivals:
+                stats = self.shard_stats[shard]
+                stats.tick_s.append(tick_s)
+                stats.round_trip_s.append(done - submitted[shard])
+                for session, entries in batches[shard]:
+                    rows = outputs.get(session.session_id, ())
+                    for _, enqueued in entries:
+                        session.latency.latencies_s.append(done - enqueued)
+                    for fields in rows:
+                        session.collect_fields(fields)
+                    consumed += len(entries)
+        if failed:
+            # Every response is in (or lost); only now is it safe to
+            # exclude the casualties and re-admit their sessions on
+            # survivors — no step is in flight anywhere.
+            for shard in failed:
+                self._exclude_shard(shard, batches[shard])
+            self._failover()
+        if consumed:
+            self.ticks += 1
+            self.frames_processed += consumed
+        if self.adaptive_split:
+            self._rebatch()
+        return consumed
+
+    def drain(self) -> int:
+        """Tick until every session queue is empty; frames consumed."""
+        total = 0
+        while True:
+            consumed = self.tick()
+            if consumed == 0:
+                return total
+            total += consumed
+
+    # -- adaptive re-batching ----------------------------------------------
+
+    def _rebatch(self) -> None:
+        """Split persistent stragglers; rejoin the ones that caught up."""
+        self.detector.prune(self.sessions)
+        for session in self.detector.sweep(self.cohorts.values()):
+            self._split(session)
+        self._caught_up = {
+            sid: count
+            for sid, count in self._caught_up.items()
+            if sid in self.sessions
+        }
+        for cohort in list(self.cohorts.values()):
+            if not cohort.split or cohort.num_sessions != 1:
+                continue
+            (session,) = cohort.sessions.values()
+            if session.queue:
+                self._caught_up.pop(session.session_id, None)
+                continue
+            count = self._caught_up.get(session.session_id, 0) + 1
+            if count < self.rejoin_patience:
+                self._caught_up[session.session_id] = count
+                continue
+            self._caught_up.pop(session.session_id, None)
+            self._rejoin(session)
+
+    def _split(self, session: Session) -> None:
+        """Migrate one straggler into a singleton cohort, bit-exactly.
+
+        The session's pipeline state crosses processes as a
+        :meth:`Pipeline.snapshot_session` hand-off; the new cohort gets
+        the catch-up burst budget and lands on the least-loaded shard.
+        A shard failure during migration falls back to the ordinary
+        failover path (fresh state), never an inconsistent one — the
+        session is registered in its new cohort *before* the restore,
+        so failover finds it even when the restore target dies.
+        """
+        cohort: PlacedCohort = session.cohort
+        if cohort.num_sessions <= 1:
+            cohort.burst = max(cohort.burst, self.catchup_burst)
+            cohort.split = True
+            return
+        source = cohort.shard
+        try:
+            state = self.pool.invoke(source, "snapshot", session.session_id)
+            self.pool.invoke(source, "evict", session.session_id)
+        except Exception as exc:
+            if not remote_failure(exc):
+                raise
+            self.last_failure = exc
+            self._fail_shard(source, [])
+            return
+        del cohort.sessions[session.session_id]
+        key = f"{cohort.spec_key}#{self._split_seq}"
+        self._split_seq += 1
+        split = PlacedCohort(
+            key,
+            cohort.spec_key,
+            cohort.spec,
+            self._least_loaded(),
+            burst=self.catchup_burst,
+        )
+        split.split = True
+        self.cohorts[key] = split
+        session.cohort = split
+        split.sessions[session.session_id] = session
+        self.splits += 1
+        try:
+            session.slot = self.pool.invoke(
+                split.shard, "restore", session.session_id, key,
+                cohort.spec, state,
+            )
+        except Exception as exc:
+            if not remote_failure(exc):
+                raise
+            # The migrated state died with the target; ordinary failover
+            # re-places the (already-registered) session with fresh
+            # state on the session clock.
+            self._fail_shard(split.shard, [])
+
+    def _rejoin(self, session: Session) -> None:
+        """Merge a caught-up split session back into a sibling cohort.
+
+        Splits are temporary: once the backlog is gone, the session
+        migrates (bit-exactly, same snapshot hand-off) into a same-spec
+        non-split cohort — preferring one already on its shard — so
+        transient stragglers cannot fragment the lockstep batching
+        permanently. With no sibling to rejoin, the cohort simply stops
+        being special.
+        """
+        cohort: PlacedCohort = session.cohort
+        siblings = [
+            c
+            for c in self.cohorts.values()
+            if c is not cohort and c.spec_key == cohort.spec_key and not c.split
+        ]
+        if not siblings:
+            cohort.burst = 1
+            cohort.split = False
+            return
+        target = next(
+            (c for c in siblings if c.shard == cohort.shard), siblings[0]
+        )
+        source = cohort.shard
+        try:
+            state = self.pool.invoke(source, "snapshot", session.session_id)
+            self.pool.invoke(source, "evict", session.session_id)
+        except Exception as exc:
+            if not remote_failure(exc):
+                raise
+            self.last_failure = exc
+            self._fail_shard(source, [])
+            return
+        del cohort.sessions[session.session_id]
+        del self.cohorts[cohort.key]
+        session.cohort = target
+        target.sessions[session.session_id] = session
+        self.rejoins += 1
+        try:
+            session.slot = self.pool.invoke(
+                target.shard, "restore", session.session_id, target.key,
+                target.spec, state,
+            )
+        except Exception as exc:
+            if not remote_failure(exc):
+                raise
+            self.last_failure = exc
+            self._fail_shard(target.shard, [])
+
+    # -- reporting ---------------------------------------------------------
+
+    def shard_report(self) -> list[dict]:
+        """Per-shard summary: timings, exclusion, current placement."""
+        load = self._shard_load()
+        report = []
+        for shard in range(self.pool.num_workers):
+            entry = {"shard": shard, "excluded": shard in self.excluded_shards}
+            entry.update(self.shard_stats[shard].summary())
+            entry["sessions"] = load.get(shard, 0)
+            report.append(entry)
+        return report

@@ -17,10 +17,12 @@ from repro.exec import (
     cache_stats,
     default_cache,
     default_result_cache,
+    multi_result_key,
     reset_cache_stats,
     result_key,
     scenario_key,
     synthesize,
+    tracked_multi_scenario,
     tracked_scenario,
 )
 from repro.sim import HumanBody, Scenario, random_walk, through_wall_room
@@ -218,15 +220,27 @@ class TestResultCache:
         warm = WiTrack(scenario.config, solver_method="least_squares")
         assert result_key(scenario, warm) != result_key(scenario, no_warm)
 
-    def test_multi_person_results_rejected(self, tmp_path):
+    def test_track_lists_round_trip_bitwise(self, tmp_path):
+        """Ragged multi-person track lists survive the .npz round trip."""
         from repro.pipeline import PipelineResult
 
         cache = ResultCache(tmp_path)
-        bogus = PipelineResult(
-            frame_times_s=np.array([0.0]), tracks=[[(1, np.zeros(3))]]
+        tracks = [
+            [],  # frames with nobody reportable keep their slot
+            [(1, np.array([0.5, 3.0, -0.2]))],
+            [(1, np.array([0.6, 3.1, -0.1])), (4, np.array([1.0, 5.0, 0.0]))],
+            [],
+        ]
+        result = PipelineResult(
+            frame_times_s=np.arange(4) * 0.0125, tracks=tracks
         )
-        with pytest.raises(TypeError):
-            cache.put("key", bogus)
+        cache.put("key", result)
+        restored = cache.get("key")
+        assert len(restored.tracks) == len(tracks)
+        for ours, theirs in zip(restored.tracks, tracks):
+            assert [tid for tid, _ in ours] == [tid for tid, _ in theirs]
+            for (_, p1), (_, p2) in zip(ours, theirs):
+                np.testing.assert_array_equal(p1, p2)
 
     def test_tracked_scenario_hit_skips_everything(
         self, scenario, monkeypatch, tmp_path
@@ -263,6 +277,76 @@ class TestResultCache:
         monkeypatch.delenv("REPRO_CACHE", raising=False)
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert default_result_cache() is None
+
+
+class TestMultiResultCache:
+    @pytest.fixture(scope="class")
+    def multi_setup(self):
+        from repro.multi import MultiWiTrack
+        from repro.sim.motion import non_colliding_walks
+
+        room = through_wall_room()
+        config = default_config()
+        walks = non_colliding_walks(
+            room, np.random.default_rng(5), count=2, duration_s=3.0,
+            min_separation_m=1.0,
+        )
+        people = [(HumanBody(name=f"p{i}"), w) for i, w in enumerate(walks)]
+        scenario = MultiScenario(people, room=room, config=config, seed=6)
+        tracker = MultiWiTrack(config, max_people=2, room=room)
+        return scenario, tracker
+
+    def test_multi_key_depends_on_pipeline_config(self, multi_setup):
+        from repro.multi import MultiWiTrack
+        from repro.multi.tracks import TrackManagerConfig
+
+        scenario, tracker = multi_setup
+        other = MultiWiTrack(
+            tracker.config,
+            max_people=2,
+            track_config=TrackManagerConfig(tof_gate_m=0.9),
+        )
+        assert multi_result_key(scenario, tracker) != multi_result_key(
+            scenario, other
+        )
+        assert multi_result_key(scenario, tracker) == multi_result_key(
+            scenario, tracker
+        )
+
+    def test_tracked_multi_scenario_hit_skips_everything(
+        self, multi_setup, monkeypatch, tmp_path
+    ):
+        scenario, tracker = multi_setup
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_cache_stats()
+        first = tracked_multi_scenario(scenario, tracker)
+        assert cache_stats()["results"]["misses"] == 1
+        monkeypatch.setattr(
+            type(scenario), "run",
+            lambda self: pytest.fail("synthesized on hit"),
+        )
+        second = tracked_multi_scenario(scenario, tracker)
+        assert cache_stats()["results"]["hits"] == 1
+        np.testing.assert_array_equal(first.positions, second.positions)
+        np.testing.assert_array_equal(
+            first.frame_times_s, second.frame_times_s
+        )
+        assert first.track_ids == second.track_ids
+        np.testing.assert_array_equal(first.coasting, second.coasting)
+
+    def test_disabled_cache_is_plain_track(self, multi_setup, monkeypatch):
+        scenario, tracker = multi_setup
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        direct = tracker.track(*_run(scenario))
+        via_seam = tracked_multi_scenario(scenario, tracker)
+        np.testing.assert_array_equal(direct.positions, via_seam.positions)
+        assert direct.track_ids == via_seam.track_ids
+
+
+def _run(scenario):
+    out = scenario.run()
+    return out.spectra, out.range_bin_m
 
 
 class TestCacheStats:

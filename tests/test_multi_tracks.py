@@ -11,6 +11,8 @@ from repro.multi.tracks import (
     TrackManager,
     TrackManagerConfig,
     TrackStatus,
+    tracks_from_arrays,
+    tracks_to_arrays,
 )
 
 DT = 0.0125
@@ -166,3 +168,54 @@ class TestMultiTrackResult:
         positions = result.track(track_id)
         assert positions.shape == (10, 3)
         assert np.isfinite(positions[-1]).all()
+
+    def test_array_round_trip(self, array, solver):
+        """MultiTrack <-> dense arrays is lossless (result-cache format)."""
+        manager = make_manager(solver)
+        person = np.array([0.2, 4.0, 0.0])
+        for _ in range(10):
+            manager.step(candidates_for(array, [person]))
+        result = manager.result(np.arange(10) * DT)
+        back = MultiTrack.from_arrays(result.to_arrays())
+        np.testing.assert_array_equal(back.frame_times_s, result.frame_times_s)
+        np.testing.assert_array_equal(back.positions, result.positions)
+        assert back.track_ids == result.track_ids
+        np.testing.assert_array_equal(back.coasting, result.coasting)
+
+
+class TestTrackListSerialization:
+    def test_round_trip_preserves_ragged_structure(self):
+        tracks = [
+            [],
+            [(3, np.array([0.1, 2.0, -0.5]))],
+            [(3, np.array([0.2, 2.1, -0.4])), (7, np.array([1.0, 5.0, 0.3]))],
+        ]
+        arrays = tracks_to_arrays(tracks)
+        assert arrays["track_counts"].tolist() == [0, 1, 2]
+        assert arrays["track_positions_flat"].shape == (3, 3)
+        back = tracks_from_arrays(
+            arrays["track_counts"],
+            arrays["track_ids_flat"],
+            arrays["track_positions_flat"],
+        )
+        assert [[tid for tid, _ in frame] for frame in back] == [
+            [], [3], [3, 7]
+        ]
+        for ours, theirs in zip(back, tracks):
+            for (_, p1), (_, p2) in zip(ours, theirs):
+                np.testing.assert_array_equal(p1, p2)
+
+    def test_empty_stream(self):
+        arrays = tracks_to_arrays([])
+        assert arrays["track_counts"].shape == (0,)
+        assert tracks_from_arrays(
+            arrays["track_counts"],
+            arrays["track_ids_flat"],
+            arrays["track_positions_flat"],
+        ) == []
+
+    def test_inconsistent_arrays_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            tracks_from_arrays(
+                np.array([2]), np.array([1]), np.zeros((1, 3))
+            )
