@@ -10,6 +10,7 @@ Examples:
     python -m repro pointing --trials 8
     python -m repro bench --workers 4 --duration 30
     python -m repro serve --synthetic --sessions 8 --duration 10
+    python -m repro load --process flash --memory-budget-mb 256
 """
 
 from __future__ import annotations
@@ -329,69 +330,93 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "multi": multi_session(config, range_bin_m, max_people=2, room=room),
     }
 
+    def session_report(i: int, session, result) -> dict:
+        latency = result.latency
+        return {
+            "session": i,
+            "kind": streams[i][0],
+            "frames": int(session.frames_in),
+            "emitted": int(result.num_frames),
+            "median_latency_ms": 1e3 * latency.median_s,
+            "p95_latency_ms": 1e3 * latency.p95_s,
+            "p99_latency_ms": 1e3 * latency.p99_s,
+            "within_75ms": latency.within_budget(0.075),
+        }
+
     workers = args.workers if args.workers is not None else 0
-    engine = ServingEngine(queue_capacity=args.queue, workers=workers)
     live: dict[int, tuple[object, object]] = {}  # index -> (session, stream)
     reports = []
+    interrupted = False
     start = time.perf_counter()
-    step = 0
-    while len(reports) < len(streams):
-        # Staggered admission: session i joins at frame step i*stagger.
-        for i, (kind, stream) in enumerate(streams):
-            if i not in live and i * args.stagger <= step and not any(
-                r["session"] == i for r in reports
-            ):
-                live[i] = (engine.admit(specs[kind]), stream)
-        finished = []
-        for i, (session, stream) in live.items():
-            block = next(stream, None)
-            if block is None:
-                finished.append(i)
-            else:
-                engine.submit(session, block)
-        engine.tick()
-        for i in finished:
-            session, _ = live.pop(i)
-            kind = streams[i][0]
-            result = engine.close(session)
-            latency = result.latency
-            reports.append({
-                "session": i,
-                "kind": kind,
-                "frames": int(session.frames_in),
-                "emitted": int(result.num_frames),
-                "median_latency_ms": 1e3 * latency.median_s,
-                "p95_latency_ms": 1e3 * latency.p95_s,
-                "within_75ms": latency.within_budget(0.075),
-            })
-        step += 1
-    wall_s = time.perf_counter() - start
-
-    shard_report = (
-        engine.scheduler.shard_report() if engine.distributed else None
-    )
-    engine.shutdown()
+    # Context-managed so the shard WorkerPool is torn down on ANY exit —
+    # a Ctrl-C mid-run must not leak N forked worker processes.
+    with ServingEngine(queue_capacity=args.queue, workers=workers) as engine:
+        try:
+            step = 0
+            while len(reports) < len(streams):
+                # Staggered admission: session i joins at step i*stagger.
+                for i, (kind, stream) in enumerate(streams):
+                    if i not in live and i * args.stagger <= step and not any(
+                        r["session"] == i for r in reports
+                    ):
+                        live[i] = (engine.admit(specs[kind]), stream)
+                finished = []
+                for i, (session, stream) in live.items():
+                    block = next(stream, None)
+                    if block is None:
+                        finished.append(i)
+                    else:
+                        engine.submit(session, block)
+                engine.tick()
+                for i in finished:
+                    session, _ = live.pop(i)
+                    reports.append(session_report(i, session, engine.close(session)))
+                step += 1
+        except KeyboardInterrupt:
+            # Graceful shutdown: close live sessions (draining their
+            # queues) so the summary covers everything served so far.
+            interrupted = True
+            engine.resync()  # drop any shard response the ^C cut short
+            try:
+                for i in sorted(live):
+                    session, _ = live.pop(i)
+                    reports.append(
+                        session_report(i, session, engine.close(session))
+                    )
+            except Exception:
+                # Shard workers ignore SIGINT, but if the tier died
+                # anyway (SIGKILL, crash) a partial summary still beats
+                # a traceback.
+                pass
+        wall_s = time.perf_counter() - start
+        shard_report = (
+            engine.scheduler.shard_report() if engine.distributed else None
+        )
 
     reports.sort(key=lambda r: r["session"])
     total_frames = sum(r["frames"] for r in reports)
     rows = [
         [r["session"], r["kind"], r["frames"],
          f"{r['median_latency_ms']:.2f} ms", f"{r['p95_latency_ms']:.2f} ms",
+         f"{r['p99_latency_ms']:.2f} ms",
          "yes" if r["within_75ms"] else "NO"]
         for r in reports
     ]
     mode = (f"{engine.workers} shard workers" if engine.distributed
             else "in-process")
+    if interrupted:
+        print("interrupted — shard workers stopped, partial summary:")
     print(f"served {len(reports)} sessions "
           f"({total_frames} frames) in {wall_s:.2f} s "
           f"({total_frames / wall_s:.0f} frames/s aggregate, {mode})")
     print(format_table(
-        ["session", "kind", "frames", "median", "p95", "<75ms"], rows
+        ["session", "kind", "frames", "median", "p95", "p99", "<75ms"], rows
     ))
     if shard_report is not None:
         for entry in shard_report:
             print(f"shard {entry['shard']}: {entry['steps']} steps  "
                   f"tick p95 {entry['tick_p95_ms']:.2f} ms  "
+                  f"p99 {entry['tick_p99_ms']:.2f} ms  "
                   f"ipc {entry['ipc_overhead_mean_ms']:.2f} ms"
                   f"{'  EXCLUDED' if entry['excluded'] else ''}")
     all_within = all(r["within_75ms"] for r in reports)
@@ -410,7 +435,128 @@ def cmd_serve(args: argparse.Namespace) -> int:
             payload["shards"] = shard_report
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.output}")
+    if interrupted:
+        return 130
     return 0 if all_within else 1
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """Open-loop load run: seeded arrivals -> harness -> SLO artifact.
+
+    Where ``repro serve`` is closed-loop (the driver waits for the
+    engine), this is the production-shaped regime: sessions arrive by a
+    seeded arrival process, stream frames on their own clock, and leave;
+    the engine serves under a per-step capacity, so offered load above
+    capacity produces real queueing, drops, and — with a memory budget —
+    admission rejections. Everything is accounted on a virtual clock,
+    so the same seed yields a byte-identical SLO JSON.
+    """
+    from .loadgen import (
+        LoadHarness,
+        MemoryGovernor,
+        SpecMemoryModel,
+        arrival_process,
+        build_workload,
+    )
+    from .rf.fmcw import range_axis
+    from .serve import ServingEngine, multi_session, single_session
+
+    config = default_config()
+    range_bin_m = float(range_axis(config.fmcw).round_trip_per_bin_m)
+    frame_dt_s = (
+        config.pipeline.sweeps_per_frame * config.fmcw.sweep_duration_s
+    )
+
+    if args.process == "poisson":
+        process = arrival_process("poisson", rate_hz=args.rate)
+    elif args.process == "diurnal":
+        process = arrival_process(
+            "diurnal", base_rate_hz=args.rate, period_s=args.period
+        )
+    else:
+        process = arrival_process(
+            "flash",
+            base_rate_hz=args.rate,
+            flash_rate_hz=args.flash_rate,
+            flash_start_s=args.flash_start,
+            flash_duration_s=args.flash_duration,
+        )
+    mix = {"single": max(1.0 - args.multi_frac, 0.0)}
+    if args.multi_frac > 0:
+        mix["multi"] = args.multi_frac
+    workload = build_workload(
+        process,
+        horizon_s=args.horizon,
+        frame_dt_s=frame_dt_s,
+        seed=args.seed,
+        lifetime_mean_s=args.lifetime,
+        mix=mix,
+    )
+    specs = {
+        "single": single_session(config, range_bin_m),
+        "multi": multi_session(config, range_bin_m, max_people=2),
+    }
+
+    workers = args.workers if args.workers is not None else 0
+    model = admission = shard_budget = None
+    if args.memory_budget_mb is not None:
+        model = SpecMemoryModel(queue_capacity=args.queue)
+        admission = MemoryGovernor(
+            int(args.memory_budget_mb * 1e6), model=model
+        )
+    if args.shard_budget_mb is not None:
+        model = model or SpecMemoryModel(queue_capacity=args.queue)
+        shard_budget = int(args.shard_budget_mb * 1e6)
+    capacity = args.capacity if args.capacity > 0 else None
+
+    start = time.perf_counter()
+    with ServingEngine(
+        queue_capacity=args.queue,
+        workers=workers,
+        admission=admission,
+        memory_model=model,
+        shard_budget_bytes=shard_budget,
+    ) as engine:
+        harness = LoadHarness(
+            engine,
+            workload,
+            specs,
+            capacity_frames_per_step=capacity,
+            budget_s=args.budget_ms / 1e3,
+        )
+        report = harness.run()
+    wall_s = time.perf_counter() - start
+
+    s, f, t = report["sessions"], report["frames"], report["throughput"]
+    lat = report["latency"]
+    print(f"workload   : {workload.describe()}")
+    print(f"sessions   : {s['arrived']} arrived, {s['admitted']} admitted, "
+          f"{s['rejected']} rejected "
+          f"({100 * s['rejection_rate']:.1f}%), {s['completed']} completed")
+    print(f"frames     : {f['offered']} offered, {f['consumed']} consumed, "
+          f"{f['dropped']} dropped ({100 * f['drop_rate']:.1f}%)")
+    print(f"latency    : p50 {lat['p50_ms']:.1f} ms  "
+          f"p95 {lat['p95_ms']:.1f} ms  p99 {lat['p99_ms']:.1f} ms  "
+          f"(virtual, {report['step_dt_ms']:.1f} ms steps)")
+    print(f"goodput    : {t['goodput_fps']:.1f} frames/s within the "
+          f"{report['budget_ms']:.0f} ms budget "
+          f"vs {t['offered_fps']:.1f} offered "
+          f"({100 * report['within_budget_fraction']:.1f}% "
+          f"of consumed frames in budget)")
+    memory = report["context"].get("memory")
+    if memory is not None:
+        print(f"memory     : peak {memory['peak_committed_bytes'] / 1e6:.1f} "
+              f"/ {memory['budget_bytes'] / 1e6:.0f} MB committed, "
+              f"{memory['rejections']} budget rejections")
+    print(f"wall clock : {wall_s:.2f} s "
+          f"({report['steps']} virtual steps, "
+          f"{'in-process' if not workers else f'{workers} shard workers'})")
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -516,6 +662,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", type=Path, default=None,
                    help="write the JSON serving report here")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "load",
+        help="open-loop traffic load run with SLO accounting",
+    )
+    p.add_argument("--process", choices=["poisson", "diurnal", "flash"],
+                   default="poisson",
+                   help="session arrival process shape")
+    p.add_argument("--rate", type=float, default=2.0,
+                   help="baseline session arrivals per second")
+    p.add_argument("--period", type=float, default=20.0,
+                   help="diurnal cycle length in seconds")
+    p.add_argument("--flash-rate", type=float, default=16.0,
+                   help="flash-crowd plateau arrivals per second")
+    p.add_argument("--flash-start", type=float, default=2.0,
+                   help="seconds until the flash crowd's up-ramp")
+    p.add_argument("--flash-duration", type=float, default=2.0,
+                   help="flash plateau length in seconds")
+    p.add_argument("--horizon", type=float, default=8.0,
+                   help="arrival-generation window in seconds")
+    p.add_argument("--lifetime", type=float, default=2.0,
+                   help="mean session lifetime in seconds (lognormal)")
+    p.add_argument("--multi-frac", type=float, default=0.2,
+                   help="fraction of sessions that are 2-person streams")
+    p.add_argument("--capacity", type=int, default=12,
+                   help="frames the engine may serve per 12.5 ms step "
+                        "(the overload knob; 0 = unbounded)")
+    p.add_argument("--queue", type=int, default=16,
+                   help="per-session input queue bound (backpressure)")
+    p.add_argument("--budget-ms", type=float, default=75.0,
+                   help="latency SLO in milliseconds (paper Section 7)")
+    p.add_argument("--memory-budget-mb", type=float, default=None,
+                   help="arm memory-governed admission with this total "
+                        "budget (default: no admission gate)")
+    p.add_argument("--shard-budget-mb", type=float, default=None,
+                   help="per-shard predicted-memory cap (workers >= 1)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shard worker processes (default: in-process)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the SLO JSON artifact here")
+    p.set_defaults(func=cmd_load)
 
     p = sub.add_parser(
         "bench",

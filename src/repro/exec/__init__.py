@@ -31,6 +31,7 @@ fixed plan, every runner produces bitwise-identical results.
 """
 
 from .cache import (
+    CacheAdmissionFilter,
     NpzLruCache,
     ResultCache,
     SpectraCache,
@@ -68,6 +69,7 @@ from .stream import (
 )
 
 __all__ = [
+    "CacheAdmissionFilter",
     "ExperimentPlan",
     "MIN_SHARD_FRAMES",
     "NpzLruCache",

@@ -34,6 +34,13 @@ write-free):
 * ``REPRO_CACHE_MAX_MB`` bounds on-disk size (default 2048, applied to
   each cache separately); least recently *used* entries are evicted
   after each store.
+* ``REPRO_CACHE_ADMIT=1`` arms a :class:`CacheAdmissionFilter` in front
+  of both caches — a TinyLFU-style *doorkeeper* (PAPERS.md
+  arXiv:1711.01616) that stores a key only on its second touch within a
+  sliding window, so a scan of one-shot keys cannot churn the LRU and
+  evict the hot working set. An integer value >= 2 sets the window
+  (default 1024). Off by default: admission changes store-on-first-put
+  semantics, which existing workflows pin.
 """
 
 from __future__ import annotations
@@ -50,16 +57,27 @@ import numpy as np
 CACHE_ENV = "REPRO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+CACHE_ADMIT_ENV = "REPRO_CACHE_ADMIT"
 
 _FALSY = ("0", "off", "false", "no", "")
+
+#: Default doorkeeper window when ``REPRO_CACHE_ADMIT`` is truthy but
+#: not an explicit integer >= 2.
+_DEFAULT_ADMIT_WINDOW = 1024
 
 #: Process-wide hit/miss/eviction counters per cache kind. Instances are
 #: short-lived (``default_cache()`` builds one per call site), so the
 #: benchmarks read these aggregates instead.
 _STATS: dict[str, dict[str, int]] = {
-    "spectra": {"hits": 0, "misses": 0, "evictions": 0},
-    "results": {"hits": 0, "misses": 0, "evictions": 0},
+    "spectra": {"hits": 0, "misses": 0, "evictions": 0, "filtered": 0},
+    "results": {"hits": 0, "misses": 0, "evictions": 0, "filtered": 0},
 }
+
+#: Process-wide admission filters, keyed by cache kind — like
+#: :data:`_STATS`, these outlive the short-lived cache instances, so a
+#: key's first touch in one ``default_cache()`` call is remembered when
+#: its second arrives through another.
+_ADMISSIONS: dict[str, "CacheAdmissionFilter"] = {}
 
 
 def cache_stats() -> dict[str, dict[str, int]]:
@@ -68,10 +86,15 @@ def cache_stats() -> dict[str, dict[str, int]]:
 
 
 def reset_cache_stats() -> None:
-    """Zero the process-wide cache counters (test/benchmark isolation)."""
+    """Zero the process-wide cache counters (test/benchmark isolation).
+
+    Also forgets the process-wide admission doorkeepers, so a test that
+    arms ``REPRO_CACHE_ADMIT`` starts from an empty window.
+    """
     for counts in _STATS.values():
         for key in counts:
             counts[key] = 0
+    _ADMISSIONS.clear()
 
 
 def _hash_update(h: "hashlib._Hash", value: Any) -> None:
@@ -146,29 +169,98 @@ def scenario_key(scenario: Any) -> str:
     raise TypeError(f"unsupported scenario type: {type(scenario).__name__}")
 
 
+class CacheAdmissionFilter:
+    """Second-touch doorkeeper: admit a key only once it has recurred.
+
+    An LRU eviction policy has a classic failure mode under scans: a
+    burst of one-shot keys (a parameter sweep that will never repeat)
+    each gets stored, and storing them evicts the small hot working set
+    that *does* repeat. The TinyLFU remedy (PAPERS.md arXiv:1711.01616)
+    is a *doorkeeper* in front of the cache: a key's first touch only
+    registers it; the store is admitted on its second touch within the
+    window. One-shot keys never come back, so they never get stored —
+    and never evict anything.
+
+    The window is a bounded LRU of recently touched keys: a touch
+    refreshes the key's recency, and when the window overflows the
+    stalest registration is forgotten (aging, so ancient first touches
+    cannot admit forever).
+
+    Args:
+        window: distinct keys remembered; a key must recur within this
+            many distinct-key touches to be admitted.
+    """
+
+    def __init__(self, window: int = _DEFAULT_ADMIT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._seen: dict[str, None] = {}
+
+    def should_store(self, key: str) -> bool:
+        """Touch ``key``; True when this store should be admitted."""
+        if key in self._seen:
+            del self._seen[key]  # refresh recency below
+            self._seen[key] = None
+            return True
+        self._seen[key] = None
+        if len(self._seen) > self.window:
+            del self._seen[next(iter(self._seen))]  # forget the stalest
+        return False
+
+
+def _default_admission(kind: str) -> CacheAdmissionFilter | None:
+    """The env-armed process-wide doorkeeper for ``kind``, or ``None``."""
+    raw = os.environ.get(CACHE_ADMIT_ENV)
+    if raw is None or raw.strip().lower() in _FALSY:
+        return None
+    window = _DEFAULT_ADMIT_WINDOW
+    try:
+        parsed = int(raw)
+        if parsed >= 2:
+            window = parsed
+    except ValueError:
+        pass  # truthy non-integer ("on", "true"): default window
+    filt = _ADMISSIONS.get(kind)
+    if filt is None or filt.window != window:
+        filt = CacheAdmissionFilter(window)
+        _ADMISSIONS[kind] = filt
+    return filt
+
+
 class NpzLruCache:
     """Shared storage layer: atomic ``.npz`` entries with LRU eviction.
 
     Both caches store one content-keyed ``.npz`` per entry, touch
     entries on read, and evict least-recently-used files after each
-    store. Per-instance counters (``hits``/``misses``/``evictions``)
-    also aggregate into the process-wide :func:`cache_stats` under the
-    subclass's ``stats_kind``.
+    store. Per-instance counters (``hits``/``misses``/``evictions``/
+    ``filtered``) also aggregate into the process-wide
+    :func:`cache_stats` under the subclass's ``stats_kind``.
 
     Args:
         root: cache directory (created on first store).
         max_bytes: on-disk budget; ``None`` disables eviction.
+        admission: optional :class:`CacheAdmissionFilter` consulted
+            before every store; a declined store is counted as
+            ``filtered`` and skipped (reads are never filtered).
     """
 
     #: Which :func:`cache_stats` bucket this cache reports into.
     stats_kind = "spectra"
 
-    def __init__(self, root: Path | str, max_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        root: Path | str,
+        max_bytes: int | None = None,
+        admission: CacheAdmissionFilter | None = None,
+    ) -> None:
         self.root = Path(root)
         self.max_bytes = max_bytes
+        self.admission = admission
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.filtered = 0
 
     def _count(self, event: str, n: int = 1) -> None:
         setattr(self, event, getattr(self, event) + n)
@@ -195,6 +287,9 @@ class NpzLruCache:
         return arrays
 
     def _store_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        if self.admission is not None and not self.admission.should_store(key):
+            self._count("filtered")
+            return
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = path.with_suffix(f".tmp-{os.getpid()}")
@@ -434,7 +529,9 @@ def default_cache() -> SpectraCache | None:
     if resolved is None:
         return None
     root, max_bytes = resolved
-    return SpectraCache(root, max_bytes=max_bytes)
+    return SpectraCache(
+        root, max_bytes=max_bytes, admission=_default_admission("spectra")
+    )
 
 
 def default_result_cache() -> ResultCache | None:
@@ -448,7 +545,11 @@ def default_result_cache() -> ResultCache | None:
     if resolved is None:
         return None
     root, max_bytes = resolved
-    return ResultCache(root / "results", max_bytes=max_bytes)
+    return ResultCache(
+        root / "results",
+        max_bytes=max_bytes,
+        admission=_default_admission("results"),
+    )
 
 
 def synthesize(scenario: Any) -> Any:

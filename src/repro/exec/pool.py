@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import signal
 import traceback
 from multiprocessing.connection import Connection, wait
 from typing import Any, Callable, Sequence
@@ -130,6 +131,11 @@ def _worker_main(
     message, traceback_text)``; the exception object is included only
     when it survives a pickle round trip.
     """
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group — workers included. Shutdown is the parent's call (it owns
+    # the sessions and their partial results), so workers ignore the
+    # signal and wait for an explicit "stop" or a closed pipe.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     actor: Any = None
     while True:
         try:
@@ -276,6 +282,25 @@ class WorkerPool:
         except (BrokenPipeError, OSError) as exc:
             raise self._lose(worker, str(exc)) from None
         self._pending[worker] = True
+
+    def resync(self) -> None:
+        """Discard in-flight responses after an interrupted wait.
+
+        A ``KeyboardInterrupt`` can land while :meth:`result` is blocked
+        in ``recv``, leaving the response unread and the worker marked
+        pending — after which every further :meth:`submit` to it would
+        refuse. Workers ignore SIGINT, so the response is still coming:
+        read and drop it, returning each pipe to a request boundary (at
+        the cost of that one response's payload).
+        """
+        for worker in range(self.num_workers):
+            if self._pending[worker] and not self._dead[worker]:
+                try:
+                    self._conns[worker].recv()
+                except (EOFError, OSError) as exc:
+                    self._lose(worker, str(exc))
+                    continue
+                self._pending[worker] = False
 
     def result(self, worker: int) -> Any:
         """Block for the worker's pending response; raise its failure."""

@@ -1,0 +1,216 @@
+"""Open-loop arrival processes: when do sessions show up?
+
+Production traffic is *open-loop*: users arrive on their own clock,
+indifferent to whether the serving tier keeps up. Each process here is
+a deterministic, seeded model of session-arrival intensity
+:math:`\\lambda(t)`; concrete arrival times are drawn by Lewis-Shedler
+thinning against the process's peak rate, so the same
+``(process, seed, horizon)`` always produces the same arrival sequence
+— the property every SLO artifact downstream leans on (same seed ->
+identical JSON).
+
+Three intensity shapes cover the ROADMAP's "heavy, bursty traffic":
+
+* :class:`PoissonArrivals` — homogeneous baseline load;
+* :class:`DiurnalArrivals` — a sinusoidal day/night swing;
+* :class:`FlashCrowdArrivals` — a trapezoidal burst (ramp up, plateau,
+  ramp down) riding on baseline load: the overload case that makes
+  admission control and backpressure actually fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """A deterministic session-arrival intensity :math:`\\lambda(t)`."""
+
+    def rate_at(self, t_s: float) -> float:
+        """Instantaneous arrival rate (sessions/s) at time ``t_s``."""
+        raise NotImplementedError
+
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate_at` over all ``t`` (thinning)."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-serializable parameters (echoed into the SLO artifact)."""
+        raise NotImplementedError
+
+    def sample(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        """Arrival times over ``[0, horizon_s)`` by thinning.
+
+        Candidate arrivals are drawn from a homogeneous Poisson process
+        at :meth:`peak_rate` and accepted with probability
+        ``rate_at(t) / peak_rate`` — the standard exact simulation of an
+        inhomogeneous Poisson process. Deterministic in ``rng``'s seed.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        lam = self.peak_rate()
+        if lam <= 0:
+            return np.empty(0)
+        times = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / lam)
+            if t >= horizon_s:
+                break
+            if rng.uniform() * lam <= self.rate_at(t):
+                times.append(t)
+        return np.asarray(times)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at a constant rate.
+
+    Attributes:
+        rate_hz: mean session arrivals per second.
+    """
+
+    rate_hz: float
+
+    def __post_init__(self) -> None:
+        if self.rate_hz < 0:
+            raise ValueError("rate_hz must be >= 0")
+
+    def rate_at(self, t_s: float) -> float:
+        return self.rate_hz
+
+    def peak_rate(self) -> float:
+        return self.rate_hz
+
+    def describe(self) -> dict:
+        return {"process": "poisson", "rate_hz": self.rate_hz}
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal day/night load swing around a base rate.
+
+    :math:`\\lambda(t) = base \\cdot (1 + swing \\cdot
+    \\sin(2\\pi (t + phase)/period))`, floored at zero. A ``period_s``
+    far shorter than 24 h compresses the diurnal cycle into a test- or
+    benchmark-sized horizon without changing its shape.
+
+    Attributes:
+        base_rate_hz: mean arrivals per second.
+        swing: relative amplitude of the swing (0..1 keeps the rate
+            nonnegative everywhere; larger values clip at zero).
+        period_s: one full day/night cycle.
+        phase_s: time offset of the cycle start.
+    """
+
+    base_rate_hz: float
+    swing: float = 0.8
+    period_s: float = 60.0
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_hz < 0:
+            raise ValueError("base_rate_hz must be >= 0")
+        if self.swing < 0:
+            raise ValueError("swing must be >= 0")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+    def rate_at(self, t_s: float) -> float:
+        phase = 2.0 * np.pi * (t_s + self.phase_s) / self.period_s
+        return max(self.base_rate_hz * (1.0 + self.swing * np.sin(phase)), 0.0)
+
+    def peak_rate(self) -> float:
+        return self.base_rate_hz * (1.0 + self.swing)
+
+    def describe(self) -> dict:
+        return {
+            "process": "diurnal",
+            "base_rate_hz": self.base_rate_hz,
+            "swing": self.swing,
+            "period_s": self.period_s,
+            "phase_s": self.phase_s,
+        }
+
+
+@dataclass(frozen=True)
+class FlashCrowdArrivals(ArrivalProcess):
+    """A trapezoidal flash crowd riding on baseline Poisson load.
+
+    Outside the flash window the rate is ``base_rate_hz``; over
+    ``ramp_s`` it climbs linearly to ``flash_rate_hz``, holds for
+    ``flash_duration_s``, and ramps back down — the canonical
+    "everyone opens the app at once" overload that admission control
+    exists for.
+
+    Attributes:
+        base_rate_hz: steady-state arrivals per second.
+        flash_rate_hz: plateau arrivals per second during the flash.
+        flash_start_s: when the up-ramp begins.
+        flash_duration_s: plateau length at the flash rate.
+        ramp_s: up- and down-ramp duration.
+    """
+
+    base_rate_hz: float
+    flash_rate_hz: float
+    flash_start_s: float
+    flash_duration_s: float
+    ramp_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_hz < 0 or self.flash_rate_hz < 0:
+            raise ValueError("rates must be >= 0")
+        if self.flash_duration_s < 0 or self.ramp_s < 0:
+            raise ValueError("flash_duration_s and ramp_s must be >= 0")
+
+    def rate_at(self, t_s: float) -> float:
+        t0 = self.flash_start_s
+        t1 = t0 + self.ramp_s
+        t2 = t1 + self.flash_duration_s
+        t3 = t2 + self.ramp_s
+        if t_s < t0 or t_s >= t3:
+            return self.base_rate_hz
+        if t_s < t1:  # up-ramp
+            frac = (t_s - t0) / self.ramp_s if self.ramp_s else 1.0
+        elif t_s < t2:  # plateau
+            frac = 1.0
+        else:  # down-ramp
+            frac = (t3 - t_s) / self.ramp_s if self.ramp_s else 1.0
+        return self.base_rate_hz + frac * (
+            self.flash_rate_hz - self.base_rate_hz
+        )
+
+    def peak_rate(self) -> float:
+        return max(self.base_rate_hz, self.flash_rate_hz)
+
+    def describe(self) -> dict:
+        return {
+            "process": "flash",
+            "base_rate_hz": self.base_rate_hz,
+            "flash_rate_hz": self.flash_rate_hz,
+            "flash_start_s": self.flash_start_s,
+            "flash_duration_s": self.flash_duration_s,
+            "ramp_s": self.ramp_s,
+        }
+
+
+def arrival_process(name: str, **params) -> ArrivalProcess:
+    """Build an arrival process by name (the CLI/benchmark factory).
+
+    Args:
+        name: ``"poisson"``, ``"diurnal"``, or ``"flash"``.
+        **params: forwarded to the process constructor.
+    """
+    kinds = {
+        "poisson": PoissonArrivals,
+        "diurnal": DiurnalArrivals,
+        "flash": FlashCrowdArrivals,
+    }
+    if name not in kinds:
+        raise ValueError(
+            f"unknown arrival process {name!r} "
+            f"(expected one of {sorted(kinds)})"
+        )
+    return kinds[name](**params)

@@ -1,0 +1,260 @@
+"""The SLO ledger: everything a load run owes the operator, in one JSON.
+
+Latency here is **virtual**: the harness runs on a simulated session
+clock (one step per frame period), a frame's latency is the number of
+steps between its producer offering it and the engine consuming it,
+scaled to seconds. That keeps every number in the artifact a pure
+function of (workload seed, engine configuration, capacity model) —
+same seed, byte-identical JSON — which is what lets CI trend the
+artifact and pin determinism. Wall-clock throughput belongs to the
+benchmarks (``bench_serving.py``), not this ledger.
+
+The report covers the paper's Section 7 budget (75 ms) end to end:
+p50/p95/p99/max latency against it, goodput (within-budget consumed
+frames/s) vs offered load, admission-rejection and frame-drop rates,
+and queue-depth / live-session / slot-occupancy time series (decimated
+to a bounded length so the artifact stays small at any horizon).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper's Section 7 realtime budget.
+DEFAULT_BUDGET_S = 0.075
+
+#: Ceiling on the length of each emitted time series.
+MAX_SERIES_POINTS = 256
+
+
+def _percentiles(values: list[float]) -> dict:
+    """p50/p95/p99/max/mean of a latency list, in milliseconds."""
+    if not values:
+        nan = float("nan")
+        return {
+            "count": 0, "p50_ms": nan, "p95_ms": nan, "p99_ms": nan,
+            "max_ms": nan, "mean_ms": nan,
+        }
+    arr = np.asarray(values)
+    return {
+        "count": len(values),
+        "p50_ms": 1e3 * float(np.percentile(arr, 50)),
+        "p95_ms": 1e3 * float(np.percentile(arr, 95)),
+        "p99_ms": 1e3 * float(np.percentile(arr, 99)),
+        "max_ms": 1e3 * float(np.max(arr)),
+        "mean_ms": 1e3 * float(np.mean(arr)),
+    }
+
+
+def _decimate(series: list, stride: int) -> list:
+    """Every ``stride``-th sample (the series' deterministic thumbnail)."""
+    return list(series[::stride])
+
+
+class _KindTally:
+    """Per-spec-kind counters (sessions and frames)."""
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.offered = 0
+        self.dropped = 0
+        self.consumed = 0
+        self.latencies_s: list[float] = []
+
+    def report(self, budget_s: float) -> dict:
+        out = {
+            "sessions_admitted": self.admitted,
+            "sessions_rejected": self.rejected,
+            "sessions_completed": self.completed,
+            "frames_offered": self.offered,
+            "frames_dropped": self.dropped,
+            "frames_consumed": self.consumed,
+            "latency": _percentiles(self.latencies_s),
+        }
+        if self.latencies_s:
+            arr = np.asarray(self.latencies_s)
+            out["within_budget_fraction"] = float(np.mean(arr <= budget_s))
+        else:
+            out["within_budget_fraction"] = float("nan")
+        return out
+
+
+class SLOLedger:
+    """Accumulate one load run's SLO evidence; emit the JSON artifact.
+
+    The harness feeds it events (admissions, rejections, offers, drops,
+    consumptions with virtual latency, completions) plus one
+    :meth:`sample` per step; :meth:`report` folds everything into the
+    deterministic artifact dict.
+
+    Args:
+        step_dt_s: virtual seconds per harness step (the frame period).
+        budget_s: the latency SLO (default: the paper's 75 ms).
+    """
+
+    def __init__(
+        self, step_dt_s: float, budget_s: float = DEFAULT_BUDGET_S
+    ) -> None:
+        if step_dt_s <= 0 or budget_s <= 0:
+            raise ValueError("step_dt_s and budget_s must be positive")
+        self.step_dt_s = step_dt_s
+        self.budget_s = budget_s
+        self.sessions_planned = 0
+        self.sessions_evicted_at_horizon = 0
+        self.frames_emitted = 0
+        self.frames_abandoned = 0
+        self._kinds: dict[str, _KindTally] = {}
+        self._latencies_s: list[float] = []
+        self._queue_depth: list[int] = []
+        self._live_sessions: list[int] = []
+        self._slots_attached: list[int] = []
+        self._offered_per_step: list[int] = []
+        self._consumed_per_step: list[int] = []
+
+    def _kind(self, kind: str) -> _KindTally:
+        tally = self._kinds.get(kind)
+        if tally is None:
+            tally = self._kinds[kind] = _KindTally()
+        return tally
+
+    # -- session events ----------------------------------------------------
+
+    def session_planned(self, kind: str) -> None:
+        """A workload session reached its arrival time."""
+        self.sessions_planned += 1
+
+    def session_admitted(self, kind: str) -> None:
+        """The engine accepted an arriving session."""
+        self._kind(kind).admitted += 1
+
+    def session_rejected(self, kind: str) -> None:
+        """Admission control refused an arriving session."""
+        self._kind(kind).rejected += 1
+
+    def session_completed(self, kind: str, frames_emitted: int) -> None:
+        """A session produced its full lifetime and closed cleanly."""
+        tally = self._kind(kind)
+        tally.completed += 1
+        self.frames_emitted += frames_emitted
+
+    def session_evicted(
+        self, kind: str, frames_emitted: int, frames_pending: int
+    ) -> None:
+        """The horizon ended with the session still live (evicted)."""
+        self.sessions_evicted_at_horizon += 1
+        self.frames_emitted += frames_emitted
+        self.frames_abandoned += frames_pending
+
+    # -- frame events ------------------------------------------------------
+
+    def frame_offered(self, kind: str, accepted: bool) -> None:
+        """A producer offered one frame; ``accepted=False`` is a drop."""
+        tally = self._kind(kind)
+        tally.offered += 1
+        if not accepted:
+            tally.dropped += 1
+
+    def frame_consumed(self, kind: str, latency_s: float) -> None:
+        """The engine consumed one accepted frame after ``latency_s``."""
+        tally = self._kind(kind)
+        tally.consumed += 1
+        tally.latencies_s.append(latency_s)
+        self._latencies_s.append(latency_s)
+
+    # -- per-step sampling -------------------------------------------------
+
+    def sample(
+        self,
+        queue_depth: int,
+        live_sessions: int,
+        slots_attached: int,
+        offered: int,
+        consumed: int,
+    ) -> None:
+        """Record one step's queue/occupancy/flow observation."""
+        self._queue_depth.append(queue_depth)
+        self._live_sessions.append(live_sessions)
+        self._slots_attached.append(slots_attached)
+        self._offered_per_step.append(offered)
+        self._consumed_per_step.append(consumed)
+
+    # -- the artifact ------------------------------------------------------
+
+    def report(self, context: dict | None = None) -> dict:
+        """The deterministic SLO artifact for this run.
+
+        Args:
+            context: extra JSON-serializable keys merged in under
+                ``"context"`` (workload echo, engine mode, capacity).
+        """
+        steps = len(self._queue_depth)
+        horizon_s = steps * self.step_dt_s
+        offered = sum(t.offered for t in self._kinds.values())
+        dropped = sum(t.dropped for t in self._kinds.values())
+        consumed = sum(t.consumed for t in self._kinds.values())
+        admitted = sum(t.admitted for t in self._kinds.values())
+        rejected = sum(t.rejected for t in self._kinds.values())
+        completed = sum(t.completed for t in self._kinds.values())
+        arrived = admitted + rejected
+        lat = np.asarray(self._latencies_s) if self._latencies_s else None
+        within = (
+            int(np.sum(lat <= self.budget_s)) if lat is not None else 0
+        )
+        stride = max(1, -(-steps // MAX_SERIES_POINTS))  # ceil division
+        return {
+            "schema": "load-slo.v1",
+            "budget_ms": 1e3 * self.budget_s,
+            "step_dt_ms": 1e3 * self.step_dt_s,
+            "steps": steps,
+            "horizon_s": horizon_s,
+            "context": dict(context or {}),
+            "sessions": {
+                "arrived": arrived,
+                "admitted": admitted,
+                "rejected": rejected,
+                "completed": completed,
+                "evicted_at_horizon": self.sessions_evicted_at_horizon,
+                "rejection_rate": (
+                    rejected / arrived if arrived else 0.0
+                ),
+            },
+            "frames": {
+                "offered": offered,
+                "dropped": dropped,
+                "consumed": consumed,
+                "emitted": self.frames_emitted,
+                "abandoned_in_queue": self.frames_abandoned,
+                "drop_rate": dropped / offered if offered else 0.0,
+            },
+            "throughput": {
+                "offered_fps": offered / horizon_s if horizon_s else 0.0,
+                "consumed_fps": consumed / horizon_s if horizon_s else 0.0,
+                "goodput_fps": within / horizon_s if horizon_s else 0.0,
+            },
+            "latency": _percentiles(self._latencies_s),
+            "within_budget_fraction": (
+                float(np.mean(lat <= self.budget_s))
+                if lat is not None
+                else float("nan")
+            ),
+            "per_kind": {
+                kind: tally.report(self.budget_s)
+                for kind, tally in sorted(self._kinds.items())
+            },
+            "series": {
+                "stride_steps": stride,
+                "queue_depth": _decimate(self._queue_depth, stride),
+                "live_sessions": _decimate(self._live_sessions, stride),
+                "slots_attached": _decimate(self._slots_attached, stride),
+                "offered": _decimate(self._offered_per_step, stride),
+                "consumed": _decimate(self._consumed_per_step, stride),
+                "queue_depth_max": (
+                    max(self._queue_depth) if self._queue_depth else 0
+                ),
+                "live_sessions_max": (
+                    max(self._live_sessions) if self._live_sessions else 0
+                ),
+            },
+        }

@@ -70,6 +70,18 @@ class LatencyReport:
         return float(np.percentile(self.latencies_s, 95))
 
     @property
+    def p99_s(self) -> float:
+        """99th-percentile per-frame latency (NaN when empty).
+
+        The serving-tier tail: with many sessions multiplexed on one
+        engine, p95 hides the straggler cohort a 1-in-100 user lives
+        in, so SLO accounting reports this too.
+        """
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, 99))
+
+    @property
     def max_s(self) -> float:
         """Worst-case per-frame latency (NaN when empty)."""
         if not self.latencies_s:

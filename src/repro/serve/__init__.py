@@ -37,10 +37,17 @@ Load-bearing invariants, pinned by ``tests/test_serve.py`` and
 
 from .engine import ServingEngine
 from .scheduler import Cohort, Scheduler, SessionManager, StragglerDetector
-from .session import Session, SessionSpec, multi_session, single_session
+from .session import (
+    AdmissionRefused,
+    Session,
+    SessionSpec,
+    multi_session,
+    single_session,
+)
 from .shard import DistributedScheduler, PlacedCohort, ShardWorker
 
 __all__ = [
+    "AdmissionRefused",
     "Cohort",
     "DistributedScheduler",
     "PlacedCohort",

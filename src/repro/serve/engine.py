@@ -34,7 +34,7 @@ from ..multi.tracks import TrackManager
 from ..pipeline.multi import Associate
 from ..pipeline.runner import PipelineResult
 from .scheduler import Scheduler, SessionManager
-from .session import Session, SessionSpec
+from .session import AdmissionRefused, Session, SessionSpec
 from .shard import DistributedScheduler, ShardWorker
 
 
@@ -51,6 +51,20 @@ class ServingEngine:
             across them; on platforms without ``fork`` the engine falls
             back to in-process serving (check :attr:`workers` for the
             effective count).
+        admission: optional admission gate — an object with
+            ``admit(spec, engine) -> bool`` plus ``admitted(session)``
+            / ``retired(session)`` callbacks (see
+            :class:`repro.loadgen.MemoryGovernor`). A refused admission
+            makes :meth:`try_admit` return None and :meth:`admit` raise
+            :class:`~repro.serve.session.AdmissionRefused`, counted in
+            :attr:`rejected_admissions`.
+        memory_model: optional per-session memory estimator
+            (``estimate(spec) -> bytes``) the distributed scheduler
+            uses to place cohorts by *predicted bytes* instead of raw
+            session counts.
+        shard_budget_bytes: per-shard memory cap — with a
+            ``memory_model``, an admission whose predicted footprint
+            fits no shard is refused.
 
     Example:
         >>> from repro.serve import ServingEngine, single_session
@@ -60,18 +74,32 @@ class ServingEngine:
         >>> # engine.offer(a, block); engine.tick(); a.last_position ...
     """
 
-    def __init__(self, queue_capacity: int = 64, workers: int = 0) -> None:
+    def __init__(
+        self,
+        queue_capacity: int = 64,
+        workers: int = 0,
+        admission=None,
+        memory_model=None,
+        shard_budget_bytes: int | None = None,
+    ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if workers and not pool_available():
             workers = 0  # graceful serial fallback (no fork, no shards)
         self.workers = workers
+        self.admission = admission
+        self.rejected_admissions = 0
         self.pool: WorkerPool | None = None
         if workers:
             self.pool = WorkerPool(workers, actor_factory=ShardWorker)
             self.manager = None
             self.scheduler: Scheduler | DistributedScheduler = (
-                DistributedScheduler(self.pool, queue_capacity)
+                DistributedScheduler(
+                    self.pool,
+                    queue_capacity,
+                    memory_model=memory_model,
+                    shard_budget_bytes=shard_budget_bytes,
+                )
             )
         else:
             self.manager = SessionManager(queue_capacity)
@@ -90,10 +118,41 @@ class ServingEngine:
         return self.manager.num_sessions
 
     def admit(self, spec: SessionSpec) -> Session:
-        """Open a session; joins an existing cohort when specs match."""
-        if self.distributed:
-            return self.scheduler.admit(spec)
-        return self.manager.admit(spec)
+        """Open a session; joins an existing cohort when specs match.
+
+        Raises :class:`~repro.serve.session.AdmissionRefused` when an
+        admission gate or shard memory budget declines the session.
+        """
+        session = self.try_admit(spec)
+        if session is None:
+            raise AdmissionRefused(
+                "admission refused: the engine's admission gate or shard "
+                "memory budget declined this session"
+            )
+        return session
+
+    def try_admit(self, spec: SessionSpec) -> Session | None:
+        """Open a session, or return None when admission is refused.
+
+        The open-loop flavor of :meth:`admit`: a load source that keeps
+        arriving regardless of engine health checks the return value and
+        counts the rejection instead of unwinding. Every refusal — gate
+        or shard budget — increments :attr:`rejected_admissions`.
+        """
+        if self.admission is not None and not self.admission.admit(spec, self):
+            self.rejected_admissions += 1
+            return None
+        try:
+            if self.distributed:
+                session = self.scheduler.admit(spec)
+            else:
+                session = self.manager.admit(spec)
+        except AdmissionRefused:
+            self.rejected_admissions += 1
+            return None
+        if self.admission is not None:
+            self.admission.admitted(session)
+        return session
 
     def offer(self, session: Session, sweep_block: np.ndarray) -> bool:
         """Enqueue one frame for a session; False on backpressure."""
@@ -137,8 +196,23 @@ class ServingEngine:
 
     def _retire(self, session: Session) -> PipelineResult:
         if self.distributed:
-            return self.scheduler.retire(session)
-        return self.manager.retire(session)
+            result = self.scheduler.retire(session)
+        else:
+            result = self.manager.retire(session)
+        if self.admission is not None:
+            self.admission.retired(session)
+        return result
+
+    def resync(self) -> None:
+        """Recover the shard IPC after an interrupted wait (Ctrl-C).
+
+        No-op in-process. Distributed, an interrupt may have left shard
+        responses unread mid-``tick``; dropping them re-arms the pool so
+        live sessions can still be drained and closed for a partial
+        summary.
+        """
+        if self.pool is not None:
+            self.pool.resync()
 
     def shutdown(self) -> None:
         """Stop the shard workers (no-op for an in-process engine).

@@ -36,6 +36,17 @@ from ..pipeline.runner import (
 from ..sim.room import Room
 
 
+class AdmissionRefused(RuntimeError):
+    """Admission control declined to open a session.
+
+    Raised by :meth:`ServingEngine.admit
+    <repro.serve.ServingEngine.admit>` when an admission gate or a
+    shard memory budget refuses the session (use :meth:`try_admit
+    <repro.serve.ServingEngine.try_admit>` for the non-raising flavor
+    open-loop load generators want).
+    """
+
+
 @dataclass(frozen=True)
 class SessionSpec:
     """Everything that determines a session's pipeline structure.

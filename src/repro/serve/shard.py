@@ -46,7 +46,7 @@ import numpy as np
 from ..exec.pool import WorkerCrash, WorkerPool, remote_failure
 from ..pipeline.runner import PipelineResult
 from .scheduler import Cohort, StragglerDetector
-from .session import Session, SessionSpec, tick_row_fields
+from .session import AdmissionRefused, Session, SessionSpec, tick_row_fields
 
 
 class ShardWorker:
@@ -267,12 +267,13 @@ class ShardStats:
         self.round_trip_s: list[float] = []
 
     def summary(self) -> dict:
-        """p50/p95 tick time plus mean IPC overhead, in milliseconds."""
+        """p50/p95/p99 tick time plus mean IPC overhead, in milliseconds."""
         if not self.tick_s:
             return {
                 "steps": 0,
                 "tick_p50_ms": float("nan"),
                 "tick_p95_ms": float("nan"),
+                "tick_p99_ms": float("nan"),
                 "ipc_overhead_mean_ms": float("nan"),
             }
         ticks = np.asarray(self.tick_s)
@@ -281,6 +282,7 @@ class ShardStats:
             "steps": len(self.tick_s),
             "tick_p50_ms": 1e3 * float(np.median(ticks)),
             "tick_p95_ms": 1e3 * float(np.percentile(ticks, 95)),
+            "tick_p99_ms": 1e3 * float(np.percentile(ticks, 99)),
             "ipc_overhead_mean_ms": 1e3 * float(np.mean(overhead)),
         }
 
@@ -302,6 +304,18 @@ class DistributedScheduler:
         catchup_burst: frames per tick a split cohort may drain.
         rejoin_patience: consecutive caught-up observations before a
             split session migrates back into a sibling cohort.
+        memory_model: optional per-session memory estimator
+            (``estimate(spec) -> bytes``). When present, placement
+            weighs shards by *predicted committed bytes* instead of raw
+            session counts — the predict-before-you-allocate placement
+            of the memory-governed serving tier — so one heavy
+            multi-person cohort does not count the same as one
+            single-person session.
+        shard_budget_bytes: per-shard cap on predicted bytes. With a
+            ``memory_model``, an admission that fits no live shard
+            raises :class:`~repro.serve.session.AdmissionRefused`
+            (failover ignores the cap: keeping sessions alive on
+            survivors beats refusing them mid-stream).
     """
 
     def __init__(
@@ -313,13 +327,19 @@ class DistributedScheduler:
         split_patience: int = 4,
         catchup_burst: int = 4,
         rejoin_patience: int = 4,
+        memory_model=None,
+        shard_budget_bytes: int | None = None,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
         if catchup_burst < 1 or rejoin_patience < 1:
             raise ValueError("catchup_burst and rejoin_patience must be >= 1")
+        if shard_budget_bytes is not None and shard_budget_bytes <= 0:
+            raise ValueError("shard_budget_bytes must be positive")
         self.pool = pool
         self.queue_capacity = queue_capacity
+        self.memory_model = memory_model
+        self.shard_budget_bytes = shard_budget_bytes
         self.adaptive_split = adaptive_split
         self.catchup_burst = catchup_burst
         self.rejoin_patience = rejoin_patience
@@ -358,11 +378,21 @@ class DistributedScheduler:
             w for w in self.pool.live_workers() if w not in self.excluded_shards
         ]
 
+    def _session_cost(self, spec: SessionSpec) -> int:
+        """Placement weight of one session (predicted bytes, or 1)."""
+        if self.memory_model is None:
+            return 1
+        return int(self.memory_model.estimate(spec))
+
     def _shard_load(self) -> dict[int, int]:
+        """Per-live-shard load: session counts, or predicted bytes when
+        a memory model is installed."""
         load = {w: 0 for w in self._live_shards()}
         for cohort in self.cohorts.values():
             if cohort.shard in load:
-                load[cohort.shard] += cohort.num_sessions
+                load[cohort.shard] += (
+                    cohort.num_sessions * self._session_cost(cohort.spec)
+                )
         return load
 
     def _least_loaded(self) -> int:
@@ -457,9 +487,23 @@ class DistributedScheduler:
         otherwise — so homogeneous traffic spreads across every shard
         while each shard still batches its same-spec sessions into one
         vectorized pipeline tick.
+
+        With a memory model and shard budget installed, an admission
+        whose predicted footprint overflows even the least-loaded shard
+        raises :class:`~repro.serve.session.AdmissionRefused` — the
+        session is refused *before* any state allocates anywhere.
         """
         spec_key = spec.cohort_key()
         target = self._least_loaded()
+        if self.memory_model is not None and self.shard_budget_bytes is not None:
+            projected = (
+                self._shard_load()[target] + self._session_cost(spec)
+            )
+            if projected > self.shard_budget_bytes:
+                raise AdmissionRefused(
+                    f"predicted shard memory {projected} B exceeds the "
+                    f"{self.shard_budget_bytes} B budget on every live shard"
+                )
         cohort = next(
             (
                 c
@@ -743,11 +787,18 @@ class DistributedScheduler:
 
     def shard_report(self) -> list[dict]:
         """Per-shard summary: timings, exclusion, current placement."""
-        load = self._shard_load()
+        counts: dict[int, int] = {}
+        for cohort in self.cohorts.values():
+            counts[cohort.shard] = (
+                counts.get(cohort.shard, 0) + cohort.num_sessions
+            )
+        load = self._shard_load() if self.memory_model is not None else None
         report = []
         for shard in range(self.pool.num_workers):
             entry = {"shard": shard, "excluded": shard in self.excluded_shards}
             entry.update(self.shard_stats[shard].summary())
-            entry["sessions"] = load.get(shard, 0)
+            entry["sessions"] = counts.get(shard, 0)
+            if load is not None:
+                entry["predicted_bytes"] = load.get(shard, 0)
             report.append(entry)
         return report

@@ -12,6 +12,8 @@ from repro.config import PipelineConfig, default_config
 from repro.core.tracker import WiTrack
 from repro.multi import MultiScenario
 from repro.exec import (
+    CacheAdmissionFilter,
+    NpzLruCache,
     ResultCache,
     SpectraCache,
     cache_stats,
@@ -375,3 +377,96 @@ class TestCacheStats:
             for counts in stats.values()
             for count in counts.values()
         )
+
+
+class TestCacheAdmission:
+    """The TinyLFU-style doorkeeper in front of the LRU store."""
+
+    def _probe_entry_size(self, tmp_path):
+        probe = NpzLruCache(tmp_path / "probe")
+        probe._store_arrays("probe", {"a": np.zeros(64)})
+        return probe.entries()[0].stat().st_size
+
+    def test_second_touch_admits(self):
+        filt = CacheAdmissionFilter(window=8)
+        assert not filt.should_store("k")   # first touch: register only
+        assert filt.should_store("k")       # second touch: admit
+
+    def test_window_ages_out_stale_first_touches(self):
+        filt = CacheAdmissionFilter(window=2)
+        assert not filt.should_store("old")
+        assert not filt.should_store("a")
+        assert not filt.should_store("b")   # evicts "old" from the window
+        assert not filt.should_store("old") # must start over
+        assert filt.should_store("old")
+
+    def test_filtered_store_skipped_and_counted(self, tmp_path):
+        reset_cache_stats()
+        cache = NpzLruCache(tmp_path, admission=CacheAdmissionFilter())
+        cache._store_arrays("once", {"a": np.zeros(4)})
+        assert cache.entries() == []
+        assert cache.filtered == 1
+        assert cache_stats()["spectra"]["filtered"] == 1
+        cache._store_arrays("once", {"a": np.zeros(4)})
+        assert len(cache.entries()) == 1
+
+    def test_scan_cannot_evict_hot_working_set(self, tmp_path):
+        """The pinned scan-resistance property (the filter's raison d'etre).
+
+        A hot working set that fits the budget, then a scan of one-shot
+        keys bigger than the budget: without admission the scan churns
+        the LRU and evicts every hot entry; with it, the scan never
+        stores and the hot set survives untouched.
+        """
+        entry = self._probe_entry_size(tmp_path)
+        budget = int(4.5 * entry)  # room for the 3 hot entries + one more
+        hot = [f"hot{i}" for i in range(3)]
+        scan = [f"oneshot{i}" for i in range(20)]
+
+        unfiltered = NpzLruCache(tmp_path / "plain", max_bytes=budget)
+        for key in hot:
+            unfiltered._store_arrays(key, {"a": np.zeros(64)})
+        for key in scan:
+            unfiltered._store_arrays(key, {"a": np.zeros(64)})
+        assert all(
+            unfiltered._load_arrays(key) is None for key in hot
+        ), "control: an unfiltered scan must evict the hot set"
+
+        filtered = NpzLruCache(
+            tmp_path / "admit",
+            max_bytes=budget,
+            admission=CacheAdmissionFilter(window=64),
+        )
+        for key in hot:          # two touches: registered, then admitted
+            filtered._store_arrays(key, {"a": np.zeros(64)})
+            filtered._store_arrays(key, {"a": np.zeros(64)})
+        for key in scan:         # one-shot keys never recur
+            filtered._store_arrays(key, {"a": np.zeros(64)})
+        assert all(
+            filtered._load_arrays(key) is not None for key in hot
+        ), "the doorkeeper must keep a one-shot scan from storing"
+        assert filtered.filtered == len(hot) + len(scan)
+        assert len(filtered.entries()) == len(hot)
+
+    def test_env_arms_default_caches(self, monkeypatch, tmp_path):
+        reset_cache_stats()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_ADMIT", "1")
+        cache = default_cache()
+        assert isinstance(cache.admission, CacheAdmissionFilter)
+        assert cache.admission.window == 1024
+        # The doorkeeper is process-wide: a second instance shares it,
+        # so first touches survive across short-lived cache objects.
+        assert default_cache().admission is cache.admission
+        assert default_result_cache().admission is not cache.admission
+
+    def test_env_window_override(self, monkeypatch, tmp_path):
+        reset_cache_stats()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_ADMIT", "32")
+        assert default_cache().admission.window == 32
+
+    def test_admission_off_by_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_CACHE_ADMIT", raising=False)
+        assert default_cache().admission is None

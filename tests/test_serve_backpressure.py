@@ -1,0 +1,125 @@
+"""Backpressure and admission-control seams of the serving engine.
+
+The bounded per-session queue and the admission gate are the two places
+the serving tier says "no". These tests pin both: ``offer`` refusing
+frames at capacity (and recovering after a tick), blocking ``submit``
+resolving backpressure by draining the whole engine, and every refusal
+path — gate or shard budget — landing in ``rejected_admissions``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdmissionRefused,
+    ServingEngine,
+    SessionSpec,
+    single_session,
+)
+
+
+@pytest.fixture(scope="module")
+def spec() -> SessionSpec:
+    return single_session()
+
+
+def _block(spec: SessionSpec, rng: np.random.Generator) -> np.ndarray:
+    from repro.loadgen import frame_shape
+
+    shape = frame_shape(spec)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+class TestOfferBackpressure:
+    def test_offer_refuses_at_capacity(self, spec):
+        engine = ServingEngine(queue_capacity=3)
+        session = engine.admit(spec)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            assert engine.offer(session, _block(spec, rng))
+        # Queue full: the refusal is the producer's signal, not an error.
+        assert not engine.offer(session, _block(spec, rng))
+        assert session.frames_in == 3
+        assert session.pending == 3
+
+    def test_offer_recovers_after_tick(self, spec):
+        engine = ServingEngine(queue_capacity=2)
+        session = engine.admit(spec)
+        rng = np.random.default_rng(1)
+        assert engine.offer(session, _block(spec, rng))
+        assert engine.offer(session, _block(spec, rng))
+        assert not engine.offer(session, _block(spec, rng))
+        engine.tick()  # consumes one frame, freeing one slot
+        assert engine.offer(session, _block(spec, rng))
+
+    def test_closed_session_raises(self, spec):
+        engine = ServingEngine()
+        session = engine.admit(spec)
+        engine.close(session)
+        with pytest.raises(RuntimeError, match="closed"):
+            session.offer(_block(spec, np.random.default_rng(2)))
+
+
+class TestBlockingSubmit:
+    def test_submit_drains_under_load(self, spec):
+        """``submit`` never drops: backpressure resolves by serving."""
+        engine = ServingEngine(queue_capacity=2)
+        session = engine.admit(spec)
+        rng = np.random.default_rng(3)
+        n_frames = 8  # 4x the queue bound: submit must tick to make room
+        for _ in range(n_frames):
+            engine.submit(session, _block(spec, rng))
+        assert session.frames_in == n_frames
+        assert session.pending <= 2
+        result = engine.close(session)
+        # The first frame primes background subtraction and emits nothing.
+        assert result.num_frames == n_frames - 1
+
+
+class _RefuseAfter:
+    """Admission gate allowing the first ``limit`` concurrent sessions."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.live = 0
+
+    def admit(self, spec, engine=None) -> bool:
+        return self.live < self.limit
+
+    def admitted(self, session) -> None:
+        self.live += 1
+
+    def retired(self, session) -> None:
+        self.live -= 1
+
+
+class TestRejectedAdmissions:
+    def test_gate_refusal_counted_and_none(self, spec):
+        engine = ServingEngine(admission=_RefuseAfter(2))
+        a = engine.try_admit(spec)
+        b = engine.try_admit(spec)
+        assert a is not None and b is not None
+        assert engine.try_admit(spec) is None
+        assert engine.try_admit(spec) is None
+        assert engine.rejected_admissions == 2
+
+    def test_admit_raises_on_refusal(self, spec):
+        engine = ServingEngine(admission=_RefuseAfter(0))
+        with pytest.raises(AdmissionRefused):
+            engine.admit(spec)
+        assert engine.rejected_admissions == 1
+
+    def test_retire_reopens_the_gate(self, spec):
+        engine = ServingEngine(admission=_RefuseAfter(1))
+        first = engine.admit(spec)
+        assert engine.try_admit(spec) is None
+        engine.close(first)  # retired() releases the slot
+        assert engine.try_admit(spec) is not None
+        assert engine.rejected_admissions == 1
+
+    def test_rejected_sessions_leave_no_state(self, spec):
+        engine = ServingEngine(admission=_RefuseAfter(1))
+        engine.admit(spec)
+        before = engine.num_sessions
+        assert engine.try_admit(spec) is None
+        assert engine.num_sessions == before
