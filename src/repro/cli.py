@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -44,6 +45,7 @@ from .exec import (
     default_runner,
     sharded_speedup_benchmark,
 )
+from .kernels import StageProfiler, enable_profiling
 from .sim.motion import non_colliding_walks, random_walk
 from .sim.room import line_of_sight_room, through_wall_room
 from .sim.scenario import Scenario
@@ -236,6 +238,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     merged results are identical, and reports frames/sec and speedup.
     """
     workers = max(args.workers, 1)
+    if getattr(args, "profile", False):
+        # Flip both switches: the module global covers this process,
+        # the env var covers spawned shard workers.
+        os.environ["REPRO_PROFILE"] = "1"
+        enable_profiling()
     room = through_wall_room()
     walk = random_walk(
         room, np.random.default_rng(args.seed), duration_s=args.duration
@@ -268,6 +275,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"cache      : {kind:<8} {counts['hits']} hits  "
                   f"{counts['misses']} misses  "
                   f"{counts['evictions']} evicted")
+    if result.get("stage_profile"):
+        profiler = StageProfiler()
+        profiler.merge(result["stage_profile"])
+        print("\nper-stage profile (serial leg):")
+        print(profiler.table())
 
     if args.output is not None:
         args.output.write_text(json.dumps(result, indent=2) + "\n")
@@ -291,12 +303,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .multi import MultiScenario
     from .serve import ServingEngine, multi_session, single_session
     from .sim.body import HumanBody
+    from .sim.cohort import CohortFrameSource
 
     config = default_config()
     room = through_wall_room() if args.through_wall else line_of_sight_room()
     spf = config.pipeline.sweeps_per_frame
 
     streams: list[tuple[str, object]] = []
+    single_slots: list[int] = []
+    single_scenarios: list[Scenario] = []
     for i in range(args.sessions):
         rng = np.random.default_rng(args.seed + 17 * i)
         is_multi = args.multi_every > 0 and (i + 1) % args.multi_every == 0
@@ -320,7 +335,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             scenario = Scenario(
                 walk, room=room, config=config, seed=args.seed + 17 * i + 1
             )
-            streams.append(("single", scenario.frames(chunk_frames=args.chunk)))
+            single_slots.append(i)
+            single_scenarios.append(scenario)
+            streams.append(("single", None))  # filled from the cohort source
+    if single_scenarios:
+        # All single-person sessions synthesize through ONE fused
+        # kernel call per chunk (the kernel-tier batch path) instead of
+        # N independent frames() generators.
+        source = CohortFrameSource(
+            single_scenarios, chunk_frames=args.chunk
+        )
+        for i, stream in zip(single_slots, source.session_streams()):
+            streams[i] = ("single", stream)
 
     from .rf.fmcw import range_axis
 
@@ -392,6 +418,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shard_report = (
             engine.scheduler.shard_report() if engine.distributed else None
         )
+        stage_profile = engine.stage_profile().as_dict() or None
 
     reports.sort(key=lambda r: r["session"])
     total_frames = sum(r["frames"] for r in reports)
@@ -419,6 +446,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"p99 {entry['tick_p99_ms']:.2f} ms  "
                   f"ipc {entry['ipc_overhead_mean_ms']:.2f} ms"
                   f"{'  EXCLUDED' if entry['excluded'] else ''}")
+    if stage_profile is not None:
+        profiler = StageProfiler()
+        profiler.merge(stage_profile)
+        print("\nper-stage profile:")
+        print(profiler.table())
     all_within = all(r["within_75ms"] for r in reports)
     print(f"75 ms budget (paper Section 7): "
           f"{'MET by every session' if all_within else 'EXCEEDED'}")
@@ -433,6 +465,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         }
         if shard_report is not None:
             payload["shards"] = shard_report
+        if stage_profile is not None:
+            payload["stage_profile"] = stage_profile
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.output}")
     if interrupted:
@@ -717,6 +751,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=30.0,
                    help="seconds of scenario to synthesize and track")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", action="store_true",
+                   help="time each pipeline stage (adds a per-stage "
+                        "table and a stage_profile JSON field)")
     p.add_argument("--output", type=Path, default=None,
                    help="write the JSON result here")
     p.set_defaults(func=cmd_bench)

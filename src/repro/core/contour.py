@@ -15,17 +15,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.contour import first_local_max_above, row_median
+
 
 def noise_floor(power: np.ndarray) -> np.ndarray:
     """Per-frame noise-floor estimate from the median bin power.
 
     The human occupies a handful of bins; the median across bins is a
     robust floor estimate even with multipath present. Returns shape
-    ``(n_frames,)``.
+    ``(n_frames,)``. The selection runs in :mod:`repro.kernels.contour`
+    behind the array-backend seam.
     """
     if power.ndim != 2:
         raise ValueError("power must have shape (n_frames, n_bins)")
-    return np.median(power, axis=1)
+    return row_median(power)
 
 
 @dataclass(frozen=True)
@@ -61,29 +64,12 @@ def _first_local_max_above(
 ) -> np.ndarray:
     """Per-row index of the first local maximum above threshold, or -1.
 
-    A bin is a local maximum if it is not smaller than both neighbours;
-    ``min_bin`` skips the DC/Tx-leakage region. Vectorized over rows and
-    row-independent: the result for a row does not depend on which other
-    rows share the call, so frames can be batched across time, antennas,
-    or serving sessions interchangeably.
+    The scan itself lives in :mod:`repro.kernels.contour` behind the
+    array-backend seam (the numpy implementation is this module's
+    original vectorized scan, moved there verbatim); this wrapper is
+    kept so every contour consumer keeps one import path.
     """
-    n_bins = power.shape[1]
-    if n_bins < 3:  # no interior bin can be a local maximum
-        return np.full(power.shape[0], -1)
-    center = power[:, 1:-1]
-    # ``~(x < t)`` rather than ``x >= t`` keeps the scalar code's NaN
-    # semantics: a NaN threshold rejects nothing.
-    candidate = (
-        ~(center < threshold[:, None])
-        & (center >= power[:, :-2])
-        & (center >= power[:, 2:])
-    )
-    lo = max(min_bin, 1)
-    if lo > 1:
-        candidate[:, : lo - 1] = False
-    found = candidate.any(axis=1)
-    first = np.argmax(candidate, axis=1) + 1
-    return np.where(found, first, -1)
+    return first_local_max_above(power, threshold, min_bin)
 
 
 def track_bottom_contour(

@@ -15,6 +15,22 @@ from __future__ import annotations
 import numpy as np
 
 
+def dwna_process_noise(dt_s: float, q: float) -> tuple[float, float, float]:
+    """Discrete white-noise-acceleration covariance entries.
+
+    Returns ``(q00, q01, q11)`` of the symmetric 2x2 process-noise
+    matrix ``q * [[dt^4/4, dt^3/2], [dt^3/2, dt^2]]`` — shared by this
+    scalar filter and the vectorized
+    :class:`repro.pipeline.stages.KalmanSmooth` bank so the two can
+    never drift apart.
+    """
+    return (
+        q * (dt_s**4 / 4.0),
+        q * (dt_s**3 / 2.0),
+        q * (dt_s**2),
+    )
+
+
 class KalmanFilter1D:
     """Scalar constant-velocity Kalman filter.
 
@@ -37,14 +53,8 @@ class KalmanFilter1D:
             raise ValueError("noise parameters must be positive")
         self.dt_s = dt_s
         self.transition = np.array([[1.0, dt_s], [0.0, 1.0]])
-        # Discrete white-noise acceleration model.
-        q = process_noise
-        self.process_cov = q * np.array(
-            [
-                [dt_s**4 / 4.0, dt_s**3 / 2.0],
-                [dt_s**3 / 2.0, dt_s**2],
-            ]
-        )
+        q00, q01, q11 = dwna_process_noise(dt_s, process_noise)
+        self.process_cov = np.array([[q00, q01], [q01, q11]])
         self.measurement_var = measurement_noise
         self.state: np.ndarray | None = None
         self.cov = np.diag([1.0, 1.0])

@@ -27,6 +27,7 @@ from time import perf_counter
 
 import numpy as np
 
+from ..kernels.profile import StageProfiler
 from ..pipeline.runner import LatencyReport, PipelineResult
 from .plan import ExperimentPlan, WorkItem
 from .runners import Runner, default_runner
@@ -126,6 +127,13 @@ def merge_results(parts: list[PipelineResult]) -> PipelineResult:
         for p in parts:
             if p.latency is not None:
                 latency.latencies_s.extend(p.latency.latencies_s)
+    stage_profile = None
+    if any(p.stage_profile is not None for p in parts):
+        merged = StageProfiler()
+        for p in parts:
+            if p.stage_profile is not None:
+                merged.merge(p.stage_profile)
+        stage_profile = merged.as_dict()
     return PipelineResult(
         frame_times_s=np.concatenate([p.frame_times_s for p in parts]),
         tof_m=cat("tof_m"),
@@ -135,6 +143,7 @@ def merge_results(parts: list[PipelineResult]) -> PipelineResult:
         tracks=tracks,
         subtracted=cat("subtracted"),
         latency=latency,
+        stage_profile=stage_profile,
     )
 
 
@@ -245,7 +254,13 @@ def sharded_speedup_benchmark(
     serial, serial_s = timed(serial_runner)
     sharded, sharded_s = timed(sharded_runner)
     n = sharded.num_frames
+    profile = {}
+    if serial.stage_profile is not None:
+        # The serial leg's counters: one process, every frame, so the
+        # per-stage split is directly comparable to the wall clock.
+        profile = {"stage_profile": serial.stage_profile}
     return {
+        **profile,
         "workers": workers,
         "num_shards": len(plan_shards(scenario.num_stream_frames, num_shards)),
         "n_frames": n,

@@ -1,0 +1,51 @@
+"""The kernel tier: pluggable array backends under the hot loops.
+
+Importing this package registers the ``numpy`` and ``reference``
+implementations of every kernel; the optional ``numba`` backend is
+imported lazily the first time it is selected. See
+:mod:`repro.kernels.backend` for the selection rules
+(``REPRO_BACKEND=numpy|reference|numba``) and
+:mod:`repro.kernels.profile` for the per-stage profiling hooks
+(``REPRO_PROFILE=1``).
+"""
+
+from . import contour, kalman, synthesis  # noqa: F401  (register kernels)
+from .backend import (
+    active_backend,
+    available_backends,
+    backend_name,
+    kernel,
+    register,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from .contour import background_power, first_local_max_above, row_median
+from .kalman import kalman_tick
+from .profile import (
+    StageProfiler,
+    enable_profiling,
+    profiling_enabled,
+    reset_profiling_override,
+)
+from .synthesis import accumulate_spectra
+
+__all__ = [
+    "StageProfiler",
+    "accumulate_spectra",
+    "active_backend",
+    "available_backends",
+    "backend_name",
+    "background_power",
+    "enable_profiling",
+    "first_local_max_above",
+    "kalman_tick",
+    "kernel",
+    "profiling_enabled",
+    "register",
+    "register_backend",
+    "reset_profiling_override",
+    "row_median",
+    "set_backend",
+    "use_backend",
+]

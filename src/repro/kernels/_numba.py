@@ -1,0 +1,262 @@
+"""Numba JIT backend (optional; imported lazily by the backend seam).
+
+Importing this module registers the ``numba`` backend. On machines
+without numba the import fails and :mod:`repro.kernels.backend` falls
+back to numpy with a warning — nothing else in the repo imports this
+module directly.
+
+Implementation notes:
+
+* ``accumulate_spectra`` walks (path, sweep) pairs and evaluates the
+  factored Hann-Dirichlet window with a sin/cos rotation recurrence —
+  the 2*half+3 denominators ``n sin(pi (w + e) / n)`` are consecutive
+  rotations by ``pi/n``, so the whole window costs one sin/cos pair
+  per (path, sweep) instead of a window-sized transcendental pass.
+* ``first_local_max_above`` early-exits each row at the first hit;
+  the closest reflector usually sits in the first few dozen bins.
+* Kernels are compiled with ``cache=True`` so the JIT cost is paid
+  once per machine, and without ``parallel=`` — the serving tier
+  already uses the cores via shard worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from .backend import register, register_backend
+from .synthesis import window_constants
+
+register_backend("numba")
+
+
+# ---------------------------------------------------------------------------
+# Sweep synthesis.
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _accumulate_jit(
+    out, frac_bin, center, coeff, row_base, half, n, hann, g, pattern, rot
+):
+    n_paths, n_sweeps = frac_bin.shape
+    n_rows, n_b = out.shape
+    ratio = (n - 1.0) / n
+    beta = np.pi / n
+    cos_b = np.cos(beta)
+    sin_b = np.sin(beta)
+    width = 2 * half + 1
+    for p in range(n_paths):
+        base = row_base[p]
+        for s in range(n_sweeps):
+            fb = frac_bin[p, s]
+            c = center[p, s]
+            e = c - fb
+            row = base + s
+            cf = coeff[p, s]
+            b0 = int(c)
+            if abs(e) < 1e-12:
+                # Integer offset: the exact Dirichlet limit pattern.
+                for w in range(width):
+                    pv = pattern[w]
+                    if pv != 0.0:
+                        b = b0 - half + w
+                        if 0 <= b < n_b:
+                            out[row, b] += cf * pv
+                continue
+            small = (
+                np.sin(np.pi * e)
+                * complex(
+                    np.cos(np.pi * ratio * e), -np.sin(np.pi * ratio * e)
+                )
+                * cf
+            )
+            # Rotation recurrence over the extended window's
+            # denominators d(w) = n sin(beta (w + e)).
+            x0 = beta * (e - (half + 1.0))
+            s_cur = np.sin(x0)
+            c_cur = np.cos(x0)
+            s_nxt = s_cur * cos_b + c_cur * sin_b
+            c_nxt = c_cur * cos_b - s_cur * sin_b
+            d_prev = n * s_cur
+            d_mid = n * s_nxt
+            s_cur, c_cur = s_nxt, c_nxt
+            for w in range(width):
+                s_nxt = s_cur * cos_b + c_cur * sin_b
+                c_nxt = c_cur * cos_b - s_cur * sin_b
+                d_next = n * s_nxt
+                dm = d_prev if d_prev != 0.0 else 1.0
+                d0 = d_mid if d_mid != 0.0 else 1.0
+                dp = d_next if d_next != 0.0 else 1.0
+                if hann:
+                    kv = 1.0 / d0 + 0.5 * rot / dm + 0.5 * np.conj(rot) / dp
+                else:
+                    kv = complex(1.0 / d0, 0.0)
+                b = b0 - half + w
+                if 0 <= b < n_b:
+                    out[row, b] += small * g[w] * kv
+                d_prev = d_mid
+                d_mid = d_next
+                s_cur, c_cur = s_nxt, c_nxt
+
+
+@register("numba", "accumulate_spectra")
+def _accumulate_numba(out, frac_bin, coeff, row_base, half, n_samples, hann):
+    if not out.flags.c_contiguous:
+        # A copy would swallow the in-place writes; the callers always
+        # pass contiguous outputs, but stay correct regardless.
+        from .synthesis import _accumulate_numpy
+
+        _accumulate_numpy(
+            out, frac_bin, coeff, row_base, half, n_samples, hann
+        )
+        return
+    g, rot, pattern = window_constants(half, n_samples, hann)
+    n_b = out.shape[1]
+    center = np.rint(frac_bin)
+    np.clip(center, -(half + 1.0), float(n_b + half), out=center)
+    _accumulate_jit(
+        out,
+        np.ascontiguousarray(frac_bin),
+        center,
+        np.ascontiguousarray(coeff),
+        np.ascontiguousarray(row_base),
+        half,
+        float(n_samples),
+        hann,
+        g,
+        pattern,
+        rot,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Background power + contour scan.
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _background_power_jit(diff2, out2):
+    n_rows, n_cols = diff2.shape
+    for i in range(n_rows):
+        for j in range(n_cols):
+            v = diff2[i, j]
+            out2[i, j] = v.real * v.real + v.imag * v.imag
+
+
+@register("numba", "background_power")
+def _background_power_numba(diff, out):
+    if not out.flags.c_contiguous:
+        from .contour import _background_power_numpy
+
+        return _background_power_numpy(diff, out)
+    flat = diff.reshape(-1, diff.shape[-1]) if diff.ndim > 2 else diff
+    _background_power_jit(
+        np.ascontiguousarray(flat), out.reshape(-1, out.shape[-1])
+    )
+    return out
+
+
+@njit(cache=True)
+def _first_local_max_jit(power, threshold, lo, out):
+    n_rows, n_bins = power.shape
+    for i in range(n_rows):
+        t = threshold[i]
+        hit = -1
+        for k in range(lo, n_bins - 1):
+            c = power[i, k]
+            # not (c < t) keeps NaN-threshold semantics: rejects nothing.
+            if not (c < t) and c >= power[i, k - 1] and c >= power[i, k + 1]:
+                hit = k
+                break
+        out[i] = hit
+
+
+@register("numba", "first_local_max_above")
+def _first_local_max_numba(power, threshold, min_bin):
+    n_rows, n_bins = power.shape
+    out = np.empty(n_rows, dtype=np.int64)
+    if n_bins < 3:
+        out[:] = -1
+        return out
+    _first_local_max_jit(
+        np.ascontiguousarray(power),
+        np.ascontiguousarray(np.asarray(threshold, dtype=np.float64)),
+        max(int(min_bin), 1),
+        out,
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Kalman tick.
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _kalman_jit(values, mean, cov, live, dt, q00, q01, q11, r, out, new_live):
+    n, a = values.shape
+    for i in range(n):
+        for j in range(a):
+            v = values[i, j]
+            measured = not np.isnan(v)
+            alive = live[i, j]
+            m0 = mean[i, j, 0]
+            m1 = mean[i, j, 1]
+            c00 = cov[i, j, 0, 0]
+            c01 = cov[i, j, 0, 1]
+            c10 = cov[i, j, 1, 0]
+            c11 = cov[i, j, 1, 1]
+            if alive:
+                pm0 = m0 + dt * m1
+                a00 = c00 + dt * c10
+                a01 = c01 + dt * c11
+                p00 = (a00 + a01 * dt) + q00
+                p01 = a01 + q01
+                p10 = (c10 + c11 * dt) + q01
+                p11 = c11 + q11
+                if measured:
+                    innovation = v - pm0
+                    s = p00 + r
+                    g0 = p00 / s
+                    g1 = p10 / s
+                    um0 = pm0 + g0 * innovation
+                    out[i, j] = um0
+                    mean[i, j, 0] = um0
+                    mean[i, j, 1] = m1 + g1 * innovation
+                    cov[i, j, 0, 0] = (1.0 - g0) * p00
+                    cov[i, j, 0, 1] = (1.0 - g0) * p01
+                    cov[i, j, 1, 0] = (-g1) * p00 + p10
+                    cov[i, j, 1, 1] = (-g1) * p01 + p11
+                else:
+                    out[i, j] = pm0
+                    mean[i, j, 0] = pm0
+                    cov[i, j, 0, 0] = p00
+                    cov[i, j, 0, 1] = p01
+                    cov[i, j, 1, 0] = p10
+                    cov[i, j, 1, 1] = p11
+            else:
+                if measured:
+                    out[i, j] = v
+                    mean[i, j, 0] = v
+                    mean[i, j, 1] = 0.0
+                    cov[i, j, 0, 0] = r
+                    cov[i, j, 0, 1] = 0.0
+                    cov[i, j, 1, 0] = 0.0
+                    cov[i, j, 1, 1] = 1.0
+                else:
+                    out[i, j] = np.nan
+            new_live[i, j] = alive or measured
+
+
+@register("numba", "kalman_tick")
+def _kalman_tick_numba(values, mean, cov, live, dt, q00, q01, q11, r):
+    # mean/cov arrive as fancy-indexed copies; mutate them in place and
+    # hand them back as the new state.
+    values = np.ascontiguousarray(values)
+    out = np.empty(values.shape, dtype=np.float64)
+    new_live = np.empty(values.shape, dtype=np.bool_)
+    _kalman_jit(
+        values, mean, cov, live, dt, q00, q01, q11, r, out, new_live
+    )
+    return out, mean, cov, new_live

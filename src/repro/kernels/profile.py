@@ -1,0 +1,107 @@
+"""Per-stage profiling counters for the serving pipelines.
+
+``Pipeline.tick`` times each stage's ``process_tick`` and accumulates
+{calls, wall seconds, bytes produced} per stage name into a
+:class:`StageProfiler` — but only when profiling is enabled at pipeline
+construction, so the disabled path costs one ``is None`` check per
+tick. Enable with ``REPRO_PROFILE=1`` (any of 1/true/yes/on) or
+programmatically with :func:`enable_profiling` (the CLI's
+``repro bench --profile`` path).
+
+Profiles surface in ``repro bench``/``repro serve`` tables and in every
+benchmark JSON artifact (``serving.json``, ``load.json``,
+``kernels.json``), so future kernel work is gated by data rather than
+instinct.
+"""
+
+from __future__ import annotations
+
+import os
+
+_TRUE = {"1", "true", "yes", "on"}
+#: Programmatic override: None defers to the REPRO_PROFILE env var.
+_forced: bool | None = None
+
+
+def profiling_enabled() -> bool:
+    """Whether pipelines built *now* should carry a profiler."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() in _TRUE
+
+
+def enable_profiling(on: bool = True) -> None:
+    """Force profiling on/off process-wide, overriding the env var.
+
+    Affects pipelines built after the call; existing pipelines keep
+    whatever they were constructed with. Undo with
+    :func:`reset_profiling_override`.
+    """
+    global _forced
+    _forced = on
+
+
+def reset_profiling_override() -> None:
+    """Return profiling control to the ``REPRO_PROFILE`` env var."""
+    global _forced
+    _forced = None
+
+
+class StageProfiler:
+    """Accumulates {calls, wall_s, bytes} per stage name.
+
+    ``bytes`` counts the arrays a stage's output tick carries (its
+    working-set footprint), giving a rough MB/s alongside wall time.
+    """
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: dict[str, dict[str, float]] = {}
+
+    def record(
+        self, name: str, wall_s: float, nbytes: int = 0, calls: int = 1
+    ) -> None:
+        """Add one (or ``calls``) stage invocations to ``name``."""
+        entry = self.counters.get(name)
+        if entry is None:
+            entry = self.counters[name] = {
+                "calls": 0,
+                "wall_s": 0.0,
+                "bytes": 0,
+            }
+        entry["calls"] += calls
+        entry["wall_s"] += wall_s
+        entry["bytes"] += nbytes
+
+    def merge(self, other: "StageProfiler | dict") -> None:
+        """Fold another profiler (or its ``as_dict``) into this one."""
+        counters = (
+            other.counters if isinstance(other, StageProfiler) else other
+        )
+        for name, entry in counters.items():
+            self.record(
+                name, entry["wall_s"], int(entry["bytes"]), int(entry["calls"])
+            )
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-ready copy of the counters (stage -> counter dict)."""
+        return {name: dict(entry) for name, entry in self.counters.items()}
+
+    def table(self) -> str:
+        """Human-readable per-stage table (for CLI ``--profile`` output)."""
+        header = (
+            f"{'stage':<20} {'calls':>8} {'total ms':>10} "
+            f"{'us/call':>9} {'MB/s':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, entry in self.counters.items():
+            calls = int(entry["calls"])
+            wall = entry["wall_s"]
+            per_call_us = (wall / calls * 1e6) if calls else 0.0
+            mb_s = (entry["bytes"] / wall / 1e6) if wall > 0 else 0.0
+            lines.append(
+                f"{name:<20} {calls:>8d} {wall * 1e3:>10.2f} "
+                f"{per_call_us:>9.1f} {mb_s:>8.1f}"
+            )
+        return "\n".join(lines)

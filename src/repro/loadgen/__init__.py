@@ -44,6 +44,7 @@ from .workload import (
     Workload,
     build_workload,
     frame_shape,
+    next_blocks,
 )
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "Workload",
     "build_workload",
     "frame_shape",
+    "next_blocks",
     "SyntheticFrameSource",
     "LoadHarness",
     "SLOLedger",

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from ..serve.engine import ServingEngine
 from ..serve.session import Session, SessionSpec
 from .slo import DEFAULT_BUDGET_S, SLOLedger
-from .workload import SessionPlan, SyntheticFrameSource, Workload
+from .workload import SessionPlan, SyntheticFrameSource, Workload, next_blocks
 
 
 @dataclass
@@ -127,18 +127,18 @@ class LoadHarness:
             )
 
     def _produce(self, live: dict[int, _LiveSession], step: int) -> int:
-        offered = 0
-        for ls in live.values():
-            if ls.produced >= ls.plan.lifetime_frames:
-                continue
-            block = ls.source.next_block()
+        producing = [
+            ls for ls in live.values()
+            if ls.produced < ls.plan.lifetime_frames
+        ]
+        blocks = next_blocks([ls.source for ls in producing])
+        for ls, block in zip(producing, blocks):
             ls.produced += 1
-            offered += 1
             accepted = self.engine.offer(ls.session, block)
             self.ledger.frame_offered(ls.plan.kind, accepted)
             if accepted:
                 ls.offered_steps.append(step)
-        return offered
+        return len(producing)
 
     def _serve(self) -> int:
         served = 0
@@ -259,4 +259,7 @@ class LoadHarness:
             self.engine.admission, "stats"
         ):
             context["memory"] = self.engine.admission.stats()
+        stage_profile = self.engine.stage_profile().as_dict()
+        if stage_profile:
+            context["stage_profile"] = stage_profile
         return self.ledger.report(context)

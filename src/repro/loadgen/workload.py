@@ -215,3 +215,17 @@ class SyntheticFrameSource:
         signal = (phases[:, None] * bumps).sum(axis=0)
         self.frames_produced += 1
         return noise + signal[None, None, :]
+
+
+def next_blocks(sources: list[SyntheticFrameSource]) -> list[np.ndarray]:
+    """Advance many frame sources one frame each; one block per source.
+
+    The batch mirror of :meth:`SyntheticFrameSource.next_block`, and
+    the seam the load harness produces frames through. Per-source RNG
+    streams are the determinism contract — identical ``(spec, seed)``
+    must yield the identical block sequence regardless of who else is
+    producing — so blocks are drawn source by source, in order; a
+    fused generator that batches same-shape sources may slot in here
+    later but must preserve exactly those per-source streams.
+    """
+    return [source.next_block() for source in sources]

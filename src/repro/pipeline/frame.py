@@ -144,6 +144,21 @@ class SessionTick:
         """Number of sessions carried by this tick."""
         return len(self.slots)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes of array payload the tick currently carries.
+
+        The working-set footprint the profiler attributes to each
+        stage's output (not an allocation count — stages may hand out
+        views or reused buffers).
+        """
+        total = 0
+        for name in _TICK_ARRAYS:
+            value = getattr(self, name)
+            if value is not None:
+                total += value.nbytes
+        return total
+
     def select(self, keep: np.ndarray) -> "SessionTick":
         """A tick holding only the rows where ``keep`` is True."""
         out = SessionTick(

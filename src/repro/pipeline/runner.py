@@ -26,6 +26,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..config import SystemConfig
+from ..kernels.profile import StageProfiler, profiling_enabled
 from .frame import Frame, FrameBlock, SessionTick
 from .stages import (
     BackgroundSubtract,
@@ -116,6 +117,10 @@ class PipelineResult:
         subtracted: background-subtracted complex frames,
             ``(n_frames, n_rx, n_bins)`` (only when recorded).
         latency: per-frame latency report (streaming runs only).
+        stage_profile: per-stage {calls, wall_s, bytes} counters
+            (:meth:`StageProfiler.as_dict` form) — only when the run's
+            pipeline carried a profiler (``REPRO_PROFILE=1``); None
+            otherwise so disabled runs serialize without a trace.
     """
 
     frame_times_s: np.ndarray
@@ -126,6 +131,7 @@ class PipelineResult:
     tracks: list[list[tuple[int, np.ndarray]]] | None = None
     subtracted: np.ndarray | None = None
     latency: LatencyReport | None = None
+    stage_profile: dict[str, dict[str, float]] | None = None
 
     @property
     def num_frames(self) -> int:
@@ -169,6 +175,30 @@ class Pipeline:
         self._n_sessions = 1
         self._frames_in = np.zeros(1, dtype=np.int64)
         self.latency = LatencyReport()
+        #: Reused per-tick frame-averaging buffer (the averaged
+        #: spectrum never outlives the tick: BackgroundSubtract copies
+        #: what it keeps and replaces ``tick.spectrum`` with the diff).
+        self._avg_scratch: np.ndarray | None = None
+        #: Per-stage {calls, wall_s, bytes} counters, or ``None`` when
+        #: profiling was off at construction — the disabled path costs
+        #: one ``is None`` check per tick (``REPRO_PROFILE=1`` or
+        #: :func:`repro.kernels.profile.enable_profiling` turn it on).
+        self.profiler: StageProfiler | None = (
+            StageProfiler() if profiling_enabled() else None
+        )
+        self._stage_names = self._dedup_names(self.stages)
+
+    @staticmethod
+    def _dedup_names(stages: Sequence[Stage]) -> list[str]:
+        """Stage class names, ``#k``-suffixed when a class repeats."""
+        names: list[str] = []
+        seen: dict[str, int] = {}
+        for s in stages:
+            base = type(s).__name__
+            k = seen.get(base, 0)
+            seen[base] = k + 1
+            names.append(base if k == 0 else f"{base}#{k}")
+        return names
 
     @property
     def frame_duration_s(self) -> float:
@@ -202,6 +232,8 @@ class Pipeline:
             s.reset()
         self._frames_in[:] = start_frame
         self.latency = LatencyReport()
+        if self.profiler is not None:
+            self.profiler = StageProfiler()
 
     # -- session lifecycle -------------------------------------------------
 
@@ -333,7 +365,18 @@ class Pipeline:
             if isinstance(sweep_blocks, np.ndarray)
             else np.stack([np.asarray(b) for b in sweep_blocks])
         )
-        averaged = self._crop(stacked.mean(axis=2))
+        profiler = self.profiler
+        t0 = perf_counter() if profiler is not None else 0.0
+        if stacked.dtype == np.complex128:
+            n, n_rx, _, n_bins = stacked.shape
+            scratch = self._avg_scratch
+            if scratch is None or scratch.shape != (n, n_rx, n_bins):
+                scratch = self._avg_scratch = np.empty(
+                    (n, n_rx, n_bins), dtype=np.complex128
+                )
+            averaged = self._crop(np.mean(stacked, axis=2, out=scratch))
+        else:
+            averaged = self._crop(stacked.mean(axis=2))
         indices = self._frames_in[slots]
         self._frames_in[slots] += 1
         tick = SessionTick(
@@ -342,8 +385,18 @@ class Pipeline:
             times_s=(indices + 0.5) * self.frame_duration_s,
             spectrum=averaged,
         )
-        for stage in self.stages:
+        if profiler is None:
+            for stage in self.stages:
+                tick = stage.process_tick(tick)
+                if tick.num_rows == 0:
+                    break
+            return tick
+        t1 = perf_counter()
+        profiler.record("frame_average", t1 - t0, averaged.nbytes)
+        for stage, name in zip(self.stages, self._stage_names):
             tick = stage.process_tick(tick)
+            t0, t1 = t1, perf_counter()
+            profiler.record(name, t1 - t0, tick.nbytes)
             if tick.num_rows == 0:
                 break
         return tick
@@ -429,6 +482,9 @@ class Pipeline:
             tracks=tracks if tracks else None,
             subtracted=np.stack(spectra) if spectra else None,
             latency=self.latency,
+            stage_profile=(
+                self.profiler.as_dict() if self.profiler is not None else None
+            ),
         )
 
     def _blocks(self, spectra: np.ndarray) -> Iterator[np.ndarray]:

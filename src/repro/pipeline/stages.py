@@ -41,6 +41,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.contour import track_bottom_contour
+from ..core.kalman import dwna_process_noise
+from ..kernels.contour import background_power
+from ..kernels.kalman import kalman_tick
 from .frame import SessionTick
 
 
@@ -146,6 +149,11 @@ class BackgroundSubtract(Stage):
         self._capacity = 1
         self._previous: np.ndarray | None = None  # (capacity, n_rx, n_bins)
         self._primed: np.ndarray | None = None  # (capacity,)
+        #: Reused per-tick |diff|^2 buffer. ``tick.power`` is consumed
+        #: within the tick (contour scan) and never retained by the
+        #: collectors, so handing out the same buffer every tick is
+        #: safe — and drops two array allocations per frame.
+        self._power_scratch: np.ndarray | None = None
 
     def _ensure(self, n_rx: int, n_bins: int) -> None:
         if self._previous is None:
@@ -194,7 +202,10 @@ class BackgroundSubtract(Stage):
                 return tick
         diff = current - previous
         tick.spectrum = diff
-        tick.power = np.abs(diff) ** 2
+        scratch = self._power_scratch
+        if scratch is None or scratch.shape != diff.shape:
+            scratch = self._power_scratch = np.empty(diff.shape)
+        tick.power = background_power(diff, scratch)
         return tick
 
     def process_block(self, block):
@@ -217,6 +228,7 @@ class BackgroundSubtract(Stage):
     def reset(self) -> None:
         self._previous = None
         self._primed = None
+        self._power_scratch = None
 
 
 class ContourExtract(Stage):
@@ -310,6 +322,9 @@ class OutlierGate(Stage):
         self._since: np.ndarray | None = None  # (capacity, n_rx)
         self._pending: np.ndarray | None = None  # (capacity, n_rx, P)
         self._pending_len: np.ndarray | None = None  # (capacity, n_rx)
+        #: Reused per-tick work buffers keyed by (n_rows, n_rx); see
+        #: :meth:`_scratch_for`.
+        self._scratch: dict | None = None
 
     def _ensure(self, n_rx: int) -> None:
         if self._last is None:
@@ -354,50 +369,102 @@ class OutlierGate(Stage):
         self._pending[slot] = state["pending"]
         self._pending_len[slot] = state["pending_len"]
 
-    def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
-        """Gate a ``(n_rows, n_rx)`` tick; advances the given slots."""
-        self._ensure(values.shape[1])
-        last = self._last[slots]
-        since = self._since[slots]
-        pending = self._pending[slots]
-        pending_len = self._pending_len[slots]
+    def _scratch_for(self, n_rows: int, n_rx: int) -> dict:
+        """Per-tick work buffers, reallocated only when the tick shape
+        changes (a steady serving cohort reuses them every frame)."""
+        p = self.confirmation_frames
+        sc = self._scratch
+        if sc is None or sc["last"].shape != (n_rows, n_rx):
+            shape = (n_rows, n_rx)
+            self._scratch = sc = {
+                "last": np.empty(shape),
+                "since": np.empty(shape, dtype=np.int64),
+                "pending": np.empty(shape + (p,)),
+                "pending_len": np.empty(shape, dtype=np.int64),
+                "f2": np.empty(shape),
+                "i2": np.empty(shape, dtype=np.int64),
+                "f3": np.empty(shape + (p,)),
+                "b3": np.empty(shape + (p,), dtype=bool),
+                "keep": np.empty(shape + (p,), dtype=bool),
+                "missing": np.empty(shape, dtype=bool),
+                "no_last": np.empty(shape, dtype=bool),
+                "small": np.empty(shape, dtype=bool),
+                "direct": np.empty(shape, dtype=bool),
+                "candidate": np.empty(shape, dtype=bool),
+                "accept": np.empty(shape, dtype=bool),
+                "n_keep": np.empty(shape, dtype=np.int64),
+                "w_idx": np.arange(p, dtype=np.int64)[None, None, :],
+            }
+        return sc
 
-        missing = np.isnan(values)
-        no_last = np.isnan(last)
+    def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Gate a ``(n_rows, n_rx)`` tick; advances the given slots.
+
+        Same elementwise update as always, written through preallocated
+        scratch buffers (gathers via ``np.take(out=)``, ufuncs with
+        ``out=``, merges via ``np.copyto(where=)``) so a steady tick
+        performs no per-frame array allocations beyond the returned
+        gated values and the two argsort/take_along_axis packs — the
+        output is pinned bitwise against the original formulation.
+        """
+        self._ensure(values.shape[1])
+        n_rows, n_rx = values.shape
+        sc = self._scratch_for(n_rows, n_rx)
+        last = np.take(self._last, slots, axis=0, out=sc["last"])
+        since = np.take(self._since, slots, axis=0, out=sc["since"])
+        pending = np.take(self._pending, slots, axis=0, out=sc["pending"])
+        pending_len = np.take(
+            self._pending_len, slots, axis=0, out=sc["pending_len"]
+        )
+
+        missing = np.isnan(values, out=sc["missing"])
+        no_last = np.isnan(last, out=sc["no_last"])
+        f2 = sc["f2"]
+        np.subtract(values, last, out=f2)
+        np.abs(f2, out=f2)
         with np.errstate(invalid="ignore"):
-            small = np.abs(values - last) <= self.max_jump_m * since
-        direct = ~missing & (no_last | small)
-        candidate = ~missing & ~no_last & ~small
+            small = np.less_equal(
+                f2, self.max_jump_m * since, out=sc["small"]
+            )
+        # direct = ~missing & (no_last | small);
+        # candidate = ~missing & ~no_last & ~small.
+        direct = np.logical_or(no_last, small, out=sc["direct"])
+        candidate = np.logical_or(no_last, small, out=sc["candidate"])
+        np.logical_not(candidate, out=candidate)
+        np.greater(direct, missing, out=direct)  # direct & ~missing
+        np.greater(candidate, missing, out=candidate)
 
         # Candidate relocation: keep only pending values that agree with
         # the newest one, append it, and accept once enough agree.
         p = self.confirmation_frames
-        filled = np.arange(p)[None, None, :] < pending_len[:, :, None]
+        filled = np.less(sc["w_idx"], pending_len[:, :, None], out=sc["b3"])
+        f3 = sc["f3"]
+        np.subtract(pending, values[:, :, None], out=f3)
+        np.abs(f3, out=f3)
         with np.errstate(invalid="ignore"):
-            keep = filled & (
-                np.abs(pending - values[:, :, None]) <= self.agreement_m
-            )
+            keep = np.less_equal(f3, self.agreement_m, out=sc["keep"])
+        np.logical_and(filled, keep, out=keep)
         order = np.argsort(~keep, axis=-1, kind="stable")
         packed = np.take_along_axis(pending, order, axis=-1)
-        n_keep = keep.sum(axis=-1)
-        np.put_along_axis(
-            packed,
-            np.minimum(n_keep, p - 1)[:, :, None],
-            values[:, :, None],
-            axis=-1,
-        )
-        confirmed = candidate & (n_keep + 1 >= p)
-        accept = direct | confirmed
+        n_keep = np.sum(keep, axis=-1, out=sc["n_keep"])
+        i2 = np.minimum(n_keep, p - 1, out=sc["i2"])
+        np.put_along_axis(packed, i2[:, :, None], values[:, :, None], axis=-1)
+        np.add(n_keep, 1, out=i2)  # n_keep + 1
+        confirmed = np.greater_equal(i2, p, out=sc["b3"][..., 0])
+        np.logical_and(candidate, confirmed, out=confirmed)
+        accept = np.logical_or(direct, confirmed, out=sc["accept"])
 
         out = np.where(accept, values, np.nan)
-        self._last[slots] = np.where(accept, values, last)
-        self._since[slots] = np.where(accept, 1, since + 1)
-        self._pending[slots] = np.where(
-            candidate[:, :, None], packed, pending
-        )
-        self._pending_len[slots] = np.where(
-            accept, 0, np.where(candidate, n_keep + 1, pending_len)
-        )
+        np.copyto(last, values, where=accept)
+        self._last[slots] = last
+        np.add(since, 1, out=since)
+        np.copyto(since, 1, where=accept)
+        self._since[slots] = since
+        np.copyto(pending, packed, where=candidate[:, :, None])
+        self._pending[slots] = pending
+        np.copyto(pending_len, i2, where=candidate)
+        np.copyto(pending_len, 0, where=accept)
+        self._pending_len[slots] = pending_len
         return out
 
     def process_tick(self, tick):
@@ -417,6 +484,7 @@ class OutlierGate(Stage):
         self._since = None
         self._pending = None
         self._pending_len = None
+        self._scratch = None
 
 
 class HoldInterpolate(Stage):
@@ -486,11 +554,12 @@ class KalmanSmooth(Stage):
 
     The same filter as :class:`~repro.core.kalman.KalmanFilter1D`, but
     with the ``[distance, velocity]`` means and 2x2 covariances kept in
-    structure-of-arrays form over (session, antenna) and every 2x2
-    matrix product unrolled to elementwise arithmetic — one vectorized
-    update advances every antenna of every session. NaN inputs advance
-    the filter without a measurement (prediction), exactly as the
-    realtime loop needs.
+    structure-of-arrays form over (session, antenna); the unrolled
+    predict+update itself is the backend-dispatched
+    :func:`repro.kernels.kalman.kalman_tick` kernel — one call advances
+    every antenna of every session. NaN inputs advance the filter
+    without a measurement (prediction), exactly as the realtime loop
+    needs.
     """
 
     def __init__(
@@ -506,11 +575,9 @@ class KalmanSmooth(Stage):
         self.frame_dt_s = frame_dt_s
         self.process_noise = process_noise
         self.measurement_noise = measurement_noise
-        dt = frame_dt_s
-        # Discrete white-noise acceleration model.
-        self._q00 = process_noise * (dt**4 / 4.0)
-        self._q01 = process_noise * (dt**3 / 2.0)
-        self._q11 = process_noise * (dt**2)
+        self._q00, self._q01, self._q11 = dwna_process_noise(
+            frame_dt_s, process_noise
+        )
         self._capacity = 1
         self._mean: np.ndarray | None = None  # (capacity, n_rx, 2)
         self._cov: np.ndarray | None = None  # (capacity, n_rx, 2, 2)
@@ -553,64 +620,20 @@ class KalmanSmooth(Stage):
 
     def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
         self._ensure(values.shape[1])
-        mean = self._mean[slots]
-        cov = self._cov[slots]
-        live = self._initialized[slots]
-        measured = ~np.isnan(values)
-        dt = self.frame_dt_s
-
-        # Predict (all initialized filters advance, measured or not).
-        m0, m1 = mean[..., 0], mean[..., 1]
-        c00, c01 = cov[..., 0, 0], cov[..., 0, 1]
-        c10, c11 = cov[..., 1, 0], cov[..., 1, 1]
-        pm0 = m0 + dt * m1
-        a00 = c00 + dt * c10
-        a01 = c01 + dt * c11
-        p00 = (a00 + a01 * dt) + self._q00
-        p01 = a01 + self._q01
-        p10 = (c10 + c11 * dt) + self._q01
-        p11 = c11 + self._q11
-
-        # Update (initialized filters with a measurement).
-        innovation = values - pm0
-        s = p00 + self.measurement_noise
-        g0 = p00 / s
-        g1 = p10 / s
-        um0 = pm0 + g0 * innovation
-        um1 = m1 + g1 * innovation
-        u00 = (1.0 - g0) * p00
-        u01 = (1.0 - g0) * p01
-        u10 = (-g1) * p00 + p10
-        u11 = (-g1) * p01 + p11
-
-        # First measurement initializes; NaN before that stays NaN.
-        r = self.measurement_noise
-        out = np.where(
-            measured,
-            np.where(live, um0, values),
-            np.where(live, pm0, np.nan),
-        )
-        new = np.empty_like(mean)
-        new[..., 0] = np.where(
-            measured, np.where(live, um0, values), np.where(live, pm0, m0)
-        )
-        new[..., 1] = np.where(measured, np.where(live, um1, 0.0), m1)
-        newc = np.empty_like(cov)
-        newc[..., 0, 0] = np.where(
-            measured, np.where(live, u00, r), np.where(live, p00, c00)
-        )
-        newc[..., 0, 1] = np.where(
-            measured, np.where(live, u01, 0.0), np.where(live, p01, c01)
-        )
-        newc[..., 1, 0] = np.where(
-            measured, np.where(live, u10, 0.0), np.where(live, p10, c10)
-        )
-        newc[..., 1, 1] = np.where(
-            measured, np.where(live, u11, 1.0), np.where(live, p11, c11)
+        out, new, newc, new_live = kalman_tick(
+            values,
+            self._mean[slots],
+            self._cov[slots],
+            self._initialized[slots],
+            self.frame_dt_s,
+            self._q00,
+            self._q01,
+            self._q11,
+            self.measurement_noise,
         )
         self._mean[slots] = new
         self._cov[slots] = newc
-        self._initialized[slots] = live | measured
+        self._initialized[slots] = new_live
         return out
 
     def process_tick(self, tick):

@@ -203,6 +203,19 @@ class ServingEngine:
             self.admission.retired(session)
         return result
 
+    def stage_profile(self) -> "StageProfiler":
+        """Merged per-stage {calls, wall, bytes} across the whole engine.
+
+        Counters accumulate while pipelines run with profiling enabled
+        (``REPRO_PROFILE=1`` or
+        :func:`repro.kernels.enable_profiling` before the engine is
+        built) and include cohorts already retired; with profiling off
+        the result is empty. Render with
+        :meth:`~repro.kernels.StageProfiler.table` or serialize with
+        :meth:`~repro.kernels.StageProfiler.as_dict`.
+        """
+        return self.scheduler.stage_profile()
+
     def resync(self) -> None:
         """Recover the shard IPC after an interrupted wait (Ctrl-C).
 

@@ -30,6 +30,7 @@ from time import perf_counter
 
 import numpy as np
 
+from ..kernels.profile import StageProfiler
 from ..pipeline.runner import Pipeline, PipelineResult
 from .session import Session, SessionSpec
 
@@ -93,6 +94,26 @@ class SessionManager:
         self.sessions: dict[int, Session] = {}
         self._next_id = 1
         self._split_seq = 0
+        #: Stage counters of dropped cohorts (profiling runs only), so
+        #: retiring the last member of a cohort doesn't lose its ticks.
+        self.retired_profile = StageProfiler()
+
+    def _harvest_profile(self, cohort: Cohort) -> None:
+        if cohort.pipeline.profiler is not None:
+            self.retired_profile.merge(cohort.pipeline.profiler)
+
+    def stage_profile(self) -> StageProfiler:
+        """Merged per-stage counters: live cohorts + dropped cohorts.
+
+        Empty unless pipelines were built with profiling enabled
+        (``REPRO_PROFILE=1`` or :func:`repro.kernels.enable_profiling`).
+        """
+        merged = StageProfiler()
+        merged.merge(self.retired_profile)
+        for cohort in self.cohorts.values():
+            if cohort.pipeline.profiler is not None:
+                merged.merge(cohort.pipeline.profiler)
+        return merged
 
     @property
     def num_sessions(self) -> int:
@@ -177,6 +198,7 @@ class SessionManager:
         session.cohort = target
         target.sessions[session.session_id] = session
         if not old.sessions:
+            self._harvest_profile(old)
             del self.cohorts[old.key]
 
     def retire(self, session: Session) -> PipelineResult:
@@ -200,6 +222,7 @@ class SessionManager:
             # Last member out: drop the cohort so a long-running engine
             # with churning heterogeneous specs cannot accumulate idle
             # pipelines (and their grown state arrays) without bound.
+            self._harvest_profile(cohort)
             del self.cohorts[cohort.key]
         return result
 
@@ -308,6 +331,10 @@ class Scheduler:
         self.frames_processed = 0
         self.splits = 0
         self.rejoins = 0
+
+    def stage_profile(self) -> StageProfiler:
+        """Merged per-stage counters (see :meth:`SessionManager.stage_profile`)."""
+        return self.manager.stage_profile()
 
     def _tick_cohort(self, cohort: Cohort, ready: list[Session]) -> int:
         """One lockstep pipeline tick over the given ready sessions."""

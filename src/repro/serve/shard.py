@@ -44,6 +44,7 @@ from time import perf_counter
 import numpy as np
 
 from ..exec.pool import WorkerCrash, WorkerPool, remote_failure
+from ..kernels.profile import StageProfiler
 from ..pipeline.runner import PipelineResult
 from .scheduler import Cohort, StragglerDetector
 from .session import AdmissionRefused, Session, SessionSpec, tick_row_fields
@@ -65,6 +66,7 @@ class ShardWorker:
         self.steps = 0
         self.frames_processed = 0
         self._fail_in: int | None = None
+        self._retired_profile = StageProfiler()
 
     # -- session lifecycle -------------------------------------------------
 
@@ -128,6 +130,8 @@ class ShardWorker:
         del cohort.sessions[session_id]
         cohort.release_slot(slot)
         if not cohort.sessions:
+            if cohort.pipeline.profiler is not None:
+                self._retired_profile.merge(cohort.pipeline.profiler)
             del self.cohorts[key]
 
     @property
@@ -199,6 +203,15 @@ class ShardWorker:
             "cohorts": len(self.cohorts),
             "sessions": self.num_sessions,
         }
+
+    def stage_profile(self) -> dict:
+        """This shard's merged per-stage counters (picklable dict)."""
+        merged = StageProfiler()
+        merged.merge(self._retired_profile)
+        for cohort in self.cohorts.values():
+            if cohort.pipeline.profiler is not None:
+                merged.merge(cohort.pipeline.profiler)
+        return merged.as_dict()
 
     def fail_next_step(self, after: int = 1) -> None:
         """Arm fault injection: the ``after``-th next step raises.
@@ -784,6 +797,28 @@ class DistributedScheduler:
             self._fail_shard(target.shard, [])
 
     # -- reporting ---------------------------------------------------------
+
+    def stage_profile(self) -> StageProfiler:
+        """Merged per-stage counters across every live shard.
+
+        Each shard replies with its own merged dict (live cohorts plus
+        the counters of cohorts already dropped on that shard); excluded
+        or crashed shards are skipped — their counters are lost with the
+        process, like any other shard-side state. Workers inherit the
+        profiling switch at fork, so set ``REPRO_PROFILE=1`` (or call
+        :func:`repro.kernels.enable_profiling` before building the
+        engine) for the counters to exist at all.
+        """
+        merged = StageProfiler()
+        for shard in self._live_shards():
+            try:
+                merged.merge(self.pool.invoke(shard, "stage_profile"))
+            except Exception as exc:
+                if not remote_failure(exc):
+                    raise
+                self.last_failure = exc
+                self._fail_shard(shard, [])
+        return merged
 
     def shard_report(self) -> list[dict]:
         """Per-shard summary: timings, exclusion, current placement."""

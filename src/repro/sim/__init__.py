@@ -19,7 +19,8 @@ from .motion import (
     waypoint_walk,
 )
 from .gestures import PointingGesture, pointing_session
-from .scenario import Scenario, ScenarioOutput
+from .scenario import Scenario, ScenarioOutput, ScenarioStream
+from .cohort import CohortFrameSource
 from .vicon import DepthCalibration, ViconSystem
 
 __all__ = [
@@ -42,6 +43,8 @@ __all__ = [
     "pointing_session",
     "Scenario",
     "ScenarioOutput",
+    "ScenarioStream",
+    "CohortFrameSource",
     "DepthCalibration",
     "ViconSystem",
 ]

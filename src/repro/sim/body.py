@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.backend import active_backend
+
 
 @dataclass(frozen=True)
 class HumanBody:
@@ -178,24 +180,65 @@ class GatedAR1:
 
         Output shape is ``(len(activity),)`` for scalar walks and
         ``(len(activity), dim)`` otherwise.
+
+        The noise draws are batched (``standard_normal`` consumes the
+        stream identically whether drawn singly or as an array) and the
+        sequential recurrence runs on native floats — same IEEE-754
+        operations in the same order as the one-step-at-a-time loop,
+        so chunked output stays bitwise reproducible. The ``reference``
+        backend keeps the one-draw-per-step loop (the executable spec,
+        and the honest pre-kernel-tier cost model); both paths emit
+        identical values.
         """
         n = len(activity)
-        out = np.empty(n) if self.dim is None else np.empty((n, self.dim))
-        state = self.state
+        if not active_backend().static_split:
+            out = np.empty(n) if self.dim is None else np.empty((n, self.dim))
+            state = self.state
+            for i in range(n):
+                out[i] = state
+                noise = (
+                    self.rng.standard_normal()
+                    if self.dim is None
+                    else self.rng.standard_normal(self.dim)
+                )
+                # Scale the *whole* OU update (mean reversion and
+                # noise) by the activity level: a still body freezes
+                # its scattering center instead of relaxing it toward
+                # the torso center.
+                state = state + activity[i] * (
+                    (self.rho - 1.0) * state + self.innovation * noise
+                )
+            self.state = state
+            return out
+        decay = self.rho - 1.0
+        inn = self.innovation
+        acts = np.asarray(activity, dtype=np.float64).tolist()
+        if self.dim is None:
+            out = np.empty(n)
+            draws = self.rng.standard_normal(n).tolist()
+            s = float(self.state)
+            for i in range(n):
+                out[i] = s
+                # Scale the *whole* OU update (mean reversion and
+                # noise) by the activity level: a still body freezes
+                # its scattering center instead of relaxing it toward
+                # the torso center.
+                s = s + acts[i] * (decay * s + inn * draws[i])
+            self.state = s
+            return out
+        out = np.empty((n, self.dim))
+        draws = self.rng.standard_normal((n, self.dim)).tolist()
+        state = [float(x) for x in np.atleast_1d(self.state)]
+        dims = range(self.dim)
         for i in range(n):
             out[i] = state
-            noise = (
-                self.rng.standard_normal()
-                if self.dim is None
-                else self.rng.standard_normal(self.dim)
-            )
-            # Scale the *whole* OU update (mean reversion and noise) by
-            # the activity level: a still body freezes its scattering
-            # center instead of relaxing it toward the torso center.
-            state = state + activity[i] * (
-                (self.rho - 1.0) * state + self.innovation * noise
-            )
-        self.state = state
+            a = acts[i]
+            row = draws[i]
+            state = [
+                state[j] + a * (decay * state[j] + inn * row[j])
+                for j in dims
+            ]
+        self.state = np.asarray(state)
         return out
 
 

@@ -1,0 +1,232 @@
+"""Cohort-fused synthetic frame source for the serving tier.
+
+A :class:`CohortFrameSource` drives N concurrent scenario sessions and
+synthesizes *all* of them — every antenna of every session — through
+one fused :meth:`repro.rf.receiver.SweepSynthesizer.synthesize_batch`
+call per chunk. Against N per-session :meth:`repro.sim.Scenario.frames`
+generators this removes the dominant serving-tier source cost: the
+scatter kernel runs once per chunk instead of 3N times, and static
+clutter (most of the path count) is evaluated once per stream instead
+of once per sweep (see :mod:`repro.kernels.synthesis`).
+
+The deterministic part — the noise-free spectra — is bitwise what the
+per-session path produces under the same backend; tests pin this.
+
+**Serving noise model.** Receiver noise keeps the same physical model
+as :meth:`repro.rf.receiver.SweepSynthesizer.add_noise` but a cheaper
+realization, keyed independently of the per-session path:
+
+* Noise is drawn at *frame* rate and broadcast across the
+  ``sweeps_per_frame`` sweeps of the frame, scaled by ``1/sqrt(spf)``.
+  The pipeline coherently averages the sweep axis on entry
+  (``Pipeline.tick``), and the mean of ``spf`` i.i.d. complex Gaussians
+  equals one Gaussian of ``1/spf`` the power — identical in
+  distribution for every downstream consumer, at a fifth of the draws.
+* Draws come from an ``SFC64`` stream keyed per
+  ``(session seed, antenna, 64-frame block)``, so the stream is
+  deterministic in the scenario seeds and invariant to both the chunk
+  size and the cohort's composition.
+
+Use :meth:`ticks` to drive a serving engine (one list of per-session
+``(n_rx, spf, n_bins)`` blocks per frame step) or :meth:`session_streams`
+for per-session iterators consumed in lockstep.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+import numpy as np
+
+from ..kernels.backend import active_backend
+from .scenario import Scenario, ScenarioStream
+
+#: Domain-separation key of the serving noise streams (vs the
+#: per-session frames() noise keyed with 65_537).
+_NOISE_KEY = 131_071
+#: Frames per noise block; fixed so draws do not depend on chunking.
+_NOISE_BLOCK_FRAMES = 64
+
+
+class CohortFrameSource:
+    """Fused synthetic sweep-frame source for N concurrent sessions.
+
+    Args:
+        scenarios: one :class:`Scenario` per session. All must share
+            the same FMCW/pipeline geometry (same bins per sweep,
+            sweeps per frame); seeds should differ or sessions will be
+            correlated.
+        chunk_frames: frames synthesized per fused kernel pass — the
+            memory/latency knob; the output does not depend on it.
+        noise: apply the serving noise model (see module docstring).
+            ``False`` yields the noise-free spectra the parity tests
+            pin against per-session synthesis.
+    """
+
+    def __init__(
+        self,
+        scenarios: list[Scenario],
+        chunk_frames: int = 64,
+        noise: bool = True,
+    ) -> None:
+        if not scenarios:
+            raise ValueError("need at least one scenario")
+        if chunk_frames < 1:
+            raise ValueError("chunk_frames must be >= 1")
+        self.streams = [ScenarioStream(s) for s in scenarios]
+        first = self.streams[0]
+        for st in self.streams[1:]:
+            if (
+                st.synthesizer.num_bins != first.synthesizer.num_bins
+                or st.spf != first.spf
+                or st.num_rx != first.num_rx
+            ):
+                raise ValueError(
+                    "cohort sessions must share FMCW/pipeline geometry"
+                )
+        self.chunk_frames = chunk_frames
+        self.noise = noise
+        self.num_sessions = len(self.streams)
+        self.num_rx = first.num_rx
+        self.num_bins = first.synthesizer.num_bins
+        self.spf = first.spf
+        self.n_frames = min(st.n_frames for st in self.streams)
+        self._template: np.ndarray | None = None
+
+    def _clutter_template(self) -> np.ndarray:
+        """Per-stream static clutter spectra, shape ``(n_streams, n_bins)``.
+
+        Clutter never changes between chunks, so the template that
+        ``synthesize_batch``'s static-path split would rebuild every
+        chunk is computed once here and pre-filled into the fused
+        output buffer. The add order is unchanged — template first,
+        then the dynamic scatters — so results stay bitwise identical.
+        """
+        if self._template is None:
+            clutter_sets = [
+                list(st._clutter)
+                for st in self.streams
+                for _ in range(self.num_rx)
+            ]
+            self._template = self.streams[0].synthesizer.synthesize_batch(
+                clutter_sets, 1
+            )[:, 0, :]
+        return self._template
+
+    def ticks(self) -> Iterator[list[np.ndarray]]:
+        """Yield one list of per-session blocks per frame step.
+
+        Each yielded list holds ``num_sessions`` views of shape
+        ``(n_rx, spf, n_bins)`` — the exact per-session input of
+        ``ServingSession.offer``.
+        """
+        synthesizer = self.streams[0].synthesizer
+        spf = self.spf
+        n_rx = self.num_rx
+        # Only backends that split static paths build a clutter
+        # template; under the reference backend the full path sets go
+        # through unchanged so per-session parity holds there too.
+        template = (
+            self._clutter_template()
+            if active_backend().static_split
+            else None
+        )
+        for f0 in range(0, self.n_frames, self.chunk_frames):
+            f1 = min(f0 + self.chunk_frames, self.n_frames)
+            n_sweeps = (f1 - f0) * spf
+            path_sets: list = []
+            for st in self.streams:
+                sets = st.path_sets(*st.advance(f0, f1))
+                if template is not None:
+                    sets = [ps[len(st._clutter) :] for ps in sets]
+                path_sets.extend(sets)
+            if template is not None:
+                out = np.empty(
+                    (len(path_sets), n_sweeps, self.num_bins),
+                    dtype=np.complex128,
+                )
+                out[:] = template[:, None, :]
+                fused = synthesizer.synthesize_batch(
+                    path_sets, n_sweeps, out=out
+                )
+            else:
+                fused = synthesizer.synthesize_batch(path_sets, n_sweeps)
+            chunk = fused.reshape(
+                self.num_sessions, n_rx, n_sweeps, self.num_bins
+            )
+            if self.noise:
+                for k, st in enumerate(self.streams):
+                    self._serving_noise(chunk[k], st, f0, f1)
+            for f in range(f0, f1):
+                row = (f - f0) * spf
+                yield [
+                    chunk[k][:, row : row + spf, :]
+                    for k in range(self.num_sessions)
+                ]
+
+    def session_streams(self) -> list[Iterator[np.ndarray]]:
+        """Per-session block iterators backed by the shared fused ticks.
+
+        Intended for lockstep consumption (a serving loop offering one
+        frame per session per tick); a lagging consumer only grows the
+        leader's buffer by the lag, not the whole stream.
+        """
+        buffers = [deque() for _ in range(self.num_sessions)]
+        ticks = self.ticks()
+
+        def gen(k: int) -> Iterator[np.ndarray]:
+            while True:
+                if not buffers[k]:
+                    try:
+                        blocks = next(ticks)
+                    except StopIteration:
+                        return
+                    for q, b in zip(buffers, blocks):
+                        q.append(b)
+                yield buffers[k].popleft()
+
+        return [gen(k) for k in range(self.num_sessions)]
+
+    def _serving_noise(
+        self, block: np.ndarray, st: ScenarioStream, f0: int, f1: int
+    ) -> None:
+        """Frame-rate thermal noise + phase jitter, in place.
+
+        ``block`` is ``(n_rx, (f1-f0)*spf, n_bins)``. Per antenna and
+        64-frame noise block, one keyed SFC64 stream supplies the
+        frame-level complex floor (broadcast across the frame's sweeps
+        at ``1/sqrt(spf)`` power) and the per-frame phase jitter.
+        """
+        syn = st.synthesizer
+        noise = syn.noise
+        spf = self.spf
+        seed = st.scenario.seed
+        sigma = (
+            syn._noise_scale()
+            * noise.noise_amplitude
+            / np.sqrt(2.0)
+            / np.sqrt(spf)
+        )
+        nb = self.num_bins
+        frames = block.reshape(self.num_rx, f1 - f0, spf, nb)
+        bsz = _NOISE_BLOCK_FRAMES
+        for i in range(self.num_rx):
+            for b in range(f0 // bsz, (f1 - 1) // bsz + 1):
+                rng = np.random.Generator(
+                    np.random.SFC64(
+                        np.random.SeedSequence([seed, _NOISE_KEY, i, b])
+                    )
+                )
+                w = rng.standard_normal((2, bsz, nb))
+                eps = rng.standard_normal((bsz, 1))
+                lo = max(f0, b * bsz)
+                hi = min(f1, (b + 1) * bsz)
+                sel = slice(lo - b * bsz, hi - b * bsz)
+                rows = frames[i, lo - f0 : hi - f0]
+                c = sigma * (w[0, sel] + 1j * w[1, sel])
+                rows += c[:, None, :]
+                rows *= np.exp(
+                    1j * noise.phase_noise_std_rad * eps[sel]
+                )[:, :, None]
+        return None

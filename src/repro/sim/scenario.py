@@ -25,6 +25,7 @@ import numpy as np
 
 from ..config import SystemConfig, default_config
 from ..geometry.antennas import Antenna, AntennaArray, t_array
+from ..kernels.backend import active_backend
 from ..rf.fmcw import range_axis
 from ..rf.multipath import make_static_clutter, mirror_point
 from ..rf.noise import NoiseModel
@@ -196,50 +197,8 @@ class Scenario:
         """
         if chunk_frames < 1:
             raise ValueError("chunk_frames must be >= 1")
-        cfg = self.config
-        fmcw = cfg.fmcw
-        dt = fmcw.sweep_duration_s
-        spf = cfg.pipeline.sweeps_per_frame
-        n_frames = self.num_stream_frames  # num_sweeps // spf, as run()
-
-        reflection = ReflectionModel(self.body)
-        surface_stream = reflection.stream(
-            dt,
-            np.random.default_rng(self.seed),
-            device_position=self.array.tx.position,
-            floor_z=self.room.floor_z,
-        )
-        clutter = self._clutter(np.random.default_rng([self.seed, 104_729]))
-        noise = NoiseModel(
-            noise_figure_db=cfg.simulation.noise_figure_db,
-            bandwidth_hz=1.0 / dt,
-        )
-        synthesizer = SweepSynthesizer(
-            fmcw, noise, max_range_m=cfg.pipeline.max_range_m
-        )
-        wall_std = (
-            self.room.wall_tof_jitter_std_m
-            if self.room.is_through_wall
-            else 0.0
-        )
-        wall_walks = None
-        if wall_std > 0.0:
-            wall_rho = float(np.exp(-dt / _WALL_JITTER_TAU_S))
-            wall_walks = [
-                GatedAR1(
-                    wall_rho, np.random.default_rng(self.seed * 7919 + i + 1)
-                )
-                for i in range(self.array.num_receivers)
-            ]
-        hand_walk = None
-        prev_hand: np.ndarray | None = None
-        if self.gesture is not None:
-            hand_walk = GatedAR1(
-                float(np.exp(-dt / _HAND_WANDER_TAU_S)),
-                np.random.default_rng(self.seed * 31 + 5),
-                dim=3,
-            )
-        unused_rng = np.random.default_rng(0)
+        stream = ScenarioStream(self)
+        n_frames = stream.n_frames  # num_sweeps // spf, as run()
 
         stop = n_frames if stop_frame is None else int(stop_frame)
         start = int(start_frame)
@@ -249,59 +208,22 @@ class Scenario:
                 f"[{start_frame}, {stop_frame})"
             )
 
-        def advance(f0: int, f1: int) -> tuple:
-            """Advance every streaming state over frames [f0, f1)."""
-            nonlocal prev_hand
-            sweep_times = np.arange(f0 * spf, f1 * spf) * dt
-            centers = self.trajectory.resample(sweep_times)
-            activity = surface_stream.activity(centers)
-            surface = surface_stream.points(centers, activity=activity)
-            hand = None
-            if self.gesture is not None:
-                assert hand_walk is not None
-                hand, prev_hand = self._hand_chunk(
-                    sweep_times, dt, hand_walk, prev_hand
-                )
-            jitters = None
-            if wall_walks is not None:
-                jitters = [
-                    wall_std * walk.advance(activity) for walk in wall_walks
-                ]
-            return surface, hand, jitters
-
         # Fast-forward the skipped prefix: the AR textures are sequential
         # per sweep, so a shard must advance them — but not run the
         # (expensive) sweep synthesis; noise is keyed per frame and needs
         # no advancing at all.
         for f0 in range(0, start, chunk_frames):
-            advance(f0, min(f0 + chunk_frames, start))
+            stream.advance(f0, min(f0 + chunk_frames, start))
 
+        spf = stream.spf
         for f0 in range(start, stop, chunk_frames):
             f1 = min(f0 + chunk_frames, stop)
-            s0, s1 = f0 * spf, f1 * spf
-            surface, hand, jitters = advance(f0, f1)
-            chunk = np.empty(
-                (self.array.num_receivers, s1 - s0, synthesizer.num_bins),
-                dtype=np.complex128,
-            )
-            for i, rx in enumerate(self.array.rx):
-                jitter = (
-                    jitters[i] if jitters is not None else np.zeros(s1 - s0)
-                )
-                paths = self._paths_for_antenna(
-                    rx, surface, hand, clutter, jitter
-                )
-                block = synthesizer.synthesize(
-                    paths, s1 - s0, unused_rng, add_noise=False
-                )
-                # Noise keyed per (antenna, frame): chunk-size invariant.
-                for f in range(f0, f1):
-                    row = (f - f0) * spf
-                    synthesizer.add_noise(
-                        block[row : row + spf],
-                        np.random.default_rng([self.seed, 65_537, i, f]),
-                    )
-                chunk[i] = block
+            # All antennas fused into one scatter-kernel pass; noise is
+            # then keyed per (antenna, frame) so output stays
+            # chunk-size invariant.
+            chunk = stream.synthesize(f0, f1, *stream.advance(f0, f1))
+            for i in range(chunk.shape[0]):
+                stream.add_keyed_noise(chunk[i], i, f0, f1)
             for f in range(f0, f1):
                 row = (f - f0) * spf
                 yield chunk[:, row : row + spf, :]
@@ -370,13 +292,17 @@ class Scenario:
         speed = np.concatenate([step[:1], step]) / fmcw.sweep_duration_s
         activity = np.clip(speed / 0.5, 0.0, 1.0)
 
+        # Transmit-side hoisting is a kernel-tier optimization; the
+        # reference backend recomputes per antenna (the original cost
+        # model). Values are identical either way.
+        tx_cache = {} if active_backend().static_split else None
         for i, rx in enumerate(self.array.rx):
             rx_rng = np.random.default_rng(self.seed * 7919 + i + 1)
             wall_jitter = self._wall_jitter(
                 n_sweeps, fmcw.sweep_duration_s, rx_rng, activity
             )
             paths = self._paths_for_antenna(
-                rx, surface, hand, clutter, wall_jitter
+                rx, surface, hand, clutter, wall_jitter, tx_cache=tx_cache
             )
             spectra[i] = synthesizer.synthesize(paths, n_sweeps, rx_rng)
             true_round_trips[i] = _segment_lengths(
@@ -455,14 +381,23 @@ class Scenario:
         points: np.ndarray,
         rcs_m2: float,
         extra_loss_db: float,
+        tx_side: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
-        """Vectorized bistatic radar amplitude toward each point."""
+        """Vectorized bistatic radar amplitude toward each point.
+
+        ``tx_side`` optionally supplies precomputed ``(g_tx, d_tx)``
+        toward ``points`` — the transmit side is identical for every
+        receive antenna, so per-chunk path resolution hoists it.
+        """
         cfg = self.config
         lam = wavelength(cfg.fmcw)
         beam = cfg.array.beam_exponent
-        g_tx = _vector_gain(tx.position, tx.boresight, points, beam)
+        if tx_side is None:
+            g_tx = _vector_gain(tx.position, tx.boresight, points, beam)
+            d_tx = np.maximum(_segment_lengths(tx.position, points), 0.1)
+        else:
+            g_tx, d_tx = tx_side
         g_rx = _vector_gain(rx_position, rx_boresight, points, beam)
-        d_tx = np.maximum(_segment_lengths(tx.position, points), 0.1)
         d_rx = np.maximum(_segment_lengths(rx_position, points), 0.1)
         total_loss_db = (
             extra_loss_db
@@ -523,6 +458,7 @@ class Scenario:
         hand: np.ndarray | None,
         clutter: list[Path],
         wall_jitter: np.ndarray,
+        tx_cache: dict | None = None,
     ) -> list[Path]:
         """Resolve every propagation path seen by one receive antenna.
 
@@ -530,12 +466,28 @@ class Scenario:
         traverses the front wall (all body-related paths in the
         through-wall setting); static clutter keeps its exact delay so
         background subtraction still cancels it.
+
+        ``tx_cache`` (a dict shared across the antennas of one chunk)
+        memoizes the transmit-side distances and gains, which do not
+        depend on the receive antenna — reuse is exact, the values are
+        the same arrays every antenna would recompute.
         """
         tx = self.array.tx
+        beam = self.config.array.beam_exponent
+        cache = tx_cache if tx_cache is not None else {}
         paths: list[Path] = list(clutter)
 
         # Direct body reflection.
-        d_tx = _segment_lengths(tx.position, surface)
+        if "surface" not in cache:
+            d = _segment_lengths(tx.position, surface)
+            cache["surface"] = (
+                d,
+                (
+                    _vector_gain(tx.position, tx.boresight, surface, beam),
+                    np.maximum(d, 0.1),
+                ),
+            )
+        d_tx, tx_side = cache["surface"]
         d_rx = _segment_lengths(rx.position, surface)
         paths.append(
             Path(
@@ -543,6 +495,7 @@ class Scenario:
                 amplitude=self._amplitudes(
                     tx, rx.position, rx.boresight, surface,
                     self.body.torso_rcs_m2, extra_loss_db=0.0,
+                    tx_side=tx_side,
                 ),
                 name="body-direct",
             )
@@ -565,6 +518,7 @@ class Scenario:
                         tx, image_pos, image_boresight, surface,
                         self.body.torso_rcs_m2,
                         extra_loss_db=self.room.side_wall_reflection_loss_db,
+                        tx_side=tx_side,
                     ),
                     name=f"multipath-{wall_name}",
                 )
@@ -572,18 +526,158 @@ class Scenario:
 
         # The moving hand during a pointing gesture.
         if hand is not None:
+            if "hand" not in cache:
+                d = _segment_lengths(tx.position, hand)
+                cache["hand"] = (
+                    d,
+                    (
+                        _vector_gain(tx.position, tx.boresight, hand, beam),
+                        np.maximum(d, 0.1),
+                    ),
+                )
+            d_tx_hand, hand_side = cache["hand"]
             paths.append(
                 Path(
                     round_trip_m=(
-                        _segment_lengths(tx.position, hand)
+                        d_tx_hand
                         + _segment_lengths(rx.position, hand)
                         + wall_jitter
                     ),
                     amplitude=self._amplitudes(
                         tx, rx.position, rx.boresight, hand,
                         self.body.arm_rcs_m2, extra_loss_db=0.0,
+                        tx_side=hand_side,
                     ),
                     name="hand",
                 )
             )
         return paths
+
+
+class ScenarioStream:
+    """Streaming synthesis state of one scenario.
+
+    Owns everything :meth:`Scenario.frames` carries between chunks —
+    the surface-wander stream, the static clutter field, the wall and
+    hand AR(1) walks, the synthesizer — and splits chunk production
+    into the three steps a cohort-fused source needs individually:
+    :meth:`advance` (sequential AR-texture state), :meth:`path_sets`
+    (per-antenna propagation paths), and synthesis. ``frames()`` is one
+    stream consumed alone; :class:`repro.sim.cohort.CohortFrameSource`
+    advances N of these and hands all their path sets to a single
+    fused ``synthesize_batch`` call per chunk.
+    """
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        cfg = scenario.config
+        self.dt = cfg.fmcw.sweep_duration_s
+        self.spf = cfg.pipeline.sweeps_per_frame
+        self.n_frames = scenario.num_stream_frames
+        reflection = ReflectionModel(scenario.body)
+        self._surface_stream = reflection.stream(
+            self.dt,
+            np.random.default_rng(scenario.seed),
+            device_position=scenario.array.tx.position,
+            floor_z=scenario.room.floor_z,
+        )
+        self._clutter = scenario._clutter(
+            np.random.default_rng([scenario.seed, 104_729])
+        )
+        noise = NoiseModel(
+            noise_figure_db=cfg.simulation.noise_figure_db,
+            bandwidth_hz=1.0 / self.dt,
+        )
+        self.synthesizer = SweepSynthesizer(
+            cfg.fmcw, noise, max_range_m=cfg.pipeline.max_range_m
+        )
+        self.num_rx = scenario.array.num_receivers
+        wall_std = (
+            scenario.room.wall_tof_jitter_std_m
+            if scenario.room.is_through_wall
+            else 0.0
+        )
+        self._wall_std = wall_std
+        self._wall_walks = None
+        if wall_std > 0.0:
+            wall_rho = float(np.exp(-self.dt / _WALL_JITTER_TAU_S))
+            self._wall_walks = [
+                GatedAR1(
+                    wall_rho,
+                    np.random.default_rng(scenario.seed * 7919 + i + 1),
+                )
+                for i in range(self.num_rx)
+            ]
+        self._hand_walk = None
+        self._prev_hand: np.ndarray | None = None
+        if scenario.gesture is not None:
+            self._hand_walk = GatedAR1(
+                float(np.exp(-self.dt / _HAND_WANDER_TAU_S)),
+                np.random.default_rng(scenario.seed * 31 + 5),
+                dim=3,
+            )
+
+    def advance(self, f0: int, f1: int) -> tuple:
+        """Advance every streaming state over frames ``[f0, f1)``.
+
+        Returns ``(surface, hand, jitters)`` for :meth:`path_sets`.
+        Chunks must be consumed in order without gaps — the AR textures
+        are sequential per sweep.
+        """
+        scn = self.scenario
+        sweep_times = np.arange(f0 * self.spf, f1 * self.spf) * self.dt
+        centers = scn.trajectory.resample(sweep_times)
+        activity = self._surface_stream.activity(centers)
+        surface = self._surface_stream.points(centers, activity=activity)
+        hand = None
+        if scn.gesture is not None:
+            assert self._hand_walk is not None
+            hand, self._prev_hand = scn._hand_chunk(
+                sweep_times, self.dt, self._hand_walk, self._prev_hand
+            )
+        jitters = None
+        if self._wall_walks is not None:
+            jitters = [
+                self._wall_std * walk.advance(activity)
+                for walk in self._wall_walks
+            ]
+        return surface, hand, jitters
+
+    def path_sets(self, surface, hand, jitters) -> list:
+        """Per-antenna path lists for one advanced chunk (length n_rx)."""
+        scn = self.scenario
+        n_sweeps = len(surface)
+        # Cross-antenna tx-side reuse only under optimizing backends;
+        # see Scenario.run.
+        tx_cache = {} if active_backend().static_split else None
+        return [
+            scn._paths_for_antenna(
+                rx,
+                surface,
+                hand,
+                self._clutter,
+                jitters[i] if jitters is not None else np.zeros(n_sweeps),
+                tx_cache=tx_cache,
+            )
+            for i, rx in enumerate(scn.array.rx)
+        ]
+
+    def synthesize(self, f0: int, f1: int, surface, hand, jitters):
+        """Noise-free chunk spectra ``(n_rx, (f1-f0)*spf, n_bins)``."""
+        return self.synthesizer.synthesize_batch(
+            self.path_sets(surface, hand, jitters), (f1 - f0) * self.spf
+        )
+
+    def add_keyed_noise(self, block, i: int, f0: int, f1: int) -> None:
+        """Thermal noise + phase jitter for one antenna's chunk, in place.
+
+        Keyed per (antenna, frame) so the result is chunk-size
+        invariant and shards reproduce the full stream bitwise.
+        """
+        spf = self.spf
+        for f in range(f0, f1):
+            row = (f - f0) * spf
+            self.synthesizer.add_noise(
+                block[row : row + spf],
+                np.random.default_rng([self.scenario.seed, 65_537, i, f]),
+            )
