@@ -48,6 +48,7 @@ from repro.exec import (
     pool_available,
     resolve_workers,
     results_identical,
+    shm_available,
     synthesize,
 )
 from repro.kernels import backend_name, set_backend
@@ -94,14 +95,17 @@ def run_baseline(config, range_bin_m, blocks, n_frames) -> dict:
     return {"wall_s": wall_s, "p95_latency_ms": 1e3 * float(np.max(p95s))}
 
 
-def run_lockstep(config, range_bin_m, blocks, n_frames, workers=0) -> dict:
+def run_lockstep(
+    config, range_bin_m, blocks, n_frames, workers=0, transport=None
+) -> dict:
     """One engine, N admitted sessions, one vectorized tick per step.
 
     ``workers=0`` is the in-process engine; ``workers>=1`` fronts that
     many shard worker processes (the distributed tier) and additionally
-    reports per-shard tick times and IPC overhead.
+    reports per-shard tick times, IPC overhead, and per-transport byte
+    counters (``transport`` picks the shard data plane: pipe or shm).
     """
-    with ServingEngine(workers=workers) as engine:
+    with ServingEngine(workers=workers, transport=transport) as engine:
         spec = single_session(config, range_bin_m)
         sessions = [engine.admit(spec) for _ in blocks]
         start = time.perf_counter()
@@ -126,6 +130,8 @@ def run_lockstep(config, range_bin_m, blocks, n_frames, workers=0) -> dict:
             shards = engine.scheduler.shard_report()
             out["shards"] = shards
             out["num_shards"] = engine.scheduler.num_shards
+            out["transport"] = engine.transport
+            out["transport_stats"] = engine.transport_stats()
             with np.errstate(all="ignore"):
                 out["tick_p95_ms"] = float(
                     np.nanmax([s["tick_p95_ms"] for s in shards])
@@ -137,6 +143,34 @@ def run_lockstep(config, range_bin_m, blocks, n_frames, workers=0) -> dict:
                     np.nanmean([s["ipc_overhead_mean_ms"] for s in shards])
                 )
     return out
+
+
+def _transports() -> list[str]:
+    """Transports to benchmark: always pipe, plus shm when the host has it."""
+    return ["pipe", "shm"] if shm_available() else ["pipe"]
+
+
+def _transport_comparison(by_transport: dict) -> dict:
+    """Pipe-vs-shm IPC overhead delta for the trajectory JSON."""
+    pipe_ms = by_transport["pipe"]["ipc_overhead_mean_ms"]
+    shm_ms = by_transport["shm"]["ipc_overhead_mean_ms"]
+    return {
+        "ipc_overhead_pipe_ms": pipe_ms,
+        "ipc_overhead_shm_ms": shm_ms,
+        "ipc_overhead_pipe_over_shm": (
+            pipe_ms / shm_ms if shm_ms > 0 else float("nan")
+        ),
+        "bytes_shm": by_transport["shm"]["transport_stats"]["bytes_shm"],
+        "bytes_pickled_pipe": (
+            by_transport["pipe"]["transport_stats"]["bytes_pickled"]
+        ),
+        "bytes_pickled_shm": (
+            by_transport["shm"]["transport_stats"]["bytes_pickled"]
+        ),
+        "arena_overflows": (
+            by_transport["shm"]["transport_stats"]["arena_overflows"]
+        ),
+    }
 
 
 def serial_references(config, range_bin_m, blocks) -> list:
@@ -183,27 +217,42 @@ def bench_serving(n_sessions: int, duration_s: float, workers: int = 0) -> dict:
         if "stage_profile" in lockstep:
             row["stage_profile"] = lockstep["stage_profile"]
         if workers > 0:
-            dist = run_lockstep(
-                config, range_bin_m, blocks, n_frames, workers=workers
-            )
-            row["distributed"] = {
-                "workers": workers,
-                "num_shards": dist["num_shards"],
-                "wall_s": dist["wall_s"],
-                "fps": total / dist["wall_s"],
-                "speedup_vs_lockstep": lockstep["wall_s"] / dist["wall_s"],
-                "p95_latency_ms": dist["p95_latency_ms"],
-                "p99_latency_ms": dist["p99_latency_ms"],
-                "within_75ms_budget": dist["p95_latency_ms"] <= 75.0,
-                "tick_p95_ms": dist["tick_p95_ms"],
-                "tick_p99_ms": dist["tick_p99_ms"],
-                "ipc_overhead_mean_ms": dist["ipc_overhead_mean_ms"],
-                "shards": dist["shards"],
-                "identical_to_serial": all(
-                    results_identical(result, ref)
-                    for result, ref in zip(dist["results"], refs)
-                ),
-            }
+            # One distributed run per available transport: "distributed"
+            # stays the pipe row (artifact continuity across PRs) and
+            # "distributed_shm" rides alongside, with a comparison row
+            # so the trajectory JSON tracks the IPC delta directly.
+            by_transport = {}
+            for transport in _transports():
+                dist = run_lockstep(
+                    config, range_bin_m, blocks, n_frames,
+                    workers=workers, transport=transport,
+                )
+                by_transport[transport] = {
+                    "workers": workers,
+                    "transport": transport,
+                    "num_shards": dist["num_shards"],
+                    "wall_s": dist["wall_s"],
+                    "fps": total / dist["wall_s"],
+                    "speedup_vs_lockstep": lockstep["wall_s"] / dist["wall_s"],
+                    "p95_latency_ms": dist["p95_latency_ms"],
+                    "p99_latency_ms": dist["p99_latency_ms"],
+                    "within_75ms_budget": dist["p95_latency_ms"] <= 75.0,
+                    "tick_p95_ms": dist["tick_p95_ms"],
+                    "tick_p99_ms": dist["tick_p99_ms"],
+                    "ipc_overhead_mean_ms": dist["ipc_overhead_mean_ms"],
+                    "transport_stats": dist["transport_stats"],
+                    "shards": dist["shards"],
+                    "identical_to_serial": all(
+                        results_identical(result, ref)
+                        for result, ref in zip(dist["results"], refs)
+                    ),
+                }
+            row["distributed"] = by_transport["pipe"]
+            if "shm" in by_transport:
+                row["distributed_shm"] = by_transport["shm"]
+                row["transport_comparison"] = _transport_comparison(
+                    by_transport
+                )
         rows.append(row)
     return {
         "duration_s": duration_s,
@@ -235,9 +284,12 @@ def _synthetic_scenarios(n_sessions: int, duration_s: float) -> list:
     ]
 
 
-def _serve_streams(config, range_bin_m, streams, n_frames) -> dict:
+def _serve_streams(
+    config, range_bin_m, streams, n_frames,
+    workers=0, transport=None, keep_results=False,
+) -> dict:
     """Feed per-session block iterators through one lockstep engine."""
-    with ServingEngine() as engine:
+    with ServingEngine(workers=workers, transport=transport) as engine:
         spec = single_session(config, range_bin_m)
         sessions = [engine.admit(spec) for _ in streams]
         start = time.perf_counter()
@@ -249,10 +301,26 @@ def _serve_streams(config, range_bin_m, streams, n_frames) -> dict:
         wall_s = time.perf_counter() - start
         results = [engine.close(s) for s in sessions]
         profile = _stage_profile(engine)
+        shards = (
+            engine.scheduler.shard_report() if engine.distributed else None
+        )
+        transport_stats = engine.transport_stats()
     p95s = [r.latency.p95_s for r in results]
     out = {"wall_s": wall_s, "p95_latency_ms": 1e3 * float(np.max(p95s))}
+    if keep_results:
+        out["results"] = results
     if profile is not None:
         out["stage_profile"] = profile
+    if shards is not None:
+        out["shards"] = shards
+        out["transport_stats"] = transport_stats
+        with np.errstate(all="ignore"):
+            out["tick_p95_ms"] = float(
+                np.nanmax([s["tick_p95_ms"] for s in shards])
+            )
+            out["ipc_overhead_mean_ms"] = float(
+                np.nanmean([s["ipc_overhead_mean_ms"] for s in shards])
+            )
     return out
 
 
@@ -272,8 +340,59 @@ def _fused_parity(scenarios, check_frames: int = 8) -> bool:
     return ok
 
 
+def _synthetic_distributed(
+    config, range_bin_m, scenarios, chunk_frames, n_frames, workers
+) -> dict:
+    """Distributed synthetic serving, once per transport, bit-checked.
+
+    Streams regenerate deterministically from the scenarios, so the
+    in-process run and each transport's distributed run consume
+    identical frames; any output divergence is a transport bug.
+    """
+    def build_streams():
+        return CohortFrameSource(
+            scenarios, chunk_frames=chunk_frames
+        ).session_streams()
+
+    reference = _serve_streams(
+        config, range_bin_m, build_streams(), n_frames, keep_results=True
+    )
+    total = len(scenarios) * n_frames
+    transports = {}
+    for transport in _transports():
+        dist = _serve_streams(
+            config, range_bin_m, build_streams(), n_frames,
+            workers=workers, transport=transport, keep_results=True,
+        )
+        transports[transport] = {
+            "wall_s": dist["wall_s"],
+            "fps": total / dist["wall_s"],
+            "p95_latency_ms": dist["p95_latency_ms"],
+            "tick_p95_ms": dist["tick_p95_ms"],
+            "ipc_overhead_mean_ms": dist["ipc_overhead_mean_ms"],
+            "transport_stats": dist["transport_stats"],
+            "identical_to_in_process": all(
+                results_identical(result, ref)
+                for result, ref in zip(dist["results"], reference["results"])
+            ),
+        }
+    out = {
+        "workers": workers,
+        "in_process_wall_s": reference["wall_s"],
+        "transports": transports,
+    }
+    if "shm" in transports:
+        pipe_ms = transports["pipe"]["ipc_overhead_mean_ms"]
+        shm_ms = transports["shm"]["ipc_overhead_mean_ms"]
+        out["ipc_overhead_pipe_over_shm"] = (
+            pipe_ms / shm_ms if shm_ms > 0 else float("nan")
+        )
+    return out
+
+
 def bench_synthetic(n_sessions: int, duration_s: float,
-                    chunk_frames: int = 64, repeats: int = 3) -> dict:
+                    chunk_frames: int = 64, repeats: int = 3,
+                    workers: int = 0) -> dict:
     """Synthesis-inclusive serving: fused cohort source vs per-session.
 
     The baseline is the pre-kernel-tier cost model: the ``reference``
@@ -283,6 +402,11 @@ def bench_synthetic(n_sessions: int, duration_s: float,
     N sessions per chunk through one :class:`CohortFrameSource` batch
     call. Both feed the identical lockstep engine, so the ratio is the
     serving-tier frames/s gain a deployment sees.
+
+    With ``workers >= 1`` the top session count also runs distributed
+    once per available transport (pipe, shm) — fused synthesis feeding
+    shard workers — recording per-transport IPC overhead, byte
+    counters, and a bit-exactness check against the in-process run.
     """
     restore = backend_name()
     rows = []
@@ -343,6 +467,12 @@ def bench_synthetic(n_sessions: int, duration_s: float,
             }
             if "stage_profile" in fused:
                 row["stage_profile"] = fused["stage_profile"]
+            if workers > 0 and n == counts[-1]:
+                set_backend("numpy")
+                row["distributed"] = _synthetic_distributed(
+                    config, range_bin_m, scenarios, chunk_frames,
+                    n_frames, workers,
+                )
             rows.append(row)
     finally:
         set_backend(restore)
@@ -380,28 +510,6 @@ def main() -> int:
                         default=Path(__file__).parent / "serving.json")
     args = parser.parse_args()
 
-    if args.synthetic:
-        payload = bench_synthetic(
-            args.sessions, args.duration, chunk_frames=args.chunk,
-            repeats=args.repeats,
-        )
-        print("\nsynthesis-inclusive serving (aggregate frames/s)")
-        print(f"{'N':>4}{'per-session':>13}{'fused':>12}{'speedup':>10}"
-              f"{'p95 (ms)':>10}{'parity':>8}")
-        for row in payload["scaling"]:
-            print(f"{row['sessions']:>4}{row['baseline_fps']:>13.0f}"
-                  f"{row['fused_fps']:>12.0f}{row['speedup']:>9.2f}x"
-                  f"{row['fused_p95_latency_ms']:>10.2f}"
-                  f"{'yes' if row['noise_free_parity'] else 'NO':>8}")
-        top = payload["scaling"][-1]
-        print(f"\nat N={top['sessions']}: {top['speedup']:.2f}x over "
-              f"per-session synthesis (reference backend)")
-        args.output.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {args.output}")
-        return 0 if all(
-            r["noise_free_parity"] for r in payload["scaling"]
-        ) else 1
-
     if args.workers is not None:
         if args.workers < 0:
             parser.error("--workers must be >= 0")
@@ -415,6 +523,43 @@ def main() -> int:
     if workers and not pool_available():
         print("fork unavailable; skipping the distributed rows")
         workers = 0
+
+    if args.synthetic:
+        payload = bench_synthetic(
+            args.sessions, args.duration, chunk_frames=args.chunk,
+            repeats=args.repeats, workers=workers,
+        )
+        print("\nsynthesis-inclusive serving (aggregate frames/s)")
+        print(f"{'N':>4}{'per-session':>13}{'fused':>12}{'speedup':>10}"
+              f"{'p95 (ms)':>10}{'parity':>8}")
+        for row in payload["scaling"]:
+            print(f"{row['sessions']:>4}{row['baseline_fps']:>13.0f}"
+                  f"{row['fused_fps']:>12.0f}{row['speedup']:>9.2f}x"
+                  f"{row['fused_p95_latency_ms']:>10.2f}"
+                  f"{'yes' if row['noise_free_parity'] else 'NO':>8}")
+        top = payload["scaling"][-1]
+        print(f"\nat N={top['sessions']}: {top['speedup']:.2f}x over "
+              f"per-session synthesis (reference backend)")
+        dist_ok = True
+        if "distributed" in top:
+            dist = top["distributed"]
+            for name, t in dist["transports"].items():
+                dist_ok = dist_ok and t["identical_to_in_process"]
+                print(f"distributed/{name} ({dist['workers']} workers): "
+                      f"{t['fps']:.0f} frames/s, "
+                      f"ipc {t['ipc_overhead_mean_ms']:.2f} ms, "
+                      f"{t['transport_stats']['bytes_shm'] / 1e6:.1f} MB shm / "
+                      f"{t['transport_stats']['bytes_pickled'] / 1e6:.1f} MB "
+                      f"pickled, identical "
+                      f"{'yes' if t['identical_to_in_process'] else 'NO'}")
+            ratio = dist.get("ipc_overhead_pipe_over_shm")
+            if ratio is not None:
+                print(f"ipc overhead pipe/shm: {ratio:.2f}x")
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+        return 0 if dist_ok and all(
+            r["noise_free_parity"] for r in payload["scaling"]
+        ) else 1
 
     print(f"synthesizing {args.sessions} sessions of "
           f"{args.duration:.0f} s each...")
@@ -454,6 +599,17 @@ def main() -> int:
               f"mean IPC overhead {dist['ipc_overhead_mean_ms']:.2f} ms, "
               f"identical "
               f"{'yes' if dist['identical_to_serial'] else 'NO'}")
+        comparison = top.get("transport_comparison")
+        if comparison is not None:
+            shm = top["distributed_shm"]
+            print(f"transport pipe vs shm: ipc "
+                  f"{comparison['ipc_overhead_pipe_ms']:.2f} ms vs "
+                  f"{comparison['ipc_overhead_shm_ms']:.2f} ms "
+                  f"({comparison['ipc_overhead_pipe_over_shm']:.2f}x), "
+                  f"shm moved {comparison['bytes_shm'] / 1e6:.1f} MB "
+                  f"({comparison['arena_overflows']} overflows), "
+                  f"identical "
+                  f"{'yes' if shm['identical_to_serial'] else 'NO'}")
         cores = payload["cpu_count"] or 1
         if cores <= dist["workers"]:
             print(f"NOTE: only {cores} CPU core(s) — shard workers are "
@@ -473,6 +629,11 @@ def main() -> int:
         and row["distributed"]["within_75ms_budget"]
         for row in payload["scaling"]
         if "distributed" in row
+    )
+    ok = ok and all(
+        row["distributed_shm"]["identical_to_serial"]
+        for row in payload["scaling"]
+        if "distributed_shm" in row
     )
     return 0 if ok else 1
 

@@ -49,6 +49,14 @@ from .cache import (
 )
 from .plan import ExperimentPlan, WorkItem
 from .pool import RemoteError, WorkerCrash, WorkerPool, pool_available
+from .transport import (
+    DEFAULT_ARENA_BYTES,
+    TRANSPORT_ENV,
+    TRANSPORTS,
+    TransportCounters,
+    resolve_transport,
+    shm_available,
+)
 from .runners import (
     ProcessPoolRunner,
     Runner,
@@ -70,6 +78,7 @@ from .stream import (
 
 __all__ = [
     "CacheAdmissionFilter",
+    "DEFAULT_ARENA_BYTES",
     "ExperimentPlan",
     "MIN_SHARD_FRAMES",
     "NpzLruCache",
@@ -81,6 +90,9 @@ __all__ = [
     "Shard",
     "ShardedStreamRunner",
     "SpectraCache",
+    "TRANSPORTS",
+    "TRANSPORT_ENV",
+    "TransportCounters",
     "WORKERS_ENV",
     "WorkItem",
     "WorkerCrash",
@@ -96,10 +108,12 @@ __all__ = [
     "pool_available",
     "resolve_workers",
     "reset_cache_stats",
+    "resolve_transport",
     "result_key",
     "results_identical",
     "scenario_key",
     "sharded_speedup_benchmark",
+    "shm_available",
     "synthesize",
     "tracked_multi_scenario",
     "tracked_scenario",

@@ -36,6 +36,13 @@ Workers are ``fork``-started daemons: an exiting parent can never leak
 a serving tier. Platforms without ``fork`` should not construct a pool
 (:func:`pool_available` gates it); callers fall back to their serial
 in-process path, which is behavior-identical by construction.
+
+Payload bytes ride a pluggable transport (:mod:`repro.exec.transport`):
+``pipe`` pickles everything as before, ``shm`` moves bulk ndarrays
+through a preallocated per-worker shared-memory arena and keeps the
+pipe for small control descriptors. Either way the request/response
+protocol above is unchanged, and per-worker byte counters are always
+kept (:meth:`WorkerPool.transport_stats`).
 """
 
 from __future__ import annotations
@@ -46,6 +53,13 @@ import signal
 import traceback
 from multiprocessing.connection import Connection, wait
 from typing import Any, Callable, Sequence
+
+from .transport import (
+    ParentTransport,
+    TransportCounters,
+    WorkerTransport,
+    resolve_transport,
+)
 
 __all__ = [
     "RemoteError",
@@ -117,6 +131,7 @@ def _worker_main(
     conn: Connection,
     actor_factory: Callable[..., Any] | None,
     factory_kwargs: dict[str, Any],
+    transport_config: dict[str, Any] | None = None,
 ) -> None:
     """Worker loop: receive one request, answer it, repeat until stop.
 
@@ -130,53 +145,63 @@ def _worker_main(
     Responses are ``("ok", result)`` or ``("err", exception_or_none,
     message, traceback_text)``; the exception object is included only
     when it survives a pickle round trip.
+
+    ``transport_config`` (from :meth:`ParentTransport.worker_config`)
+    selects the shm data plane: requests decode out of the arena and
+    ``ok`` results encode into it. Error and stop responses stay plain
+    pickles — they are small, and must survive a torn arena.
     """
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group — workers included. Shutdown is the parent's call (it owns
     # the sessions and their partial results), so workers ignore the
     # signal and wait for an explicit "stop" or a closed pipe.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    transport = WorkerTransport(transport_config)
     actor: Any = None
-    while True:
-        try:
-            request = conn.recv()
-        except (EOFError, OSError):
-            return  # parent went away; nothing left to serve
-        if request[0] == "stop":
-            conn.send(("ok", None))
-            return
-        try:
-            if request[0] == "apply":
-                _, fn, args, kwargs = request
-                result = fn(*args, **kwargs)
-            elif request[0] == "invoke":
-                _, name, args, kwargs = request
-                if actor is None:
-                    if actor_factory is None:
-                        raise RuntimeError(
-                            "pool has no actor_factory; 'invoke' requests "
-                            "need one (use 'apply' for plain functions)"
-                        )
-                    actor = actor_factory(**factory_kwargs)
-                result = getattr(actor, name)(*args, **kwargs)
-            else:  # pragma: no cover - protocol guard
-                raise RuntimeError(f"unknown request kind: {request[0]!r}")
-        except BaseException as exc:  # noqa: BLE001 - shipped to parent
-            tb = traceback.format_exc()
+    try:
+        while True:
             try:
-                pickle.loads(pickle.dumps(exc))
-                payload: tuple = ("err", exc, str(exc), tb)
-            except Exception:
-                payload = ("err", None, f"{type(exc).__name__}: {exc}", tb)
+                request = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; nothing left to serve
+            if request[0] == "stop":
+                conn.send(("ok", None))
+                return
             try:
-                conn.send(payload)
+                request = transport.decode_request(request)
+                if request[0] == "apply":
+                    _, fn, args, kwargs = request
+                    result = fn(*args, **kwargs)
+                elif request[0] == "invoke":
+                    _, name, args, kwargs = request
+                    if actor is None:
+                        if actor_factory is None:
+                            raise RuntimeError(
+                                "pool has no actor_factory; 'invoke' requests "
+                                "need one (use 'apply' for plain functions)"
+                            )
+                        actor = actor_factory(**factory_kwargs)
+                    result = getattr(actor, name)(*args, **kwargs)
+                else:  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unknown request kind: {request[0]!r}")
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                tb = traceback.format_exc()
+                try:
+                    pickle.loads(pickle.dumps(exc))
+                    payload: tuple = ("err", exc, str(exc), tb)
+                except Exception:
+                    payload = ("err", None, f"{type(exc).__name__}: {exc}", tb)
+                try:
+                    conn.send(payload)
+                except (BrokenPipeError, OSError):
+                    return
+                continue
+            try:
+                conn.send(transport.encode_response(("ok", result)))
             except (BrokenPipeError, OSError):
                 return
-            continue
-        try:
-            conn.send(("ok", result))
-        except (BrokenPipeError, OSError):
-            return
+    finally:
+        transport.close()
 
 
 class WorkerPool:
@@ -194,6 +219,11 @@ class WorkerPool:
             worker's actor, target of :meth:`invoke`. Keyword arguments
             come from ``factory_kwargs`` (must be picklable).
         factory_kwargs: keyword arguments for ``actor_factory``.
+        transport: ``"pipe"`` or ``"shm"``; ``None`` defers to the
+            ``REPRO_TRANSPORT`` environment variable (default pipe).
+        arena_bytes: per-direction shm region size per worker; ``None``
+            uses :data:`~repro.exec.transport.DEFAULT_ARENA_BYTES`.
+            Ignored under the pipe transport.
     """
 
     def __init__(
@@ -201,6 +231,8 @@ class WorkerPool:
         num_workers: int,
         actor_factory: Callable[..., Any] | None = None,
         factory_kwargs: dict[str, Any] | None = None,
+        transport: str | None = None,
+        arena_bytes: int | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -210,15 +242,23 @@ class WorkerPool:
             )
         context = multiprocessing.get_context("fork")
         self.num_workers = num_workers
+        self.transport = resolve_transport(transport)
         self._conns: list[Connection] = []
         self._procs: list[multiprocessing.Process] = []
         self._pending: list[bool] = []
         self._dead: list[bool] = []
+        self._tx: list[ParentTransport] = []
         for _ in range(num_workers):
+            tx = ParentTransport(self.transport, arena_bytes)
             parent_conn, child_conn = context.Pipe(duplex=True)
             proc = context.Process(
                 target=_worker_main,
-                args=(child_conn, actor_factory, factory_kwargs or {}),
+                args=(
+                    child_conn,
+                    actor_factory,
+                    factory_kwargs or {},
+                    tx.worker_config(),
+                ),
                 daemon=True,
             )
             proc.start()
@@ -227,6 +267,7 @@ class WorkerPool:
             self._procs.append(proc)
             self._pending.append(False)
             self._dead.append(False)
+            self._tx.append(tx)
 
     # -- liveness ----------------------------------------------------------
 
@@ -239,13 +280,19 @@ class WorkerPool:
         return [w for w in range(self.num_workers) if self.alive(w)]
 
     def kill(self, worker: int) -> None:
-        """Terminate one worker and mark it dead (state is discarded)."""
+        """Terminate one worker and mark it dead (state is discarded).
+
+        The worker's shm arena (if any) is unlinked here too, so the
+        crash-failover path can never leak ``/dev/shm`` segments; its
+        byte counters live parent-side and survive for reporting.
+        """
         self._dead[worker] = True
         self._pending[worker] = False
         proc = self._procs[worker]
         if proc.is_alive():
             proc.terminate()
         self._conns[worker].close()
+        self._tx[worker].close()
 
     def _lose(self, worker: int, detail: str = "") -> WorkerCrash:
         self.kill(worker)
@@ -277,25 +324,36 @@ class WorkerPool:
             raise RuntimeError(
                 f"worker {worker} already has a request in flight"
             )
+        request = self._tx[worker].encode_request(
+            (kind, target, tuple(args), kwargs or {})
+        )
         try:
-            self._conns[worker].send((kind, target, tuple(args), kwargs or {}))
+            self._conns[worker].send(request)
         except (BrokenPipeError, OSError) as exc:
             raise self._lose(worker, str(exc)) from None
         self._pending[worker] = True
 
-    def resync(self) -> None:
+    def resync(self, timeout: float = 5.0) -> None:
         """Discard in-flight responses after an interrupted wait.
 
         A ``KeyboardInterrupt`` can land while :meth:`result` is blocked
         in ``recv``, leaving the response unread and the worker marked
         pending — after which every further :meth:`submit` to it would
-        refuse. Workers ignore SIGINT, so the response is still coming:
-        read and drop it, returning each pipe to a request boundary (at
-        the cost of that one response's payload).
+        refuse. Workers ignore SIGINT, so the response is normally still
+        coming: read and drop it (without decoding — the payload is
+        abandoned), returning each pipe to a request boundary.
+
+        The read is bounded by ``timeout`` seconds per worker: a worker
+        dying mid-response (or wedged inside a request) would otherwise
+        hang the drain forever. On expiry the worker is marked dead
+        (:class:`WorkerCrash` semantics) rather than waited on.
         """
         for worker in range(self.num_workers):
             if self._pending[worker] and not self._dead[worker]:
                 try:
+                    if not self._conns[worker].poll(timeout):
+                        self._lose(worker, "no response within resync timeout")
+                        continue
                     self._conns[worker].recv()
                 except (EOFError, OSError) as exc:
                     self._lose(worker, str(exc))
@@ -309,9 +367,10 @@ class WorkerPool:
         if not self._pending[worker]:
             raise RuntimeError(f"worker {worker} has no request in flight")
         try:
-            status, *rest = self._conns[worker].recv()
+            raw = self._conns[worker].recv()
         except (EOFError, OSError) as exc:
             raise self._lose(worker, str(exc)) from None
+        status, *rest = self._tx[worker].decode_response(raw)
         self._pending[worker] = False
         if status == "ok":
             return rest[0]
@@ -364,10 +423,30 @@ class WorkerPool:
         """Blocking module-level function call on one worker."""
         return self.call(worker, "apply", fn, args, kwargs)
 
+    # -- accounting --------------------------------------------------------
+
+    def transport_stats(self, worker: int | None = None) -> dict[str, Any]:
+        """IPC byte/round counters (both directions, parent-side view).
+
+        Args:
+            worker: one worker's counters, or the whole pool's sum when
+                ``None``. Dead workers keep their history — the
+                counters live in the parent.
+        """
+        if worker is not None:
+            stats = self._tx[worker].counters.as_dict()
+        else:
+            total = TransportCounters()
+            for tx in self._tx:
+                total.add(tx.counters)
+            stats = total.as_dict()
+        stats["transport"] = self.transport
+        return stats
+
     # -- shutdown ----------------------------------------------------------
 
     def close(self, timeout: float = 2.0) -> None:
-        """Stop every live worker and reap the processes."""
+        """Stop every live worker, reap the processes, unlink arenas."""
         for w in range(self.num_workers):
             if self._dead[w]:
                 continue
@@ -383,6 +462,7 @@ class WorkerPool:
                 proc.join(timeout)
             self._dead[w] = True
             self._conns[w].close()
+            self._tx[w].close()
 
     def __enter__(self) -> "WorkerPool":
         return self

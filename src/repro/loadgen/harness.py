@@ -259,6 +259,9 @@ class LoadHarness:
             self.engine.admission, "stats"
         ):
             context["memory"] = self.engine.admission.stats()
+        transport_stats = self.engine.transport_stats()
+        if transport_stats is not None:
+            context["transport"] = transport_stats
         stage_profile = self.engine.stage_profile().as_dict()
         if stage_profile:
             context["stage_profile"] = stage_profile

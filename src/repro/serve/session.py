@@ -167,13 +167,15 @@ def multi_session(
 
 
 def tick_row_fields(tick: SessionTick, row: int) -> dict:
-    """One tick row as a plain field dict (the IPC transport unit).
+    """One tick row as a plain field dict (the local transport unit).
 
     Everything :meth:`Session.collect_fields` accumulates, extracted
     from one row of a :class:`~repro.pipeline.frame.SessionTick`. The
-    local scheduler consumes it in-process; a shard worker ships it
-    through the worker-pool pipe — same values either way, which is what
-    keeps distributed serving bitwise-identical to single-process.
+    local scheduler consumes it in-process; the distributed tier ships
+    whole-tick column slabs instead (:func:`tick_group`) and re-derives
+    these dicts row by row on the parent — same values either way, which
+    is what keeps distributed serving bitwise-identical to
+    single-process.
     """
     return {
         "time_s": float(tick.times_s[row]),
@@ -183,6 +185,51 @@ def tick_row_fields(tick: SessionTick, row: int) -> dict:
         "positions": None if tick.positions is None else tick.positions[row],
         "tracks": None if tick.tracks is None else tick.tracks[row],
     }
+
+
+#: SessionTick array fields shipped per group (leading axis = tick row).
+_GROUP_ARRAYS = ("tof_m", "raw_tof_m", "motion", "positions")
+
+
+def tick_group(tick: SessionTick, session_ids: np.ndarray) -> dict:
+    """One pipeline tick's emitted rows as column slabs (the IPC unit).
+
+    The shard→parent transport unit of the distributed tier: instead of
+    one field dict per row (many small pickles), a group carries each
+    output field as the tick's whole ``(n_rows, ...)`` array plus the
+    parallel ``session_ids`` routing vector — fixed-dtype slabs the shm
+    transport can move without pickling, and exactly what the pipeline
+    already produced, so building a group copies nothing.
+
+    Args:
+        tick: the tick (fresh arrays, produced by this call — groups
+            are shipped before the pipeline ticks again).
+        session_ids: engine-wide session id of each tick row,
+            shape ``(tick.num_rows,)``.
+    """
+    group: dict = {
+        "session_ids": session_ids,
+        "times_s": tick.times_s,
+        "tracks": tick.tracks,
+    }
+    for name in _GROUP_ARRAYS:
+        group[name] = getattr(tick, name)
+    return group
+
+
+def group_row_fields(group: dict, row: int) -> dict:
+    """One group row, re-expanded to the :func:`tick_row_fields` dict.
+
+    Value-identical to ``tick_row_fields(tick, row)`` on the
+    originating tick — the parent-side half of the slab round trip.
+    """
+    fields = {"time_s": float(group["times_s"][row])}
+    for name in _GROUP_ARRAYS:
+        column = group[name]
+        fields[name] = None if column is None else column[row]
+    tracks = group["tracks"]
+    fields["tracks"] = None if tracks is None else tracks[row]
+    return fields
 
 
 class Session:

@@ -47,7 +47,13 @@ from ..exec.pool import WorkerCrash, WorkerPool, remote_failure
 from ..kernels.profile import StageProfiler
 from ..pipeline.runner import PipelineResult
 from .scheduler import Cohort, StragglerDetector
-from .session import AdmissionRefused, Session, SessionSpec, tick_row_fields
+from .session import (
+    AdmissionRefused,
+    Session,
+    SessionSpec,
+    group_row_fields,
+    tick_group,
+)
 
 
 class ShardWorker:
@@ -143,7 +149,7 @@ class ShardWorker:
 
     def step(
         self, batch: list[tuple[int, list[np.ndarray]]]
-    ) -> tuple[dict[int, list[dict]], float]:
+    ) -> tuple[list[dict], float]:
         """Advance this shard one scheduler tick.
 
         Args:
@@ -151,12 +157,18 @@ class ShardWorker:
                 one block each; split cohorts catching up send several.
 
         Returns:
-            ``(outputs, tick_s)``: per-session lists of emitted output
-            field dicts (see :func:`~repro.serve.session.tick_row_fields`;
-            may be shorter than the input when a frame only primed), and
-            the wall-clock seconds spent ticking pipelines — the parent
-            subtracts this from the round-trip time to measure IPC
-            overhead.
+            ``(groups, tick_s)``: one output group per (cohort, burst
+            round) pipeline tick — the tick's emitted rows as column
+            slabs with a parallel session-id routing vector (see
+            :func:`~repro.serve.session.tick_group`; a tick may emit
+            fewer rows than it was fed when frames only primed) — and
+            the wall-clock seconds spent ticking pipelines, which the
+            parent subtracts from the round-trip time to measure IPC
+            overhead. Groups arrive in per-cohort round order, so each
+            session's rows are in its frame order; the parent expands
+            them row by row with
+            :func:`~repro.serve.session.group_row_fields`, value-
+            identical to the per-row dicts this method used to ship.
         """
         if self._fail_in is not None:
             self._fail_in -= 1
@@ -164,7 +176,7 @@ class ShardWorker:
                 self._fail_in = None
                 raise RuntimeError("injected shard failure (fail_next_step)")
         start = perf_counter()
-        outputs: dict[int, list[dict]] = {sid: [] for sid, _ in batch}
+        groups: list[dict] = []
         by_cohort: dict[str, list[tuple[int, int, list[np.ndarray]]]] = {}
         for sid, blocks in batch:
             key, slot = self._placement[sid]
@@ -182,16 +194,17 @@ class ShardWorker:
                 tick = pipeline.tick(
                     [blocks[r] for _, _, blocks in active], slots
                 )
-                row_of_slot = {
-                    int(slot): row for row, slot in enumerate(tick.slots)
-                }
-                for sid, slot, _ in active:
-                    row = row_of_slot.get(slot)
-                    if row is not None:
-                        outputs[sid].append(tick_row_fields(tick, row))
+                if tick.num_rows:
+                    sid_of_slot = {slot: sid for sid, slot, _ in active}
+                    session_ids = np.fromiter(
+                        (sid_of_slot[int(slot)] for slot in tick.slots),
+                        dtype=np.int64,
+                        count=tick.num_rows,
+                    )
+                    groups.append(tick_group(tick, session_ids))
                 self.frames_processed += len(active)
         self.steps += 1
-        return outputs, perf_counter() - start
+        return groups, perf_counter() - start
 
     # -- introspection / fault injection -----------------------------------
 
@@ -268,19 +281,42 @@ class PlacedCohort:
 
 
 class ShardStats:
-    """Per-shard timing ledger kept by the front end.
+    """Per-shard timing and IPC ledger kept by the front end.
 
     Attributes:
         tick_s: worker-reported pipeline-tick seconds per step.
         round_trip_s: submit-to-response wall seconds per step.
+        bytes_pickled: array bytes that crossed this shard's pipe
+            inline (both directions, cumulative).
+        bytes_shm: array bytes that crossed through the shm arena.
+        descriptor_rounds: IPC messages exchanged with the shard.
+        arena_overflows: arrays that fell back to the pipe because the
+            arena region was full.
     """
 
     def __init__(self) -> None:
         self.tick_s: list[float] = []
         self.round_trip_s: list[float] = []
+        self.bytes_pickled = 0
+        self.bytes_shm = 0
+        self.descriptor_rounds = 0
+        self.arena_overflows = 0
+
+    def record_transport(self, stats: dict) -> None:
+        """Refresh the cumulative IPC counters from the pool's ledger."""
+        self.bytes_pickled = int(stats.get("bytes_pickled", 0))
+        self.bytes_shm = int(stats.get("bytes_shm", 0))
+        self.descriptor_rounds = int(stats.get("descriptor_rounds", 0))
+        self.arena_overflows = int(stats.get("arena_overflows", 0))
 
     def summary(self) -> dict:
         """p50/p95/p99 tick time plus mean IPC overhead, in milliseconds."""
+        transport = {
+            "bytes_pickled": self.bytes_pickled,
+            "bytes_shm": self.bytes_shm,
+            "descriptor_rounds": self.descriptor_rounds,
+            "arena_overflows": self.arena_overflows,
+        }
         if not self.tick_s:
             return {
                 "steps": 0,
@@ -288,6 +324,7 @@ class ShardStats:
                 "tick_p95_ms": float("nan"),
                 "tick_p99_ms": float("nan"),
                 "ipc_overhead_mean_ms": float("nan"),
+                **transport,
             }
         ticks = np.asarray(self.tick_s)
         overhead = np.asarray(self.round_trip_s) - ticks
@@ -297,6 +334,7 @@ class ShardStats:
             "tick_p95_ms": 1e3 * float(np.percentile(ticks, 95)),
             "tick_p99_ms": 1e3 * float(np.percentile(ticks, 99)),
             "ipc_overhead_mean_ms": 1e3 * float(np.mean(overhead)),
+            **transport,
         }
 
 
@@ -625,25 +663,29 @@ class DistributedScheduler:
                     continue  # pragma: no cover - foreign response
                 pending.discard(shard)
                 try:
-                    outputs, tick_s = self.pool.result(shard)
+                    groups, tick_s = self.pool.result(shard)
                 except Exception as exc:
                     if not remote_failure(exc):
                         raise
                     self.last_failure = exc
                     failed.append(shard)
                     continue
-                arrivals.append((shard, outputs, tick_s, perf_counter()))
-            for shard, outputs, tick_s, done in arrivals:
+                arrivals.append((shard, groups, tick_s, perf_counter()))
+            for shard, groups, tick_s, done in arrivals:
                 stats = self.shard_stats[shard]
                 stats.tick_s.append(tick_s)
                 stats.round_trip_s.append(done - submitted[shard])
+                stats.record_transport(self.pool.transport_stats(shard))
                 for session, entries in batches[shard]:
-                    rows = outputs.get(session.session_id, ())
                     for _, enqueued in entries:
                         session.latency.latencies_s.append(done - enqueued)
-                    for fields in rows:
-                        session.collect_fields(fields)
                     consumed += len(entries)
+                for group in groups:
+                    session_ids = group["session_ids"]
+                    for row in range(len(session_ids)):
+                        self.sessions[int(session_ids[row])].collect_fields(
+                            group_row_fields(group, row)
+                        )
         if failed:
             # Every response is in (or lost); only now is it safe to
             # exclude the casualties and re-admit their sessions on
@@ -831,6 +873,11 @@ class DistributedScheduler:
         report = []
         for shard in range(self.pool.num_workers):
             entry = {"shard": shard, "excluded": shard in self.excluded_shards}
+            # Counters live parent-side, so a report after (or between)
+            # ticks — even for a crashed shard — reflects all traffic.
+            self.shard_stats[shard].record_transport(
+                self.pool.transport_stats(shard)
+            )
             entry.update(self.shard_stats[shard].summary())
             entry["sessions"] = counts.get(shard, 0)
             if load is not None:

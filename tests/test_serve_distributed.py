@@ -21,6 +21,7 @@ import pytest
 from repro.config import default_config
 from repro.core.tracker import WiTrack
 from repro.exec.pool import pool_available
+from repro.exec.transport import shm_available
 from repro.multi import MultiScenario, MultiWiTrack
 from repro.serve import ServingEngine, multi_session, single_session
 from repro.serve.scheduler import StragglerDetector
@@ -32,6 +33,15 @@ from repro.sim.room import through_wall_room
 pytestmark = pytest.mark.skipif(
     not pool_available(), reason="platform cannot fork"
 )
+
+
+@pytest.fixture(params=["pipe", "shm"])
+def transport(request):
+    """Both shard IPC data planes; every pinned property must hold on
+    each, bitwise — the transport moves bytes, never changes them."""
+    if request.param == "shm" and not shm_available():
+        pytest.skip("POSIX shared memory unavailable")
+    return request.param
 
 
 @pytest.fixture(scope="module")
@@ -144,7 +154,7 @@ def drive(engine, plan):
 
 class TestDistributedIdentity:
     def test_distributed_equals_single_process_and_serial(
-        self, config, room, short_walks, multi_output
+        self, config, room, short_walks, multi_output, transport
     ):
         """The acceptance pin: workers>=2 is result-identical to
         workers=0 — and to serial references — for one admission
@@ -167,7 +177,7 @@ class TestDistributedIdentity:
                   "blocks": frame_blocks(multi_output, config)},
         }
         local_results, _ = drive(ServingEngine(), dict(plan))
-        with ServingEngine(workers=2) as engine:
+        with ServingEngine(workers=2, transport=transport) as engine:
             dist_results, sessions = drive(engine, dict(plan))
             shards = {s.cohort.shard for s in sessions.values()}
             assert len(shards) == 2  # the tier actually spread the load
@@ -221,7 +231,7 @@ class TestDistributedIdentity:
 
 class TestChurnFuzz:
     def test_fuzzed_admissions_evictions_recycling(
-        self, config, short_walks
+        self, config, short_walks, transport
     ):
         """Random churn across shards pins merged results to serial runs.
 
@@ -246,7 +256,7 @@ class TestChurnFuzz:
                 "start": int(rng.integers(0, 60)),
                 "evict": bool(rng.random() < 0.3),
             }
-        with ServingEngine(workers=3) as engine:
+        with ServingEngine(workers=3, transport=transport) as engine:
             results, sessions = drive(engine, plan)
             assert engine.num_sessions == 0
             assert not engine.scheduler.excluded_shards
@@ -264,7 +274,9 @@ class TestChurnFuzz:
 
 
 class TestWorkerFailure:
-    def test_shard_raising_mid_tick_fails_over(self, config, short_walks):
+    def test_shard_raising_mid_tick_fails_over(
+        self, config, short_walks, transport
+    ):
         """A crashed shard requeues its sessions onto survivors.
 
         The engine must stay up, sessions on surviving shards must be
@@ -276,7 +288,7 @@ class TestWorkerFailure:
         range_bin_m = short_walks[0].range_bin_m
         spec = single_session(config, range_bin_m)
         blocks = [frame_blocks(out, config, 120) for out in short_walks]
-        with ServingEngine(workers=2) as engine:
+        with ServingEngine(workers=2, transport=transport) as engine:
             sessions = [engine.admit(spec) for _ in blocks]
             by_shard = {}
             for s in sessions:
@@ -419,9 +431,11 @@ class TestAdaptiveRebatching:
             assert_single_equal(result, reference)
 
     def test_straggler_migrates_across_processes_bitwise(
-        self, config, short_walks
+        self, config, short_walks, transport
     ):
-        with ServingEngine(queue_capacity=64, workers=2) as engine:
+        with ServingEngine(
+            queue_capacity=64, workers=2, transport=transport
+        ) as engine:
             engine.scheduler.detector = StragglerDetector(
                 backlog=4, patience=2
             )
