@@ -59,6 +59,72 @@ def _scale(args: argparse.Namespace) -> ExperimentScale:
     )
 
 
+def _bench_trajectory_path() -> Path | None:
+    """Where the append-only ``repro bench`` trajectory lives.
+
+    ``REPRO_BENCH_TRAJECTORY`` overrides; otherwise the repo root
+    (detected by ``ROADMAP.md`` two levels above this file — an
+    installed package has no repo to write into), else the CWD.
+    """
+    override = os.environ.get("REPRO_BENCH_TRAJECTORY", "").strip()
+    if override:
+        return Path(override)
+    root = Path(__file__).resolve().parents[2]
+    if (root / "ROADMAP.md").exists():
+        return root / "BENCH_serving.json"
+    return Path.cwd() / "BENCH_serving.json"
+
+
+def _append_bench_record(result: dict) -> None:
+    """Append one compact record of this ``repro bench`` run.
+
+    The trajectory file is a JSON array of {date, commit, frames/s,
+    p95, backend, fused} rows — enough to plot serving throughput over
+    the repo's history without dragging full benchmark payloads along.
+    Best-effort: a read-only checkout or a missing git binary must
+    never fail the benchmark itself.
+    """
+    from .kernels import backend_name
+    from .kernels.tick import fusion_active
+
+    try:
+        commit = None
+        try:
+            import subprocess
+
+            commit = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=5,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip() or None
+        except Exception:
+            pass
+        record = {
+            "date": time.strftime("%Y-%m-%d"),
+            "commit": commit,
+            "frames_per_s": result["sharded_fps"],
+            "p95_latency_ms": result.get("p95_latency_ms"),
+            "backend": backend_name(),
+            "fused": fusion_active(),
+        }
+        path = _bench_trajectory_path()
+        if path is None:
+            return
+        history = []
+        if path.exists():
+            try:
+                history = json.loads(path.read_text())
+                if not isinstance(history, list):
+                    history = []
+            except (ValueError, OSError):
+                history = []
+        history.append(record)
+        path.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"trajectory : appended to {path}")
+    except OSError:
+        pass
+
+
 def _runner(args: argparse.Namespace) -> Runner:
     """The runner a subcommand fans its experiment plan across."""
     return default_runner(getattr(args, "workers", None))
@@ -284,6 +350,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.output is not None:
         args.output.write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {args.output}")
+    _append_bench_record(result)
     return 0 if result["identical"] else 1
 
 

@@ -66,6 +66,9 @@ class TGeometrySolver:
     #: Each frame's solution depends on that frame alone, so rows may be
     #: batched freely (across time or across serving sessions).
     row_independent = True
+    #: Closed-form rowwise solve with three scalar parameters — the tick
+    #: compiler can inline it into a fused whole-chain kernel.
+    fuse_kind = "t_geometry"
 
     def __init__(self, array: AntennaArray, min_y_m: float = 0.2) -> None:
         self._validate_t_geometry(array)

@@ -259,6 +259,9 @@ def sharded_speedup_benchmark(
         # The serial leg's counters: one process, every frame, so the
         # per-stage split is directly comparable to the wall clock.
         profile = {"stage_profile": serial.stage_profile}
+    p95_ms = (
+        1e3 * serial.latency.p95_s if serial.latency is not None else None
+    )
     return {
         **profile,
         "workers": workers,
@@ -269,5 +272,6 @@ def sharded_speedup_benchmark(
         "serial_fps": n / serial_s,
         "sharded_fps": n / sharded_s,
         "speedup": serial_s / sharded_s,
+        "p95_latency_ms": p95_ms,
         "identical": results_identical(serial, sharded),
     }

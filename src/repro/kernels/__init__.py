@@ -4,12 +4,14 @@ Importing this package registers the ``numpy`` and ``reference``
 implementations of every kernel; the optional ``numba`` backend is
 imported lazily the first time it is selected. See
 :mod:`repro.kernels.backend` for the selection rules
-(``REPRO_BACKEND=numpy|reference|numba``) and
+(``REPRO_BACKEND=numpy|reference|numba``),
+:mod:`repro.kernels.tick` for the tick compiler that fuses the whole
+per-cohort stage chain into one kernel call (``REPRO_FUSED=0|1``), and
 :mod:`repro.kernels.profile` for the per-stage profiling hooks
 (``REPRO_PROFILE=1``).
 """
 
-from . import contour, kalman, synthesis  # noqa: F401  (register kernels)
+from . import contour, kalman, synthesis, tick  # noqa: F401  (register kernels)
 from .backend import (
     active_backend,
     available_backends,
@@ -29,21 +31,35 @@ from .profile import (
     reset_profiling_override,
 )
 from .synthesis import accumulate_spectra
+from .tick import (
+    TickPlan,
+    compile_tick_plan,
+    enable_fusion,
+    fused_enabled,
+    fusion_active,
+    reset_fusion_override,
+)
 
 __all__ = [
     "StageProfiler",
+    "TickPlan",
     "accumulate_spectra",
     "active_backend",
     "available_backends",
     "backend_name",
     "background_power",
+    "compile_tick_plan",
+    "enable_fusion",
     "enable_profiling",
     "first_local_max_above",
+    "fused_enabled",
+    "fusion_active",
     "kalman_tick",
     "kernel",
     "profiling_enabled",
     "register",
     "register_backend",
+    "reset_fusion_override",
     "reset_profiling_override",
     "row_median",
     "set_backend",

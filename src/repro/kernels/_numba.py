@@ -17,9 +17,18 @@ Implementation notes:
 * Kernels are compiled with ``cache=True`` so the JIT cost is paid
   once per machine, and without ``parallel=`` — the serving tier
   already uses the cores via shard worker processes.
+* ``fused_tick_single`` runs the whole single-person chain (subtract,
+  |diff|^2, median floor, contour scan, subpixel, outlier gate, hold,
+  Kalman, T localization) as one compiled loop over (session, antenna)
+  rows — the numba leg of the tick compiler. The kernel is probed with
+  a tiny compile-and-run before any state is touched; a failure warns
+  once and raises :class:`~repro.kernels.tick.FusionUnavailable`, so
+  the pipeline permanently falls back to the staged loop.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 from numba import njit
@@ -260,3 +269,430 @@ def _kalman_tick_numba(values, mean, cov, live, dt, q00, q01, q11, r):
         values, mean, cov, live, dt, q00, q01, q11, r, out, new_live
     )
     return out, mean, cov, new_live
+
+
+# ---------------------------------------------------------------------------
+# Whole-chain fused tick (the numba leg of the tick compiler).
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True, error_model="numpy")
+def _fused_chain_jit(
+    current,
+    previous,
+    diff_out,
+    power_out,
+    raw_out,
+    motion_out,
+    tof_out,
+    thr_mul,
+    rel_mul,
+    lo,
+    range_bin_m,
+    last,
+    since,
+    pending,
+    plen,
+    max_jump_m,
+    agreement_m,
+    held,
+    hold_enabled,
+    mean,
+    cov,
+    live,
+    dt,
+    q00,
+    q01,
+    q11,
+    r_noise,
+    do_localize,
+    two_dd,
+    four_d,
+    hh,
+    two_h,
+    d_sep,
+    h_below,
+    min_y_sq,
+    positions_out,
+):
+    """One compiled pass over (session, antenna) rows.
+
+    Every step reproduces the staged chain's arithmetic under the numba
+    backend bit for bit: power is ``re^2 + im^2`` (the staged numba
+    power kernel), the median selects the same order statistics as the
+    staged ``np.partition``, the contour scan keeps the staged NaN
+    semantics, and the gate/hold/Kalman/localize updates are the staged
+    elementwise expressions written scalar. State arrays are the
+    caller's gathered copies, mutated in place.
+    """
+    n, n_rx, n_bins = current.shape
+    p = pending.shape[2]
+    half = n_bins // 2
+    odd = n_bins % 2 == 1
+    med = np.empty(n_bins)
+    pack = np.empty(p)
+    for i in range(n):
+        for j in range(n_rx):
+            # Background subtract + |diff|^2, tracking the frame peak.
+            peak = 0.0
+            for b in range(n_bins):
+                dv = current[i, j, b] - previous[i, j, b]
+                diff_out[i, j, b] = dv
+                pw = dv.real * dv.real + dv.imag * dv.imag
+                power_out[i, j, b] = pw
+                med[b] = pw
+                if pw > peak:
+                    peak = pw
+            # Median noise floor: same order statistics as np.partition.
+            med.sort()
+            if odd:
+                floor = med[half]
+            else:
+                floor = (med[half - 1] + med[half]) / 2.0
+            t_abs = floor * thr_mul
+            t_rel = peak * rel_mul
+            thr = t_abs if t_abs > t_rel else t_rel
+
+            # Contour scan: first local maximum above threshold, with
+            # early exit (the closest reflector sits in the first bins).
+            hit = -1
+            for b in range(lo, n_bins - 1):
+                c = power_out[i, j, b]
+                if (
+                    not (c < thr)
+                    and c >= power_out[i, j, b - 1]
+                    and c >= power_out[i, j, b + 1]
+                ):
+                    hit = b
+                    break
+            if hit >= 0:
+                left = power_out[i, j, hit - 1]
+                midv = power_out[i, j, hit]
+                right = power_out[i, j, hit + 1]
+                denom = left - 2.0 * midv + right
+                if abs(denom) > 1e-30:
+                    refined = 0.5 * (left - right) / denom
+                    if refined < -0.5:
+                        refined = -0.5
+                    elif refined > 0.5:
+                        refined = 0.5
+                    off = refined
+                else:
+                    off = 0.0
+                v = (hit + off) * range_bin_m
+                raw_out[i, j] = v
+                motion_out[i, j] = True
+            else:
+                v = np.nan
+                raw_out[i, j] = np.nan
+                motion_out[i, j] = False
+
+            # Outlier gate (NaN comparisons are False, as in numpy with
+            # invalid ignored).
+            lastv = last[i, j]
+            miss = np.isnan(v)
+            nl = np.isnan(lastv)
+            small = abs(v - lastv) <= max_jump_m * since[i, j]
+            direct = (not miss) and (nl or small)
+            candidate = (not miss) and (not nl) and (not small)
+            accept = direct
+            if candidate:
+                pl = plen[i, j]
+                # Stable partition: agreeing pending values first (in
+                # order), dropped ones after — the permutation the
+                # staged stable argsort produces.
+                nk = 0
+                for w in range(p):
+                    if w < pl and abs(pending[i, j, w] - v) <= agreement_m:
+                        pack[nk] = pending[i, j, w]
+                        nk += 1
+                nd = nk
+                for w in range(p):
+                    if not (
+                        w < pl and abs(pending[i, j, w] - v) <= agreement_m
+                    ):
+                        pack[nd] = pending[i, j, w]
+                        nd += 1
+                i2 = nk if nk < p - 1 else p - 1
+                pack[i2] = v
+                if nk + 1 >= p:
+                    accept = True
+                for w in range(p):
+                    pending[i, j, w] = pack[w]
+                plen[i, j] = nk + 1
+            if accept:
+                g = v
+                last[i, j] = v
+                since[i, j] = 1
+                plen[i, j] = 0
+            else:
+                g = np.nan
+                since[i, j] += 1
+
+            # Hold-last interpolation.
+            if np.isfinite(g):
+                held[i, j] = g
+            h = held[i, j] if hold_enabled else g
+
+            # Kalman predict+update: the staged kernel's body verbatim.
+            measured = not np.isnan(h)
+            alive = live[i, j]
+            m0 = mean[i, j, 0]
+            m1 = mean[i, j, 1]
+            c00 = cov[i, j, 0, 0]
+            c01 = cov[i, j, 0, 1]
+            c10 = cov[i, j, 1, 0]
+            c11 = cov[i, j, 1, 1]
+            if alive:
+                pm0 = m0 + dt * m1
+                a00 = c00 + dt * c10
+                a01 = c01 + dt * c11
+                p00 = (a00 + a01 * dt) + q00
+                p01 = a01 + q01
+                p10 = (c10 + c11 * dt) + q01
+                p11 = c11 + q11
+                if measured:
+                    innovation = h - pm0
+                    s = p00 + r_noise
+                    g0 = p00 / s
+                    g1 = p10 / s
+                    um0 = pm0 + g0 * innovation
+                    tof_out[i, j] = um0
+                    mean[i, j, 0] = um0
+                    mean[i, j, 1] = m1 + g1 * innovation
+                    cov[i, j, 0, 0] = (1.0 - g0) * p00
+                    cov[i, j, 0, 1] = (1.0 - g0) * p01
+                    cov[i, j, 1, 0] = (-g1) * p00 + p10
+                    cov[i, j, 1, 1] = (-g1) * p01 + p11
+                else:
+                    tof_out[i, j] = pm0
+                    mean[i, j, 0] = pm0
+                    cov[i, j, 0, 0] = p00
+                    cov[i, j, 0, 1] = p01
+                    cov[i, j, 1, 0] = p10
+                    cov[i, j, 1, 1] = p11
+            else:
+                if measured:
+                    tof_out[i, j] = h
+                    mean[i, j, 0] = h
+                    mean[i, j, 1] = 0.0
+                    cov[i, j, 0, 0] = r_noise
+                    cov[i, j, 0, 1] = 0.0
+                    cov[i, j, 1, 0] = 0.0
+                    cov[i, j, 1, 1] = 1.0
+                else:
+                    tof_out[i, j] = np.nan
+            live[i, j] = alive or measured
+
+        if do_localize:
+            # Closed-form T localization: the solver's expressions,
+            # scalar (NaN comparisons are False, so NaN rows invalidate
+            # exactly as the masked numpy version).
+            k1 = tof_out[i, 0]
+            k2 = tof_out[i, 1]
+            k3 = tof_out[i, 2]
+            r0 = (k1 * k1 + k2 * k2 - two_dd) / (2.0 * (k1 + k2))
+            x = (k1 * k1 - k2 * k2 + (2.0 * r0) * (k2 - k1)) / four_d
+            z = (k3 * k3 - hh - (2.0 * k3) * r0) / two_h
+            y_sq = r0 * r0 - x * x - z * z
+            # not (y_sq < 0) keeps NaN (np.maximum semantics).
+            m = y_sq if not (y_sq < 0.0) else 0.0
+            y = np.sqrt(m)
+            valid = (
+                (k1 > d_sep)
+                and (k2 > d_sep)
+                and (k3 > h_below)
+                and (r0 > 0.0)
+                and (y_sq > min_y_sq)
+            )
+            if valid:
+                for j in range(n_rx):
+                    if not np.isfinite(tof_out[i, j]):
+                        valid = False
+                        break
+            if valid:
+                positions_out[i, 0] = x
+                positions_out[i, 1] = y
+                positions_out[i, 2] = z
+            else:
+                positions_out[i, 0] = np.nan
+                positions_out[i, 1] = np.nan
+                positions_out[i, 2] = np.nan
+
+
+#: Compile-probe state: None = not tried, else success flag.
+_fused_probe: bool | None = None
+
+
+def _fused_chain_ready() -> bool:
+    """Compile-and-run the fused chain once on tiny throwaway arrays.
+
+    Runs *before* any real state is touched so a compile failure can
+    never leave a tick half-advanced. The dummy call uses the exact
+    dtypes and layouts of real calls, so they reuse the compiled
+    specialization.
+    """
+    global _fused_probe
+    if _fused_probe is None:
+        try:
+            n, a, nb, p = 1, 3, 5, 2
+            _fused_chain_jit(
+                np.zeros((n, a, nb), dtype=np.complex128),
+                np.zeros((n, a, nb), dtype=np.complex128),
+                np.empty((n, a, nb), dtype=np.complex128),
+                np.empty((n, a, nb)),
+                np.empty((n, a)),
+                np.empty((n, a), dtype=np.bool_),
+                np.empty((n, a)),
+                1.0,
+                1.0,
+                1,
+                1.0,
+                np.full((n, a), np.nan),
+                np.ones((n, a), dtype=np.int64),
+                np.full((n, a, p), np.nan),
+                np.zeros((n, a), dtype=np.int64),
+                0.15,
+                0.3,
+                np.full((n, a), np.nan),
+                True,
+                np.zeros((n, a, 2)),
+                np.zeros((n, a, 2, 2)),
+                np.zeros((n, a), dtype=np.bool_),
+                0.0125,
+                1e-6,
+                1e-4,
+                1e-2,
+                1e-3,
+                True,
+                2.0,
+                4.0,
+                1.0,
+                2.0,
+                1.0,
+                1.0,
+                0.01,
+                np.empty((n, 3)),
+            )
+            _fused_probe = True
+        except Exception as exc:  # pragma: no cover - depends on toolchain
+            warnings.warn(
+                f"numba fused tick kernel failed to compile "
+                f"({type(exc).__name__}: {exc}); serving stays on the "
+                f"staged loop",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _fused_probe = False
+    return _fused_probe
+
+
+@register("numba", "fused_tick_single")
+def _fused_tick_numba(plan, tick):
+    from .tick import FusionUnavailable, _prologue
+
+    if not _fused_chain_ready():
+        plan.disabled = True
+        raise FusionUnavailable("numba fused tick kernel unavailable")
+    hot = plan._hot is not None and plan._hot == (
+        tick.slots.tobytes(),
+        plan.state_epoch,
+    )
+    plan._hot = None
+    if not hot:
+        plan.flush()
+    tick, current, previous, sc = _prologue(plan, tick, hot)
+    if current is None:
+        return tick
+    n, n_rx, _ = current.shape
+    slots = tick.slots
+    gate = plan.gate
+    hold = plan.hold
+    kal = plan.kalman
+    gate._ensure(n_rx)
+    hold._ensure(n_rx)
+    kal._ensure(n_rx)
+    last = sc["glast"]
+    since = sc["gsince"]
+    pending = sc["gpending"]
+    plen = sc["gplen"]
+    held = sc["hheld"]
+    mean = sc["kmean"]
+    cov = sc["kcov"]
+    live = sc["klive"]
+    if not hot:
+        np.take(gate._last, slots, axis=0, out=last)
+        np.take(gate._since, slots, axis=0, out=since)
+        np.take(gate._pending, slots, axis=0, out=pending)
+        np.take(gate._pending_len, slots, axis=0, out=plen)
+        np.take(hold._held, slots, axis=0, out=held)
+        np.take(kal._mean, slots, axis=0, out=mean)
+        np.take(kal._cov, slots, axis=0, out=cov)
+        np.take(kal._initialized, slots, axis=0, out=live)
+    # Outputs sessions retain row views of: freshly allocated per tick.
+    diff = np.empty_like(current)
+    raw = np.empty((n, n_rx))
+    motion = np.empty((n, n_rx), dtype=np.bool_)
+    tof = np.empty((n, n_rx))
+    do_loc = plan.localize is not None
+    if do_loc:
+        positions = np.empty((n, 3))
+        two_dd, four_d = plan.two_dd, plan.four_d
+        hh, two_h = plan.hh, plan.two_h
+        d_sep, h_below, min_y_sq = plan.sep_m, plan.below_m, plan.min_y_sq
+    else:
+        positions = np.empty((0, 3))
+        two_dd = four_d = hh = two_h = d_sep = h_below = min_y_sq = 0.0
+    _fused_chain_jit(
+        np.ascontiguousarray(current),
+        previous,
+        diff,
+        sc["power"],
+        raw,
+        motion,
+        tof,
+        plan.thr_mul,
+        plan.rel_mul,
+        max(plan.min_bin, 1),
+        plan.range_bin_m,
+        last,
+        since,
+        pending,
+        plen,
+        gate.max_jump_m,
+        gate.agreement_m,
+        held,
+        plan.hold_enabled,
+        mean,
+        cov,
+        live,
+        kal.frame_dt_s,
+        kal._q00,
+        kal._q01,
+        kal._q11,
+        kal.measurement_noise,
+        do_loc,
+        two_dd,
+        four_d,
+        hh,
+        two_h,
+        d_sep,
+        h_below,
+        min_y_sq,
+        positions,
+    )
+    tick.spectrum = diff
+    tick.power = sc["power"]
+    tick.raw_tof_m = raw
+    tick.motion = motion
+    tick.tof_m = tof
+    if do_loc:
+        tick.positions = positions
+    # Lazy writeback: the scratch copies (including this frame as the
+    # next tick's background reference) are now authoritative; the
+    # pipeline flushes them before any slab-level read.
+    np.copyto(sc["prev"], current)
+    plan._hot = (slots.tobytes(), plan.state_epoch)
+    plan._hot_slots = slots
+    plan._dirty = True
+    return tick

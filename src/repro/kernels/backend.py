@@ -45,18 +45,31 @@ class Backend:
             hoist static (scalar round-trip/amplitude) paths out of the
             per-sweep scatter. False only for ``reference``, which must
             reproduce the original code's cost and math shape.
+        fuse_ticks: whether :meth:`Pipeline.tick
+            <repro.pipeline.Pipeline.tick>` may run a compiled
+            :class:`~repro.kernels.tick.TickPlan` (the whole stage
+            chain as one kernel call) instead of the staged loop.
+            False only for ``reference``, which stays the honest
+            stage-by-stage cost model the fused paths are measured
+            against.
         impls: kernel key -> callable.
     """
 
-    def __init__(self, name: str, static_split: bool = True) -> None:
+    def __init__(
+        self,
+        name: str,
+        static_split: bool = True,
+        fuse_ticks: bool = True,
+    ) -> None:
         self.name = name
         self.static_split = static_split
+        self.fuse_ticks = fuse_ticks
         self.impls: dict[str, Callable] = {}
 
 
 _BACKENDS: dict[str, Backend] = {
     "numpy": Backend("numpy"),
-    "reference": Backend("reference", static_split=False),
+    "reference": Backend("reference", static_split=False, fuse_ticks=False),
 }
 _active: Backend | None = None
 #: Lazy numba probe state: None = not tried, str = failed with reason.

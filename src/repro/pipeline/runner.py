@@ -27,6 +27,7 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..kernels.profile import StageProfiler, profiling_enabled
+from ..kernels.tick import FusionUnavailable, compile_tick_plan, fusion_active
 from .frame import Frame, FrameBlock, SessionTick
 from .stages import (
     BackgroundSubtract,
@@ -41,6 +42,9 @@ from .stages import (
 
 #: Reused slot vector for the single-session ``push`` fast path.
 _SLOT0 = np.zeros(1, dtype=np.intp)
+
+#: Plan-cache sentinel: this stage graph was checked and is not fusable.
+_UNFUSABLE = object()
 
 
 @dataclass
@@ -179,6 +183,8 @@ class Pipeline:
         #: spectrum never outlives the tick: BackgroundSubtract copies
         #: what it keeps and replaces ``tick.spectrum`` with the diff).
         self._avg_scratch: np.ndarray | None = None
+        #: Reused cohort-stacking buffer for the list-input tick path.
+        self._stack_scratch: np.ndarray | None = None
         #: Per-stage {calls, wall_s, bytes} counters, or ``None`` when
         #: profiling was off at construction — the disabled path costs
         #: one ``is None`` check per tick (``REPRO_PROFILE=1`` or
@@ -187,6 +193,9 @@ class Pipeline:
             StageProfiler() if profiling_enabled() else None
         )
         self._stage_names = self._dedup_names(self.stages)
+        #: Lazily compiled :class:`~repro.kernels.tick.TickPlan` for the
+        #: whole stage chain (``_UNFUSABLE`` once checked and rejected).
+        self._tick_plan = None
 
     @staticmethod
     def _dedup_names(stages: Sequence[Stage]) -> list[str]:
@@ -232,8 +241,37 @@ class Pipeline:
             s.reset()
         self._frames_in[:] = start_frame
         self.latency = LatencyReport()
+        # The stages just wiped their slabs: discard (don't flush) the
+        # plan's resident copies, or stale state would resurrect.
+        plan = self._tick_plan
+        if plan is not None and plan is not _UNFUSABLE:
+            plan.discard()
+            plan.state_epoch += 1
         if self.profiler is not None:
             self.profiler = StageProfiler()
+
+    def _flush_plan_state(self) -> None:
+        """Write the compiled plan's resident state back to the slabs.
+
+        The read barrier of the fused path's lazy writeback: called
+        before anything reads or overwrites stage state directly
+        (snapshot, restore, eviction, staged/batch execution).
+        """
+        plan = self._tick_plan
+        if plan is not None and plan is not _UNFUSABLE:
+            plan.flush()
+
+    def _invalidate_plan_state(self) -> None:
+        """Flush, then drop, the compiled plan's resident state gathers.
+
+        Called on every path that mutates stage state outside a fused
+        tick (lifecycle events, staged execution, batch mode) so the
+        fused path re-gathers from the slabs next tick.
+        """
+        plan = self._tick_plan
+        if plan is not None and plan is not _UNFUSABLE:
+            plan.flush()
+            plan.state_epoch += 1
 
     # -- session lifecycle -------------------------------------------------
 
@@ -262,6 +300,7 @@ class Pipeline:
             self._n_sessions = n_sessions
         for s in self.stages:
             s.attach(n_sessions)
+        self._invalidate_plan_state()
 
     def evict_session(self, slot: int) -> None:
         """Forget one slot's state everywhere; the slot may be reused.
@@ -270,6 +309,9 @@ class Pipeline:
         surviving sessions are unperturbed — pinned by the serving
         tests.
         """
+        # Park resident fused state first: flushing after the evict
+        # would resurrect the evicted slot's rows.
+        self._flush_plan_state()
         if not 0 <= slot < self._n_sessions:
             raise IndexError(
                 f"slot {slot} out of range for {self._n_sessions} sessions"
@@ -277,6 +319,7 @@ class Pipeline:
         for s in self.stages:
             s.evict(slot)
         self._frames_in[slot] = 0
+        self._invalidate_plan_state()
 
     def snapshot_session(self, slot: int) -> dict:
         """Picklable hand-off of one session's entire pipeline state.
@@ -292,6 +335,9 @@ class Pipeline:
             raise IndexError(
                 f"slot {slot} out of range for {self._n_sessions} sessions"
             )
+        # Read barrier: the fused path may hold this slot's state in
+        # plan scratch; park it in the slabs before reading them.
+        self._flush_plan_state()
         return {
             "frames_in": int(self._frames_in[slot]),
             "stages": [s.snapshot_slot(slot) for s in self.stages],
@@ -314,9 +360,13 @@ class Pipeline:
                 f"this pipeline has {len(self.stages)} stages; snapshots "
                 "only restore into pipelines of the same spec"
             )
+        # Flush *before* installing: a later flush would overwrite the
+        # restored rows with the plan's stale resident copies.
+        self._flush_plan_state()
         self._frames_in[slot] = state["frames_in"]
         for stage, stage_state in zip(self.stages, stage_states):
             stage.restore_slot(slot, stage_state)
+        self._invalidate_plan_state()
 
     def _crop(self, frames: np.ndarray) -> np.ndarray:
         if self._max_bins is None:
@@ -355,28 +405,55 @@ class Pipeline:
             slots = np.asarray(slots, dtype=np.intp)
         if len(slots) != len(sweep_blocks):
             raise ValueError("need exactly one slot per sweep block")
-        if len(slots) > 1 and len(np.unique(slots)) != len(slots):
+        if len(slots) > 1 and len(set(slots.tolist())) != len(slots):
             raise ValueError(
                 "slots must be distinct: one session advances at most "
                 "one frame per tick"
             )
-        stacked = (
-            sweep_blocks
-            if isinstance(sweep_blocks, np.ndarray)
-            else np.stack([np.asarray(b) for b in sweep_blocks])
-        )
         profiler = self.profiler
+        t_enter = perf_counter() if profiler is not None else 0.0
+        if isinstance(sweep_blocks, np.ndarray):
+            stacked = sweep_blocks
+        elif len(sweep_blocks) == 0:
+            stacked = np.stack([np.asarray(b) for b in sweep_blocks])
+        else:
+            # Stack into a reusable buffer: the per-tick cohort block is
+            # consumed by the frame average below and never retained, so
+            # a fresh allocation every tick is pure overhead.
+            first = np.asarray(sweep_blocks[0])
+            shape = (len(sweep_blocks),) + first.shape
+            stacked = self._stack_scratch
+            if (
+                stacked is None
+                or stacked.shape != shape
+                or stacked.dtype != first.dtype
+            ):
+                stacked = self._stack_scratch = np.empty(shape, first.dtype)
+            stacked[0] = first
+            for i in range(1, len(sweep_blocks)):
+                stacked[i] = sweep_blocks[i]
         t0 = perf_counter() if profiler is not None else 0.0
         if stacked.dtype == np.complex128:
-            n, n_rx, _, n_bins = stacked.shape
+            # Crop before averaging: the mean is per-bin, so the order
+            # is bitwise-immaterial, and the cropped reduction touches
+            # only the bins the chain will actually read.
+            cropped = self._crop(stacked)
+            n, n_rx, _, n_bins = cropped.shape
             scratch = self._avg_scratch
             if scratch is None or scratch.shape != (n, n_rx, n_bins):
                 scratch = self._avg_scratch = np.empty(
                     (n, n_rx, n_bins), dtype=np.complex128
                 )
-            averaged = self._crop(np.mean(stacked, axis=2, out=scratch))
+            # add.reduce + divide is np.mean's own reduction without its
+            # Python wrapper (bitwise-identical pairwise summation).
+            np.add.reduce(cropped, axis=2, out=scratch)
+            averaged = np.divide(scratch, cropped.shape[2], out=scratch)
         else:
-            averaged = self._crop(stacked.mean(axis=2))
+            averaged = self._crop(stacked).mean(axis=2)
+        if profiler is not None:
+            t1 = perf_counter()
+            profiler.record("frame_average", t1 - t0, averaged.nbytes)
+            attributed = t1 - t0
         indices = self._frames_in[slots]
         self._frames_in[slots] += 1
         tick = SessionTick(
@@ -385,20 +462,47 @@ class Pipeline:
             times_s=(indices + 0.5) * self.frame_duration_s,
             spectrum=averaged,
         )
+        plan = self._tick_plan
+        if plan is None:
+            plan = self._tick_plan = compile_tick_plan(self.stages) or _UNFUSABLE
+        if plan is not _UNFUSABLE and not plan.disabled and fusion_active():
+            try:
+                if profiler is None:
+                    return plan.run(tick)
+                t0 = perf_counter()
+                tick = plan.run(tick)
+                t1 = perf_counter()
+                profiler.record("fused_tick", t1 - t0, tick.nbytes)
+                attributed += t1 - t0
+                profiler.record(
+                    "dispatch", (perf_counter() - t_enter) - attributed
+                )
+                return tick
+            except FusionUnavailable:
+                # The fused kernel bailed before touching any state
+                # (numba compile failure); the plan disabled itself, so
+                # this tick — and all later ones — run staged.
+                pass
+        if plan is not _UNFUSABLE:
+            # Staged stages read and mutate the slabs directly: park
+            # the plan's resident state first, then invalidate it.
+            plan.flush()
+            plan.state_epoch += 1
         if profiler is None:
             for stage in self.stages:
                 tick = stage.process_tick(tick)
                 if tick.num_rows == 0:
                     break
             return tick
-        t1 = perf_counter()
-        profiler.record("frame_average", t1 - t0, averaged.nbytes)
         for stage, name in zip(self.stages, self._stage_names):
+            t0 = perf_counter()
             tick = stage.process_tick(tick)
-            t0, t1 = t1, perf_counter()
+            t1 = perf_counter()
             profiler.record(name, t1 - t0, tick.nbytes)
+            attributed += t1 - t0
             if tick.num_rows == 0:
                 break
+        profiler.record("dispatch", (perf_counter() - t_enter) - attributed)
         return tick
 
     def push(self, sweep_block: np.ndarray) -> Frame | None:
@@ -531,8 +635,12 @@ class Pipeline:
             * self.frame_duration_s,
             spectrum=np.ascontiguousarray(averaged.transpose(1, 0, 2)),
         )
+        # Batch stages read slot 0's slabs directly: flush resident
+        # fused state before, invalidate after.
+        self._flush_plan_state()
         for stage in self.stages:
             block = stage.process_block(block)
+        self._invalidate_plan_state()
         return PipelineResult(
             frame_times_s=block.times_s,
             tof_m=block.tof_m,

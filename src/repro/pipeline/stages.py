@@ -107,6 +107,19 @@ class Stage:
         if not state:
             self.evict(slot)
 
+    def fuse_spec(self) -> str | None:
+        """Kernel-form descriptor for the tick compiler, or ``None``.
+
+        A stage that can run inside a compiled
+        :class:`~repro.kernels.tick.TickPlan` — its per-tick update is a
+        pure function over SoA state slabs plus the frame block, with no
+        Python objects in the loop — returns a kind string the compiler
+        pattern-matches (``"background"``, ``"contour"``, ...). ``None``
+        (the default) marks the stage unfusable and keeps the whole
+        chain on the staged loop.
+        """
+        return None
+
     def process_tick(self, tick: SessionTick) -> SessionTick:
         """Advance every session row of the tick by one frame."""
         raise NotImplementedError
@@ -185,6 +198,9 @@ class BackgroundSubtract(Stage):
         self._previous[slot] = previous
         self._primed[slot] = True
 
+    def fuse_spec(self) -> str:
+        return "background"
+
     def process_tick(self, tick):
         current = tick.spectrum
         _, n_rx, n_bins = current.shape
@@ -262,6 +278,9 @@ class ContourExtract(Stage):
             min_range_m=self.min_range_m,
             relative_threshold_db=self.relative_threshold_db,
         )
+
+    def fuse_spec(self) -> str:
+        return "contour"
 
     def process_tick(self, tick):
         n_rows, n_rx, n_bins = tick.power.shape
@@ -397,6 +416,9 @@ class OutlierGate(Stage):
             }
         return sc
 
+    def fuse_spec(self) -> str:
+        return "outlier"
+
     def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
         """Gate a ``(n_rows, n_rx)`` tick; advances the given slots.
 
@@ -525,6 +547,9 @@ class HoldInterpolate(Stage):
         self._ensure(len(state["held"]))
         self._held[slot] = state["held"]
 
+    def fuse_spec(self) -> str:
+        return "hold"
+
     def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
         self._ensure(values.shape[1])
         held = self._held[slots]
@@ -618,6 +643,9 @@ class KalmanSmooth(Stage):
         self._cov[slot] = state["cov"]
         self._initialized[slot] = state["initialized"]
 
+    def fuse_spec(self) -> str:
+        return "kalman"
+
     def _step_rows(self, values: np.ndarray, slots: np.ndarray) -> np.ndarray:
         self._ensure(values.shape[1])
         out, new, newc, new_live = kalman_tick(
@@ -668,6 +696,14 @@ class Localize(Stage):
 
     def __init__(self, solver) -> None:
         self.solver = solver
+
+    def fuse_spec(self) -> str | None:
+        # Only the closed-form T solver is a pure rowwise function; the
+        # warm-started least-squares solver carries a Python-side
+        # iterate and stays staged.
+        if getattr(self.solver, "fuse_kind", None) == "t_geometry":
+            return "localize"
+        return None
 
     def process_tick(self, tick):
         if getattr(self.solver, "row_independent", False):

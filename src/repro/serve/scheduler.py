@@ -344,7 +344,18 @@ class Scheduler:
         )
         tick = cohort.pipeline.tick([b for b, _ in entries], slots)
         done = perf_counter()
-        row_of_slot = {int(slot): row for row, slot in enumerate(tick.slots)}
+        if len(tick.slots) == len(ready):
+            # Every session emitted a row; the pipeline preserves input
+            # order, so row k belongs to ready[k] — no slot map needed.
+            for row, (session, (_, enqueued)) in enumerate(
+                zip(ready, entries)
+            ):
+                session.latency.latencies_s.append(done - enqueued)
+                session.collect(tick, row)
+            return len(ready)
+        row_of_slot = {
+            slot: row for row, slot in enumerate(tick.slots.tolist())
+        }
         for session, (_, enqueued) in zip(ready, entries):
             session.latency.latencies_s.append(done - enqueued)
             row = row_of_slot.get(session.slot)
@@ -380,10 +391,19 @@ class Scheduler:
 
     def _rebatch(self) -> None:
         """Split persistent stragglers; rejoin the ones that caught up."""
-        self.detector.prune(self.manager.sessions)
-        for session in self.detector.sweep(self.manager.cohorts.values()):
-            self.manager.split(session, burst=self.catchup_burst)
-            self.splits += 1
+        detector = self.detector
+        # A split needs some session `backlog` deeper than its cohort's
+        # floor, which requires a queue at least that deep — so with no
+        # lag counters pending, one cheap depth scan replaces the full
+        # per-cohort sweep (which would only pop from empty dicts).
+        if detector._lagging or any(
+            len(s.queue) >= detector.backlog
+            for s in self.manager.sessions.values()
+        ):
+            detector.prune(self.manager.sessions)
+            for session in detector.sweep(self.manager.cohorts.values()):
+                self.manager.split(session, burst=self.catchup_burst)
+                self.splits += 1
         self._caught_up = {
             sid: count
             for sid, count in self._caught_up.items()

@@ -301,8 +301,26 @@ class Session:
         return True
 
     def collect(self, tick: SessionTick, row: int) -> None:
-        """Accumulate one emitted tick row (engine-internal)."""
-        self.collect_fields(tick_row_fields(tick, row))
+        """Accumulate one emitted tick row (engine-internal).
+
+        Same values as routing :func:`tick_row_fields` through
+        :meth:`collect_fields`, minus the intermediate dict — this runs
+        once per session per tick on the serving hot path.
+        """
+        self._times.append(float(tick.times_s[row]))
+        if tick.tof_m is not None:
+            self._tofs.append(tick.tof_m[row])
+        if tick.raw_tof_m is not None:
+            self._raws.append(tick.raw_tof_m[row])
+        if tick.motion is not None:
+            self._motions.append(tick.motion[row])
+        if tick.positions is not None:
+            self.last_position = tick.positions[row]
+            self._positions.append(self.last_position)
+        if tick.tracks is not None:
+            self.last_tracks = tick.tracks[row]
+            self._tracks.append(self.last_tracks)
+        self.frames_out += 1
 
     def collect_fields(self, fields: dict) -> None:
         """Accumulate one emitted output frame's field dict.

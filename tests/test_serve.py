@@ -319,6 +319,10 @@ class TestSessionVectorizedStages:
             pipe.tick(blocks, [0, 1])
         kalman = pipe.stage(KalmanSmooth)
         assert kalman._initialized is not None
+        # snapshot_session is the read barrier: the fused tick path
+        # keeps resident state in plan scratch and flushes it to the
+        # slabs before any direct slab-level read.
+        pipe.snapshot_session(0)
         before = kalman._initialized[0].copy()
         pipe.evict_session(1)
         np.testing.assert_array_equal(kalman._initialized[0], before)
