@@ -34,6 +34,8 @@ try:
 except ImportError:  # fresh checkout without `pip install -e .`
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.core.localize import TGeometrySolver
+from repro.geometry.antennas import t_array
 from repro.kernels import (
     accumulate_spectra,
     available_backends,
@@ -44,6 +46,8 @@ from repro.kernels import (
     row_median,
     set_backend,
 )
+from repro.multi.cancellation import successive_contours
+from repro.multi.tracks import Track, TrackBank, TrackManager
 
 # Serving shapes at N=8 sessions, 3 antennas, 171 range bins: the
 # synthesis call covers one 64-frame cohort chunk (320 sweeps per
@@ -83,6 +87,43 @@ def _workloads() -> list[dict]:
     mean = rng.standard_normal((N_SESSIONS, N_RX, 2))
     cov = np.broadcast_to(np.eye(2), (N_SESSIONS, N_RX, 2, 2)).copy()
     live = rng.uniform(size=values.shape) < 0.8
+
+    # Multi-person tick shapes: successive cancellation sees one frame
+    # row per (session, antenna), with a couple of reflector peaks per
+    # row; the track bank steps N_SESSIONS two-track managers against
+    # steady candidate sets (claims stay claimed, the spare candidate
+    # stays an excluded birth attempt, so repeated calls keep the
+    # workload size fixed).
+    range_bin_m = 0.05
+    cancel_power = rng.uniform(0.0, 0.05, (N_SESSIONS * N_RX, N_BINS))
+    bins = np.arange(N_BINS, dtype=np.float64)
+    for r in range(cancel_power.shape[0]):
+        for center in (45.0 + 3.0 * (r % 5), 95.0 - 2.0 * (r % 7)):
+            cancel_power[r] += 4.0 * np.exp(
+                -0.5 * ((bins - center) / 1.5) ** 2
+            )
+
+    solver = TGeometrySolver(t_array())
+    dt_s = 0.0125
+    bank = TrackBank()
+    bank_managers: list[TrackManager] = []
+    people = [np.array([-1.0, 3.0, -0.3]), np.array([1.2, 5.0, -0.2])]
+    ghost = people[0] + np.array([0.25, 0.2, 0.0])
+    bank_candidates = np.full((N_SESSIONS, N_RX, 6), np.nan)
+    bank_powers = np.full((N_SESSIONS, N_RX, 6), np.nan)
+    for s in range(N_SESSIONS):
+        manager = TrackManager(dt_s, solver)
+        for i, p in enumerate(people):
+            tofs = solver.array.round_trip_distances(p)
+            manager.tracks.append(
+                Track(manager._next_id, dt_s, tofs, p, manager.config)
+            )
+            manager._next_id += 1
+            bank_candidates[s, :, i] = tofs
+            bank_powers[s, :, i] = 1.0 - 0.1 * i
+        bank_candidates[s, :, 2] = solver.array.round_trip_distances(ghost)
+        bank_powers[s, :, 2] = 0.5
+        bank_managers.append(manager)
 
     chunk_session_frames = N_SESSIONS * CHUNK_FRAMES
     tick_session_frames = N_SESSIONS
@@ -127,6 +168,24 @@ def _workloads() -> list[dict]:
             "inner": 100,
             "run": lambda: kalman_tick(
                 values, mean, cov, live, 0.0125, 1e-4, 1e-3, 1e-2, 0.05
+            ),
+        },
+        {
+            "kernel": "successive_contours",
+            "shape": f"power {cancel_power.shape}",
+            "frames": tick_session_frames,
+            "inner": 20,
+            "run": lambda: successive_contours(
+                cancel_power, range_bin_m, max_targets=6
+            ),
+        },
+        {
+            "kernel": "track_bank_step",
+            "shape": f"candidates {bank_candidates.shape}",
+            "frames": tick_session_frames,
+            "inner": 20,
+            "run": lambda: bank.step(
+                bank_managers, bank_candidates, bank_powers
             ),
         },
     ]

@@ -10,25 +10,41 @@ single-person median error with zero identity switches, and the
 streaming multi-tracker still meets the paper's 75 ms latency budget.
 """
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro import constants
 from repro.apps.realtime import RealtimeMultiTracker
+from repro.config import default_config
 from repro.eval.figures import multi_person_sweep
 from repro.eval.harness import (
     MultiTrackingOutcome,
     TrackingExperiment,
     run_tracking_experiment,
 )
+from repro.eval.metrics import mot_metrics, ospa_series
 from repro.exec import default_runner
-from repro.multi import MultiScenario
-from repro.sim import HumanBody, non_colliding_walks, through_wall_room
+from repro.kernels import backend_name
+from repro.kernels.tick import enable_fusion, reset_fusion_override
+from repro.multi import MultiScenario, MultiWiTrack
+from repro.sim import (
+    DepthCalibration,
+    HumanBody,
+    ViconSystem,
+    non_colliding_walks,
+    through_wall_room,
+    waypoint_walk,
+)
+from repro.sim.body import sample_population
 
 from conftest import print_header
 
 DURATION_S = 12.0
 SEED = 0
+CROSSING_OUT = Path(__file__).parent / "multi_person.json"
 
 
 @pytest.fixture(scope="module")
@@ -98,6 +114,138 @@ def test_multi_person_accuracy(multi_outcomes, single_person_median_m):
     # Every person is matched most of the session.
     matched = np.isfinite(k2.mot.per_truth_errors).mean(axis=1)
     assert np.all(matched > 0.5), f"match fractions too low: {matched}"
+
+
+def crossing_walks(room):
+    """Two walkers whose round-trip ranges cross mid-session.
+
+    One walks near-to-far, the other far-to-near, on x lanes 2.2+ m
+    apart: their *ranges* sweep through each other (the per-antenna TOF
+    candidates collide) while the people themselves never come close —
+    the workload where identity is won or lost in association, not in
+    geometry.
+    """
+    y0 = room.front_wall_y or 0.0
+    near, far = y0 + 2.0, y0 + 7.0
+    return [
+        waypoint_walk(
+            np.array([[-2.2, near], [-1.0, far]]),
+            speed_mps=1.2,
+            torso_z=-0.2,
+            label="near-to-far",
+        ),
+        waypoint_walk(
+            np.array([[2.2, far], [1.0, near]]),
+            speed_mps=1.2,
+            torso_z=-0.3,
+            label="far-to-near",
+        ),
+    ]
+
+
+def _identity_fields(truths: np.ndarray, result) -> dict:
+    mot = mot_metrics(truths, result.positions, match_threshold_m=1.0)
+    ospa = ospa_series(truths, result.positions)
+    return {
+        "mota": round(float(mot.mota), 4),
+        "id_switches": int(mot.id_switches),
+        "misses": int(mot.misses),
+        "false_positives": int(mot.false_positives),
+        "mean_ospa_cm": round(100.0 * float(np.mean(ospa)), 2),
+        "tracks": int(result.num_tracks),
+    }
+
+
+def crossing_benchmark(seed: int = SEED) -> dict:
+    """Score the crossing workload staged and fused, on one synthesis.
+
+    Synthesizes the two-walker crossing scene once, tracks it twice —
+    fusion forced off and on — and scores both against the VICON truth
+    protocol. The fused run must be bitwise the staged run (positions,
+    identities, coasting flags), so its MOTA/ID-switch numbers gate in
+    CI exactly like the throughput artifacts do.
+    """
+    room = through_wall_room()
+    config = default_config()
+    walks = crossing_walks(room)
+    rng = np.random.default_rng(seed)
+    bodies = tuple(sample_population(rng, count=11)[:2])
+    out = MultiScenario(
+        list(zip(bodies, walks)), room=room, config=config, seed=seed + 1
+    ).run()
+
+    def run(fused: bool):
+        enable_fusion(fused)
+        tracker = MultiWiTrack(config, max_people=2, room=room)
+        return tracker.track(out.spectra, out.range_bin_m)
+
+    try:
+        staged = run(False)
+        fused = run(True)
+    finally:
+        reset_fusion_override()
+
+    # Ground truth per person: the Section 8(a) protocol applied per
+    # target (same stream seeds as the eval harness).
+    vicon = ViconSystem()
+    calibration = DepthCalibration()
+    truths = np.empty((2, staged.num_frames, 3))
+    for p, (body, walk) in enumerate(zip(bodies, walks)):
+        captured = vicon.capture(walk, np.random.default_rng(seed + 2 + 7 * p))
+        centers = captured.resample(staged.frame_times_s)
+        depth = calibration.measure_depth(
+            body, np.random.default_rng(seed + 3 + 7 * p)
+        )
+        truths[p] = calibration.compensate(centers, depth)
+
+    identical = (
+        staged.track_ids == fused.track_ids
+        and np.array_equal(staged.positions, fused.positions, equal_nan=True)
+        and np.array_equal(staged.coasting, fused.coasting)
+    )
+    return {
+        "workload": "crossing",
+        "seed": seed,
+        "num_people": 2,
+        "frames": int(staged.num_frames),
+        "backend": backend_name(),
+        "staged": _identity_fields(truths, staged),
+        "fused": _identity_fields(truths, fused),
+        "fused_identical": bool(identical),
+    }
+
+
+def test_crossing_identity():
+    print_header(
+        "Crossing-heavy workload (K=2, ranges cross) - "
+        "identity, staged vs fused"
+    )
+    payload = crossing_benchmark()
+    for leg in ("staged", "fused"):
+        f = payload[leg]
+        print(f"{leg:>6}:  MOTA {f['mota']:.3f}  "
+              f"ID switches {f['id_switches']}  misses {f['misses']}  "
+              f"false positives {f['false_positives']}  "
+              f"mean OSPA {f['mean_ospa_cm']:.1f} cm  "
+              f"tracks {f['tracks']}")
+    print(f"fused identical to staged: "
+          f"{'yes' if payload['fused_identical'] else 'NO'}")
+    CROSSING_OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {CROSSING_OUT}")
+
+    # The CI identity gate: fusing the K-person tick must not change
+    # tracking output at all, so MOTA and ID switches are unchanged by
+    # construction — and the JSON artifact records the absolute values
+    # so workload regressions show up in run-over-run diffs.
+    assert payload["fused_identical"], (
+        "fused multi-person tracking diverged from staged"
+    )
+    assert payload["fused"] == payload["staged"]
+    staged = payload["staged"]
+    assert staged["mota"] > 0.75, f"crossing MOTA collapsed: {staged}"
+    assert staged["id_switches"] == 0, (
+        f"crossing workload lost identity: {staged}"
+    )
 
 
 def test_streaming_multi_latency(benchmark):

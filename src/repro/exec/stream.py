@@ -202,9 +202,10 @@ class ShardedStreamRunner:
 def results_identical(a: PipelineResult, b: PipelineResult) -> bool:
     """True when two pipeline results carry the same per-frame fields.
 
-    Compares timestamps and every array field the single-person
-    pipeline fills (NaN-tolerant for the float fields). This is the
-    determinism gate the sharded benchmarks assert.
+    Compares timestamps, every array field the single-person pipeline
+    fills (NaN-tolerant for the float fields), and the multi-person
+    ``tracks`` lists including track identities. This is the
+    determinism gate the sharded and fused-vs-staged benchmarks assert.
     """
 
     def same(x: np.ndarray | None, y: np.ndarray | None, nan: bool) -> bool:
@@ -212,12 +213,26 @@ def results_identical(a: PipelineResult, b: PipelineResult) -> bool:
             return (x is None) == (y is None)
         return np.array_equal(x, y, equal_nan=nan)
 
+    def same_tracks(x, y) -> bool:
+        if x is None or y is None:
+            return (x is None) == (y is None)
+        if len(x) != len(y):
+            return False
+        for fx, fy in zip(x, y):
+            if len(fx) != len(fy):
+                return False
+            for (ix, px), (iy, py) in zip(fx, fy):
+                if ix != iy or not np.array_equal(px, py, equal_nan=True):
+                    return False
+        return True
+
     return (
         same(a.frame_times_s, b.frame_times_s, nan=False)
         and same(a.positions, b.positions, nan=True)
         and same(a.tof_m, b.tof_m, nan=True)
         and same(a.raw_tof_m, b.raw_tof_m, nan=True)
         and same(a.motion, b.motion, nan=False)
+        and same_tracks(a.tracks, b.tracks)
     )
 
 

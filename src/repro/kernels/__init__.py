@@ -11,7 +11,13 @@ per-cohort stage chain into one kernel call (``REPRO_FUSED=0|1``), and
 (``REPRO_PROFILE=1``).
 """
 
-from . import contour, kalman, synthesis, tick  # noqa: F401  (register kernels)
+from . import (  # noqa: F401  (register kernels)
+    cancellation,
+    contour,
+    kalman,
+    synthesis,
+    tick,
+)
 from .backend import (
     active_backend,
     available_backends,
@@ -22,6 +28,7 @@ from .backend import (
     set_backend,
     use_backend,
 )
+from .cancellation import successive_cancel
 from .contour import background_power, first_local_max_above, row_median
 from .kalman import kalman_tick
 from .profile import (
@@ -63,5 +70,6 @@ __all__ = [
     "reset_profiling_override",
     "row_median",
     "set_backend",
+    "successive_cancel",
     "use_backend",
 ]

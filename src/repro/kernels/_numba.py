@@ -198,6 +198,157 @@ def _first_local_max_numba(power, threshold, min_bin):
 
 
 # ---------------------------------------------------------------------------
+# Successive cancellation (multi-person contour rounds).
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _successive_cancel_jit(
+    power, thr_mul, rel_mul, lo, range_bin_m, half_bins, max_targets,
+    rt, pk, thr,
+):
+    """All cancellation rounds, one row at a time with per-row early exit.
+
+    A row that stops detecting is *frozen*: its residual never changes
+    again, so its median floor, frame peak, and scan result are the
+    same in every later round — recording the frozen threshold forward
+    reproduces the staged loop's per-round thresholds bit for bit, and
+    the row's remaining candidate slots stay NaN exactly as the staged
+    global loop leaves them. The global round count is then the longest
+    per-row detection prefix, which is precisely when the staged loop's
+    any-row break fires.
+    """
+    n_rows, n_bins = power.shape
+    half = n_bins // 2
+    odd = n_bins % 2 == 1
+    med = np.empty(n_bins)
+    row = np.empty(n_bins)
+    n_rounds = 0
+    for i in range(n_rows):
+        for b in range(n_bins):
+            row[b] = power[i, b]
+        rounds_i = 0
+        for k in range(max_targets):
+            peak = row[0]
+            for b in range(1, n_bins):
+                if row[b] > peak:
+                    peak = row[b]
+            for b in range(n_bins):
+                med[b] = row[b]
+            # Same order statistics as the staged np.partition median.
+            med.sort()
+            if odd:
+                floor = med[half]
+            else:
+                floor = (med[half - 1] + med[half]) / 2.0
+            t_abs = floor * thr_mul
+            t_rel = peak * rel_mul
+            t = t_abs if t_abs > t_rel else t_rel
+            thr[k, i] = t
+            hit = -1
+            for b in range(lo, n_bins - 1):
+                c = row[b]
+                if not (c < t) and c >= row[b - 1] and c >= row[b + 1]:
+                    hit = b
+                    break
+            if hit < 0:
+                for k2 in range(k + 1, max_targets):
+                    thr[k2, i] = t
+                break
+            left = row[hit - 1]
+            midv = row[hit]
+            right = row[hit + 1]
+            denom = left - 2.0 * midv + right
+            if abs(denom) > 1e-30:
+                off = 0.5 * (left - right) / denom
+                if off < -0.5:
+                    off = -0.5
+                elif off > 0.5:
+                    off = 0.5
+            else:
+                off = 0.0
+            rt[k, i] = (hit + off) * range_bin_m
+            pk[k, i] = midv
+            rounds_i = k + 1
+            if k + 1 < max_targets:
+                # Null carve from the *stored* round trip, as null_band
+                # does — (hit + off) * bin / bin need not round-trip.
+                center = rt[k, i] / range_bin_m
+                for b in range(n_bins):
+                    if abs(b - center) <= half_bins:
+                        row[b] = 0.0
+        if rounds_i > n_rounds:
+            n_rounds = rounds_i
+    return n_rounds
+
+
+#: Cancel-kernel compile-probe state: None = not tried, else success.
+_cancel_probe: bool | None = None
+
+
+def _cancel_ready() -> bool:
+    """Compile-and-run the cancel kernel once on tiny throwaway arrays.
+
+    The fused multi-person tick calls this kernel mid-chain; probing
+    up front (with a warn-once numpy fallback) keeps a toolchain
+    failure from surfacing as a crashed serving tick.
+    """
+    global _cancel_probe
+    if _cancel_probe is None:
+        try:
+            rt = np.full((1, 1), np.nan)
+            pk = np.full((1, 1), np.nan)
+            thr = np.empty((1, 1))
+            _successive_cancel_jit(
+                np.zeros((1, 5)), 1.0, 1.0, 1, 1.0, 2, 1, rt, pk, thr
+            )
+            _cancel_probe = True
+        except Exception as exc:  # pragma: no cover - depends on toolchain
+            warnings.warn(
+                f"numba successive-cancellation kernel failed to compile "
+                f"({type(exc).__name__}: {exc}); falling back to numpy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _cancel_probe = False
+    return _cancel_probe
+
+
+@register("numba", "successive_cancel")
+def _successive_cancel_numba(
+    power, range_bin_m, max_targets, threshold_db, min_range_m,
+    null_halfwidth_m, relative_threshold_db,
+):
+    if not _cancel_ready():
+        from .cancellation import _successive_cancel_numpy
+
+        return _successive_cancel_numpy(
+            power, range_bin_m, max_targets, threshold_db, min_range_m,
+            null_halfwidth_m, relative_threshold_db,
+        )
+    power = np.ascontiguousarray(np.asarray(power, dtype=np.float64))
+    n_rows, n_bins = power.shape
+    rt = np.full((max_targets, n_rows), np.nan)
+    pk = np.full((max_targets, n_rows), np.nan)
+    thr = np.empty((max_targets, n_rows))
+    if n_bins < 3 or n_rows == 0:
+        return rt, pk, thr[:0], 0
+    n_rounds = _successive_cancel_jit(
+        power,
+        10.0 ** (threshold_db / 10.0),
+        10.0 ** (-relative_threshold_db / 10.0),
+        max(int(np.ceil(min_range_m / range_bin_m)), 1),
+        range_bin_m,
+        int(np.ceil(null_halfwidth_m / range_bin_m)),
+        max_targets,
+        rt,
+        pk,
+        thr,
+    )
+    return rt, pk, thr[:n_rounds], n_rounds
+
+
+# ---------------------------------------------------------------------------
 # Kalman tick.
 # ---------------------------------------------------------------------------
 

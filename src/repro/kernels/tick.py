@@ -4,10 +4,14 @@ The staged serving loop walks 5-6 ``process_tick`` Python calls per
 cohort per frame, each paying dataclass plumbing, kernel dispatch, and
 intermediate allocations that dwarf the actual math on small cohorts.
 :func:`compile_tick_plan` pattern-matches a pipeline's stage list
-against the single-person chain (each stage advertises its kernel-form
-update via :meth:`~repro.pipeline.stages.Stage.fuse_spec`) and, when
-every stage is fusable, emits a :class:`TickPlan`: the whole chain
-stitched into one backend call over the stages' own SoA state slabs.
+(each stage advertises its kernel-form update via
+:meth:`~repro.pipeline.stages.Stage.fuse_spec`) against the
+single-person chain — emitting a :class:`TickPlan`: the whole chain
+stitched into one backend call over the stages' own SoA state slabs —
+or the multi-person chain (successive cancellation + association over
+a row-independent solver), emitting a :class:`MultiTickPlan` that runs
+the cancellation rounds as one kernel call and every slot's tracks
+through one :class:`~repro.multi.tracks.TrackBank` step.
 
 Two fused implementations sit behind the usual backend seam:
 
@@ -40,6 +44,7 @@ Escape hatch: ``REPRO_FUSED=0`` (read once per process, or
 from __future__ import annotations
 
 import os
+from time import perf_counter
 
 import numpy as np
 
@@ -97,23 +102,33 @@ class FusionUnavailable(RuntimeError):
 #: The fusable single-person chain, in order (localize optional).
 _CHAIN = ("background", "contour", "outlier", "hold", "kalman")
 
+#: The fusable multi-person chain: shared front end, then successive
+#: cancellation and the cohort track bank.
+_MULTI_CHAIN = ("background", "cancel", "associate")
 
-def compile_tick_plan(stages) -> "TickPlan | None":
-    """Compile a stage list into a :class:`TickPlan`, or ``None``.
 
-    ``None`` means at least one stage is unfusable (multi-person
-    ``SuccessiveCancel``/``Associate``, the warm-started least-squares
-    solver, custom stages) or the chain shape is not the single-person
-    pattern — the pipeline then stays on the staged loop.
+def compile_tick_plan(stages) -> "TickPlan | MultiTickPlan | None":
+    """Compile a stage list into a tick plan, or ``None``.
+
+    The single-person chain compiles to a :class:`TickPlan`, the
+    multi-person chain (``SuccessiveCancel`` + ``Associate`` over a
+    row-independent solver) to a :class:`MultiTickPlan`. ``None`` means
+    at least one stage is unfusable (the warm-started least-squares
+    solver, custom stages) or the chain shape matches neither pattern —
+    the pipeline then stays on the staged loop.
     """
     kinds = tuple(stage.fuse_spec() for stage in stages)
     if kinds == _CHAIN:
-        localize = None
-    elif kinds == _CHAIN + ("localize",):
-        localize = stages[5]
-    else:
-        return None
-    return TickPlan(stages[0], stages[1], stages[2], stages[3], stages[4], localize)
+        return TickPlan(
+            stages[0], stages[1], stages[2], stages[3], stages[4], None
+        )
+    if kinds == _CHAIN + ("localize",):
+        return TickPlan(
+            stages[0], stages[1], stages[2], stages[3], stages[4], stages[5]
+        )
+    if kinds == _MULTI_CHAIN:
+        return MultiTickPlan(stages[0], stages[1], stages[2])
+    return None
 
 
 class TickPlan:
@@ -135,6 +150,11 @@ class TickPlan:
     restore/reset and on any staged execution) invalidates the resident
     copies, and a changed slot vector flushes and re-gathers.
     """
+
+    #: Set per tick by the owning pipeline when profiling is on (the
+    #: single-person fused kernels don't attribute sub-rows; the
+    #: multi-person plan does).
+    profiler = None
 
     def __init__(self, bg, contour, gate, hold, kalman, localize) -> None:
         self.bg = bg
@@ -757,4 +777,155 @@ def _fused_tick_numpy(plan: TickPlan, tick):
             np.logical_not(valid, out=v2)
             positions[v2] = np.nan
             tick.positions = positions
+    return tick
+
+
+class MultiTickPlan:
+    """One multi-person cohort spec's stage chain, compiled.
+
+    The multi-person analogue of :class:`TickPlan`: background subtract,
+    successive cancellation, and the association track bank as one
+    ``fused_tick_multi`` kernel call per cohort tick. Same lazy-
+    writeback protocol (:meth:`flush` / :meth:`discard` /
+    :attr:`state_epoch` / the hot-key skip), but the only plan-resident
+    state is the background stage's previous-frame slab: cancellation is
+    stateless, and the association state lives in the
+    :class:`~repro.multi.tracks.TrackManager` objects, which the
+    cohort :class:`~repro.multi.tracks.TrackBank` scatters back into
+    every tick — so snapshot/restore, eviction, and direct manager
+    access need no extra barriers beyond the background flush.
+
+    Only the ``numpy`` backend registers ``fused_tick_multi``; under
+    the ``numba`` backend the dispatch falls back to it, and the inner
+    ``successive_cancel`` call re-dispatches to the JIT row kernel —
+    the association stage is Python/numpy on every backend.
+    """
+
+    #: Set per tick by the owning pipeline when profiling is on; the
+    #: fused kernel then records ``fused_cancel`` / ``fused_associate``
+    #: sub-rows next to the pipeline's ``fused_tick`` total.
+    profiler = None
+
+    def __init__(self, bg, cancel, assoc) -> None:
+        # Deferred: repro.multi imports the kernels package at load time.
+        from ..multi.tracks import TrackBank
+
+        self.bg = bg
+        self.assoc = assoc
+        # SuccessiveCancel parameters, folded once.
+        self.range_bin_m = cancel.range_bin_m
+        self.max_targets = cancel.max_targets
+        self.threshold_db = cancel.threshold_db
+        self.min_range_m = cancel.min_range_m
+        self.null_halfwidth_m = cancel.null_halfwidth_m
+        self.relative_threshold_db = cancel.relative_threshold_db
+        self.bank = TrackBank()
+        #: See :class:`TickPlan` for the protocol these implement.
+        self.disabled = False
+        self.state_epoch = 0
+        self._hot = None
+        self._hot_slots = None
+        self._dirty = False
+        self._scratch: dict | None = None
+
+    def run(self, tick):
+        """Advance the whole chain one tick via the active backend."""
+        return kernel("fused_tick_multi")(self, tick)
+
+    def flush(self) -> None:
+        """Write the resident background reference back to the slab."""
+        if not self._dirty:
+            return
+        self._dirty = False
+        slots = self._hot_slots
+        sc = self._scratch
+        if slots is None or sc is None:
+            return
+        self.bg._previous[slots] = sc["prev"]
+
+    def discard(self) -> None:
+        """Drop the resident state without writing it back."""
+        self._dirty = False
+        self._hot = None
+        self._hot_slots = None
+
+    def _scratch_for(self, n: int, n_rx: int, n_bins: int) -> dict:
+        """Per-tick scratch slabs, reallocated only on shape change."""
+        sc = self._scratch
+        if sc is not None and sc["shape"] == (n, n_rx, n_bins):
+            return sc
+        self.discard()
+        self._scratch = sc = {
+            "shape": (n, n_rx, n_bins),
+            "prev": np.empty((n, n_rx, n_bins), dtype=np.complex128),
+            "power": np.empty((n, n_rx, n_bins)),
+        }
+        return sc
+
+
+@register("numpy", "fused_tick_multi")
+def _fused_tick_multi_numpy(plan: MultiTickPlan, tick):
+    """The multi-person chain as one call over plan scratch.
+
+    Stage for stage the staged loop's arithmetic: the cancellation
+    kernel sees the identical ``(session*antenna, bins)`` row stacking
+    (one call, one global rounds break), and the track bank runs the
+    staged managers' own claim/filter/lifecycle/birth code batched over
+    the ``(slot, track)`` axis — so outputs, manager state, and track
+    identities are bit-identical to the staged loop on every backend.
+    """
+    hot = plan._hot is not None and plan._hot == (
+        tick.slots.tobytes(),
+        plan.state_epoch,
+    )
+    plan._hot = None
+    if not hot:
+        plan.flush()
+    tick, current, previous, sc = _prologue(plan, tick, hot)
+    if current is None:
+        return tick
+    n, n_rx, n_bins = current.shape
+    profiler = plan.profiler
+    with np.errstate(invalid="ignore", divide="ignore"):
+        # BackgroundSubtract: the diff is an output (sessions retain
+        # row views of the spectrum), the power slab is scratch.
+        diff = current - previous
+        tick.spectrum = diff
+        power = sc["power"]
+        np.abs(diff, out=power)
+        np.multiply(power, power, out=power)
+        tick.power = power
+
+        # SuccessiveCancel: all rounds of all rows, one kernel call.
+        t0 = perf_counter() if profiler is not None else 0.0
+        round_trips, peaks, _, _ = kernel("successive_cancel")(
+            power.reshape(n * n_rx, n_bins),
+            plan.range_bin_m,
+            plan.max_targets,
+            plan.threshold_db,
+            plan.min_range_m,
+            plan.null_halfwidth_m,
+            plan.relative_threshold_db,
+        )
+        candidates = round_trips.T.reshape(n, n_rx, plan.max_targets)
+        powers = peaks.T.reshape(n, n_rx, plan.max_targets)
+        tick.candidates_m = candidates
+        tick.candidate_powers = powers
+        if profiler is not None:
+            t1 = perf_counter()
+            profiler.record("fused_cancel", t1 - t0, candidates.nbytes)
+            t0 = t1
+
+        # Associate: every slot's tracks through one bank step.
+        managers = [plan.assoc._managers[s] for s in tick.slots]
+        tick.tracks = plan.bank.step(managers, candidates, powers)
+        if profiler is not None:
+            profiler.record("fused_associate", perf_counter() - t0)
+
+        # Lazy writeback: this frame is the next tick's background
+        # reference; the pipeline flushes before any slab-level read.
+        np.copyto(sc["prev"], current)
+        plan._hot = (tick.slots.tobytes(), plan.state_epoch)
+        plan._hot_slots = tick.slots
+        plan._dirty = True
     return tick

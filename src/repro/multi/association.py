@@ -20,7 +20,6 @@ Kalman predictions) resolves whatever ambiguity is left.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -172,7 +171,7 @@ def candidate_fixes(
     finite = [np.flatnonzero(~np.isnan(s)) for s in tofs]
     if any(len(idx) == 0 for idx in finite):
         return np.empty((0, 3))
-    index_combos = np.array(list(itertools.product(*finite)))
+    index_combos = _product_indices(finite)
     n_rx = len(tofs)
     combos = np.column_stack(
         [tofs[a][index_combos[:, a]] for a in range(n_rx)]
@@ -217,7 +216,57 @@ def candidate_fixes(
         )
     else:
         score = -residuals
+    return _greedy_select(
+        positions,
+        combos,
+        index_combos,
+        score,
+        array,
+        dedupe_m=dedupe_m,
+        max_fixes=max_fixes,
+        ghost_images=ghost_images,
+        ghost_tolerance_m=ghost_tolerance_m,
+        seed_positions=seed_positions,
+    )
 
+
+def _product_indices(finite: list[np.ndarray]) -> np.ndarray:
+    """Cartesian product of index arrays, last axis fastest.
+
+    Same row order as ``itertools.product`` (and ``np.meshgrid`` with
+    ``indexing="ij"``) but built from repeat/tile, which is several
+    times cheaper at the tens-of-rows sizes the association hot path
+    sees every serving tick.
+    """
+    sizes = [len(f) for f in finite]
+    total = int(np.prod(sizes))
+    out = np.empty((total, len(finite)), dtype=np.intp)
+    rep = total
+    for a, f in enumerate(finite):
+        rep //= sizes[a]
+        out[:, a] = np.tile(np.repeat(f, rep), total // (rep * sizes[a]))
+    return out
+
+
+def _greedy_select(
+    positions: np.ndarray,
+    combos: np.ndarray,
+    index_combos: np.ndarray,
+    score: np.ndarray,
+    array,
+    dedupe_m: float,
+    max_fixes: int | None,
+    ghost_images: np.ndarray | None,
+    ghost_tolerance_m: float,
+    seed_positions: Sequence[np.ndarray] | None,
+) -> np.ndarray:
+    """Power-greedy exclusive selection over pre-solved, pre-gated combos.
+
+    The tail of :func:`candidate_fixes`, split out so the batched
+    multi-slot path (:func:`candidate_fixes_batched`) can run it per
+    slot on slices of one concatenated solve.
+    """
+    n_rx = combos.shape[1]
     # Iterative greedy selection. Each round re-scores the surviving
     # combos against the multipath predictions of everything accepted so
     # far: one matching component costs ``_GHOST_PENALTY_DB`` (a pure
@@ -241,19 +290,20 @@ def candidate_fixes(
     while len(kept) < limit and np.any(alive):
         penalties = np.zeros(len(score))
         if suppress:
-            for idx in np.flatnonzero(alive):
-                matches = sum(
-                    1
-                    for a in range(n_rx)
-                    if ghost_tofs[a]
-                    and np.min(
-                        np.abs(np.array(ghost_tofs[a]) - combos[idx, a])
-                    ) <= ghost_tolerance_m
-                )
-                if matches >= 2:
-                    alive[idx] = False
-                else:
-                    penalties[idx] = _GHOST_PENALTY_DB * matches
+            # One vectorized arc-distance pass over every combo per
+            # antenna (the dead ones are masked out below) instead of a
+            # Python loop re-building the ghost array per combo.
+            matches = np.zeros(len(score), dtype=np.int64)
+            for a in range(n_rx):
+                if ghost_tofs[a]:
+                    arcs = np.asarray(ghost_tofs[a])
+                    nearest = np.min(
+                        np.abs(combos[:, a][:, None] - arcs[None, :]),
+                        axis=1,
+                    )
+                    matches += nearest <= ghost_tolerance_m
+            alive &= matches < 2
+            penalties = _GHOST_PENALTY_DB * matches.astype(np.float64)
         if not np.any(alive):
             break
         adjusted = np.where(alive, score - penalties, -np.inf)
@@ -273,6 +323,135 @@ def candidate_fixes(
     if not kept:
         return np.empty((0, 3))
     return np.stack(kept)
+
+
+def candidate_fixes_batched(
+    tof_slots: Sequence[Sequence[np.ndarray]],
+    solver: Solver,
+    gate: FixGate | None = None,
+    power_slots: Sequence[Sequence[np.ndarray]] | None = None,
+    dedupe_m: float = 0.4,
+    max_fixes: int | None = None,
+    ghost_images: np.ndarray | None = None,
+    ghost_tolerance_m: float = 0.6,
+    seed_slots: Sequence[Sequence[np.ndarray] | None] | None = None,
+) -> list[np.ndarray]:
+    """:func:`candidate_fixes` for many slots with one solver pass.
+
+    The per-slot call spends most of its time in fixed numpy call
+    overhead — combo construction, the localization solve, the volume
+    gate, the residual re-projection — on arrays of a few dozen rows.
+    This variant concatenates every slot's combos, runs that prefix once
+    over the stack, then hands each slot its own row slice to the
+    per-slot greedy selection. Because every prefix operation is
+    elementwise per row (the volume gate, the residual, the power
+    score) or row-independent by the solver's contract
+    (``solver.row_independent``), each slot's rows are bitwise the rows
+    its own :func:`candidate_fixes` call would have produced — which is
+    what lets the fused serving tick's track bank birth tracks for a
+    whole cohort without perturbing staged/fused parity.
+
+    Args:
+        tof_slots: per slot, the per-antenna candidate TOF sets.
+        solver: row-independent localization solver shared by all slots.
+        gate: feasibility gate shared by all slots.
+        power_slots: per slot, per-antenna candidate powers (or None).
+        seed_slots: per slot, the ghost-veto seed positions (or None).
+
+    Returns:
+        One ``(n_fixes, 3)`` array per slot, empty where nothing
+        survived.
+    """
+    gate = gate or FixGate()
+    n_slots = len(tof_slots)
+    empty = np.empty((0, 3))
+    out: list[np.ndarray] = [empty] * n_slots
+
+    # Per-slot combo tables, concatenated into one solver batch.
+    slot_rows: list[tuple[int, int, int]] = []  # (slot, row0, row1)
+    combo_parts: list[np.ndarray] = []
+    index_parts: list[np.ndarray] = []
+    power_parts: list[np.ndarray] | None = (
+        [] if power_slots is not None else None
+    )
+    row0 = 0
+    for s in range(n_slots):
+        tofs = [np.asarray(t, dtype=np.float64) for t in tof_slots[s]]
+        finite = [np.flatnonzero(~np.isnan(t)) for t in tofs]
+        if any(len(idx) == 0 for idx in finite):
+            continue
+        index_combos = _product_indices(finite)
+        n_rx = len(tofs)
+        combos = np.column_stack(
+            [tofs[a][index_combos[:, a]] for a in range(n_rx)]
+        )
+        if power_parts is not None:
+            powers = [
+                np.asarray(p, dtype=np.float64) for p in power_slots[s]
+            ]
+            power_parts.append(
+                np.column_stack(
+                    [powers[a][index_combos[:, a]] for a in range(n_rx)]
+                )
+            )
+        combo_parts.append(combos)
+        index_parts.append(index_combos)
+        slot_rows.append((s, row0, row0 + len(combos)))
+        row0 += len(combos)
+    if not combo_parts:
+        return out
+
+    combos = np.concatenate(combo_parts)
+    index_combos = np.concatenate(index_parts)
+    n_rx = combos.shape[1]
+    result = solver.solve(combos)
+    positions = result.positions
+    keep = result.valid & np.isfinite(positions).all(axis=1)
+    keep &= gate.admits(np.nan_to_num(positions, nan=1e9))
+
+    # Round-trip consistency over the whole stack; NaN-safe because
+    # rows already failing the volume gate are masked out below.
+    array = solver.array
+    with np.errstate(invalid="ignore"):
+        d_tx = np.linalg.norm(positions - array.tx.position[None, :], axis=1)
+        d_rx = np.linalg.norm(
+            positions[:, None, :] - array.rx_positions[None, :, :], axis=2
+        )
+        residuals = np.sqrt(
+            np.mean((d_tx[:, None] + d_rx - combos) ** 2, axis=1)
+        )
+        keep &= residuals <= gate.max_residual_m
+
+    if power_parts is not None:
+        power_rows = np.concatenate(power_parts)
+        floor = 1e-30
+        score = sum(
+            10.0 * np.log10(np.maximum(power_rows[:, a], floor))
+            for a in range(n_rx)
+        )
+    else:
+        score = -residuals
+
+    for s, r0, r1 in slot_rows:
+        rows = keep[r0:r1]
+        if not np.any(rows):
+            continue
+        sel = np.flatnonzero(rows) + r0
+        out[s] = _greedy_select(
+            positions[sel],
+            combos[sel],
+            index_combos[sel],
+            score[sel],
+            array,
+            dedupe_m=dedupe_m,
+            max_fixes=max_fixes,
+            ghost_images=ghost_images,
+            ghost_tolerance_m=ghost_tolerance_m,
+            seed_positions=(
+                seed_slots[s] if seed_slots is not None else None
+            ),
+        )
+    return out
 
 
 def assign_fixes(

@@ -26,7 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.contour import ContourResult, track_bottom_contour
+from ..core.contour import ContourResult
+from ..kernels.cancellation import successive_cancel
 
 
 @dataclass(frozen=True)
@@ -132,30 +133,31 @@ def successive_contours(
         raise ValueError("max_targets must be at least 1")
     if null_halfwidth_m <= 0:
         raise ValueError("null_halfwidth_m must be positive")
-    residual = np.array(power, dtype=np.float64, copy=True)
-    n_frames = residual.shape[0]
-    round_trips = np.full((max_targets, n_frames), np.nan)
-    peaks = np.full((max_targets, n_frames), np.nan)
-    rounds: list[ContourResult] = []
-    for k in range(max_targets):
-        result = track_bottom_contour(
-            residual,
-            range_bin_m,
-            threshold_db=threshold_db,
-            min_range_m=min_range_m,
-            relative_threshold_db=relative_threshold_db,
+    # The whole rounds loop is one backend kernel call
+    # (:mod:`repro.kernels.cancellation`); the per-round
+    # :class:`ContourResult` views are rebuilt from its dense outputs —
+    # a round's motion mask is exactly the finite cells of its
+    # round-trip row.
+    round_trips, peaks, thresholds, n_rounds = successive_cancel(
+        np.asarray(power),
+        range_bin_m,
+        max_targets,
+        threshold_db,
+        min_range_m,
+        null_halfwidth_m,
+        relative_threshold_db,
+    )
+    rounds = tuple(
+        ContourResult(
+            round_trip_m=round_trips[k],
+            peak_power=peaks[k],
+            motion_mask=~np.isnan(round_trips[k]),
+            threshold_power=thresholds[k],
         )
-        if not np.any(result.motion_mask):
-            break
-        rounds.append(result)
-        round_trips[k] = result.round_trip_m
-        peaks[k] = result.peak_power
-        if k + 1 < max_targets:
-            null_band(
-                residual, result.round_trip_m, range_bin_m, null_halfwidth_m
-            )
+        for k in range(n_rounds)
+    )
     return MultiContourResult(
         round_trips_m=round_trips,
         peak_powers=peaks,
-        rounds=tuple(rounds),
+        rounds=rounds,
     )

@@ -31,9 +31,16 @@ import enum
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy.optimize import linear_sum_assignment
 
-from ..core.kalman import KalmanFilter1D
-from .association import FixGate, Solver, assign_fixes, candidate_fixes
+from ..core.kalman import dwna_process_noise
+from .association import (
+    FixGate,
+    Solver,
+    assign_fixes,
+    candidate_fixes,
+    candidate_fixes_batched,
+)
 
 
 def tracks_to_arrays(
@@ -170,6 +177,64 @@ class TrackManagerConfig:
             raise ValueError("min_claims must be at least 1")
 
 
+def _filter_step(
+    values: np.ndarray,
+    mean: np.ndarray,
+    cov: np.ndarray,
+    dt: float,
+    q00: float,
+    q01: float,
+    q11: float,
+    r: float,
+    decay: float,
+) -> None:
+    """One predict/update step of the per-antenna TOF filters, in place.
+
+    Elementwise over any leading shape: ``values`` is ``(...,)`` aligned
+    with ``mean`` ``(..., 2)`` and ``cov`` ``(..., 2, 2)``. Finite cells
+    run the measurement update; NaN cells predict and damp their
+    velocity by ``decay`` (the paper's stopped-person semantics). The
+    arithmetic is the unrolled 2x2 tree shared with the fused tick
+    kernels (:mod:`repro.kernels`), so one track's scalar step and a
+    whole cohort bank's batched step are the same IEEE operations —
+    which is what lets the fused multi-person tick advance every
+    session's tracks in array math while staying bit-identical to the
+    per-slot staged loop.
+    """
+    m0 = mean[..., 0]
+    m1 = mean[..., 1]
+    c00 = cov[..., 0, 0]
+    c01 = cov[..., 0, 1]
+    c10 = cov[..., 1, 0]
+    c11 = cov[..., 1, 1]
+    pm0 = m0 + dt * m1
+    a00 = c00 + dt * c10
+    a01 = c01 + dt * c11
+    p00 = (a00 + a01 * dt) + q00
+    p01 = a01 + q01
+    p10 = (c10 + c11 * dt) + q01
+    p11 = c11 + q11
+    measured = np.isfinite(values)
+    with np.errstate(invalid="ignore"):
+        innovation = values - pm0
+        s = p00 + r
+        g0 = p00 / s
+        g1 = p10 / s
+        um0 = pm0 + g0 * innovation
+        um1 = m1 + g1 * innovation
+        uc00 = (1.0 - g0) * p00
+        uc01 = (1.0 - g0) * p01
+        uc10 = (-g1) * p00 + p10
+        uc11 = (-g1) * p01 + p11
+        cm1 = m1 * decay
+    mean[..., 0] = np.where(measured, um0, pm0)
+    mean[..., 1] = np.where(measured, um1, cm1)
+    cov[..., 0, 0] = np.where(measured, uc00, p00)
+    cov[..., 0, 1] = np.where(measured, uc01, p01)
+    cov[..., 1, 0] = np.where(measured, uc10, p10)
+    cov[..., 1, 1] = np.where(measured, uc11, p11)
+
+
 class Track:
     """One hypothesized person: a per-antenna TOF Kalman bank.
 
@@ -202,23 +267,27 @@ class Track:
             np.exp(-dt_s / config.support_time_constant_s)
         )
         self.position = np.asarray(position, dtype=np.float64).copy()
-        self._tof_filters = [
-            KalmanFilter1D(
-                dt_s,
-                process_noise=config.tof_process_noise,
-                measurement_noise=config.tof_measurement_noise,
-            )
-            for _ in range(len(tofs))
-        ]
-        for axis, kf in enumerate(self._tof_filters):
-            kf.update(float(tofs[axis]))
+        # Per-antenna constant-velocity filter state, structure-of-arrays:
+        # mean (n_rx, 2) and covariance (n_rx, 2, 2). The first
+        # measurement initializes state [tof, 0] with cov diag(r, 1) —
+        # exactly KalmanFilter1D's first update.
+        n_rx = len(tofs)
+        self._q00, self._q01, self._q11 = dwna_process_noise(
+            dt_s, config.tof_process_noise
+        )
+        self._r = float(config.tof_measurement_noise)
+        self._mean = np.zeros((n_rx, 2))
+        self._mean[:, 0] = np.asarray(tofs, dtype=np.float64)
+        self._cov = np.zeros((n_rx, 2, 2))
+        self._cov[:, 0, 0] = self._r
+        self._cov[:, 1, 1] = 1.0
         if config.confirm_hits <= 1:
             self.status = TrackStatus.CONFIRMED
 
     @property
     def num_rx(self) -> int:
         """Number of per-antenna TOF filters."""
-        return len(self._tof_filters)
+        return self._mean.shape[0]
 
     @property
     def is_alive(self) -> bool:
@@ -233,13 +302,11 @@ class Track:
     @property
     def smoothed_tofs(self) -> np.ndarray:
         """Current filtered per-antenna round trips, shape ``(n_rx,)``."""
-        return np.array([kf.state[0] for kf in self._tof_filters])
+        return self._mean[:, 0].copy()
 
     def predicted_tofs(self) -> np.ndarray:
         """One-frame-ahead round trips *without* advancing filter state."""
-        return np.array(
-            [kf.state[0] + kf.dt_s * kf.state[1] for kf in self._tof_filters]
-        )
+        return self._mean[:, 0] + self._dt_s * self._mean[:, 1]
 
     def tof_gate_m(self) -> float:
         """Current per-antenna claim gate, widened while coasting."""
@@ -269,19 +336,34 @@ class Track:
                 on support decay while a real track shrugs off a
                 transient excursion during a coast.
         """
-        claims = 0
-        for axis, kf in enumerate(self._tof_filters):
-            value = float(claimed_tofs[axis])
-            if np.isfinite(value):
-                kf.update(value)
-                claims += 1
-            else:
-                kf.predict()
-                kf.state[1] *= self.config.coast_velocity_decay
-        solved = solver.solve_one(self.smoothed_tofs)
+        values = np.asarray(claimed_tofs, dtype=np.float64)
+        claims = int(np.count_nonzero(np.isfinite(values)))
+        _filter_step(
+            values,
+            self._mean,
+            self._cov,
+            self._dt_s,
+            self._q00,
+            self._q01,
+            self._q11,
+            self._r,
+            self.config.coast_velocity_decay,
+        )
+        solved = solver.solve_one(self._mean[:, 0])
         feasible = bool(np.all(np.isfinite(solved)))
         if feasible and gate is not None:
             feasible = bool(gate.admits(solved[None, :])[0])
+        self._register(claims, solved, feasible)
+
+    def _register(
+        self, claims: int, solved: np.ndarray, feasible: bool
+    ) -> None:
+        """Fold one frame's claim count and solved fix into the lifecycle.
+
+        Shared tail of :meth:`advance` and the cohort
+        :class:`TrackBank` step (which computes ``solved``/``feasible``
+        batched across every session's tracks).
+        """
         if feasible:
             self.position = solved
         if claims >= min(self.config.min_claims, self.num_rx):
@@ -519,6 +601,21 @@ class TrackManager:
                 leftover_powers.append(
                     np.where(keep, np.asarray(power_sets[a]), np.nan)
                 )
+        self._births(leftovers, leftover_powers, live)
+        return self._finalize()
+
+    def _births(
+        self,
+        leftovers: list[np.ndarray],
+        leftover_powers: list[np.ndarray] | None,
+        live: list[Track],
+    ) -> None:
+        """Birth tracks from unclaimed candidates (shared with the bank).
+
+        ``live`` is the step-start live list, post-advance: it seeds the
+        ghost veto and the birth-exclusion neighborhood exactly as one
+        staged :meth:`step` does.
+        """
         births = candidate_fixes(
             leftovers,
             self.solver,
@@ -526,11 +623,28 @@ class TrackManager:
             power_sets=leftover_powers,
             max_fixes=self.max_births_per_frame,
             ghost_images=self.ghost_images,
-            # Any track with real evidence seeds the ghost veto — waiting
-            # for confirmation would leave the first frames unguarded,
-            # and early-born multipath ghosts are the persistent ones.
-            seed_positions=[t.position for t in live if t.hits >= 2],
+            seed_positions=self._birth_seeds(live),
         )
+        self._adopt_births(births, live)
+
+    def _birth_seeds(self, live: list[Track]) -> list[np.ndarray]:
+        """Ghost-veto seed positions for this frame's birth attempt.
+
+        Any track with real evidence seeds the veto — waiting for
+        confirmation would leave the first frames unguarded, and
+        early-born multipath ghosts are the persistent ones.
+        """
+        return [t.position for t in live if t.hits >= 2]
+
+    def _adopt_births(
+        self, births: np.ndarray, live: list[Track]
+    ) -> None:
+        """Turn surviving birth fixes into tracks (exclusion applied).
+
+        Split from :meth:`_births` so the cohort :class:`TrackBank` can
+        feed it fixes from one batched
+        :func:`~repro.multi.association.candidate_fixes_batched` pass.
+        """
         born: list[np.ndarray] = []
         for fix in births:
             neighbors = [t.position for t in live if t.is_alive] + born
@@ -550,6 +664,9 @@ class TrackManager:
             )
             self._next_id += 1
             born.append(fix)
+
+    def _finalize(self) -> list[Track]:
+        """Cull dead tracks and record the frame snapshot (shared tail)."""
         self.tracks = [t for t in self.tracks if t.is_alive]
 
         snapshot = _Snapshot()
@@ -588,3 +705,168 @@ class TrackManager:
             track_ids=ids,
             coasting=coasting,
         )
+
+
+class TrackBank:
+    """Structure-of-arrays stepper: one frame of many sessions at once.
+
+    The staged serving path advances a cohort tick slot by slot — one
+    :meth:`TrackManager.step` per session, each walking its
+    :class:`Track` objects one at a time. The bank advances the same
+    tick over a ``(slot, track)`` axis: it gathers every ticking slot's
+    live-track filter state into stacked arrays, runs prediction,
+    gating, the Kalman updates, and batched localization across all
+    slots in array math, and scatters the results back into the
+    managers' tracks. Claim assignment stays per ``(slot, antenna)``
+    (:func:`~repro.multi.association.assign_fixes` — the Hungarian
+    solve is not batchable without risking tie-break drift) and births
+    stay per slot (:meth:`TrackManager._births` is rare-path).
+
+    The managers remain the single source of truth: the bank holds no
+    state of its own, so snapshot/restore, eviction, and the
+    ``engine.track_manager`` accessors are untouched, and after a bank
+    step every manager is bit-identical to having stepped it staged —
+    the Kalman tree (:func:`_filter_step`), the lifecycle tail
+    (:meth:`Track._register`), the assignment calls, and the birth path
+    are literally the same code, just batched where the math is
+    elementwise.
+
+    Requires a row-independent solver (``solver.row_independent``, e.g.
+    the closed-form T-geometry solver): the batched ``solver.solve``
+    over all slots' tracks must equal the per-track ``solve_one`` calls
+    bitwise. The tick compiler only fuses the associate stage when that
+    holds. All managers of a serving cohort share one spec, so the
+    frame interval, lifecycle config, fix gate, and solver are read
+    from the first manager.
+    """
+
+    def step(
+        self,
+        managers: list[TrackManager],
+        candidates: np.ndarray,
+        powers: np.ndarray,
+    ) -> list[list[tuple[int, np.ndarray]]]:
+        """Advance one frame of every manager from its candidate sets.
+
+        Args:
+            managers: the ticking slots' managers, in tick-row order
+                (one entry per row; a manager may appear once only).
+            candidates: candidate round trips, shape
+                ``(n_rows, n_rx, K)``, NaN-padded.
+            powers: echo power per candidate, same shape.
+
+        Returns:
+            Per row, the reportable ``(track_id, position)`` pairs —
+            exactly the staged per-slot output.
+        """
+        n_rows, n_rx, _ = candidates.shape
+        lead = managers[0]
+        dt = lead.frame_dt_s
+        cfg = lead.config
+        live_per = [m.live_tracks() for m in managers]
+        all_tracks = [t for live in live_per for t in live]
+        total = len(all_tracks)
+        counts = [len(live) for live in live_per]
+        offsets = np.zeros(n_rows + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+
+        finite_cand = np.isfinite(candidates)
+        claimed_mask = np.zeros(candidates.shape, dtype=bool)
+        if total:
+            # Gather: (track, antenna) filter state across every slot.
+            mean = np.stack([t._mean for t in all_tracks])
+            cov = np.stack([t._cov for t in all_tracks])
+            misses = np.array(
+                [t.misses for t in all_tracks], dtype=np.float64
+            )
+            predictions = mean[:, :, 0] + dt * mean[:, :, 1]
+            gates = np.minimum(
+                cfg.tof_gate_m + cfg.tof_gate_growth_mps * misses * dt,
+                cfg.max_tof_gate_m,
+            )
+            # Claim: gated 1D Hungarian per (slot, antenna). The cost,
+            # gate-block, and padding tensors are one vectorized pass
+            # over every (track, antenna, candidate) cell; each
+            # Hungarian solve then runs on a slice of them — the exact
+            # matrix the staged step's assign_fixes builds per call
+            # (its L2 norm of a 1-point row is |diff|: sqrt(x*x) == |x|
+            # for doubles, and NaN cells land on the same 1e6 pad).
+            claimed = np.full((total, n_rx), np.nan)
+            slot_of = np.repeat(np.arange(n_rows), counts)
+            cost = np.abs(predictions[:, :, None] - candidates[slot_of])
+            cost = np.where(np.isfinite(cost), cost, 1e6)
+            blocked = cost > gates[:, None, None]
+            padded = np.where(blocked, 1e6, cost)
+            for s in range(n_rows):
+                t0, t1 = offsets[s], offsets[s + 1]
+                if t0 == t1:
+                    continue
+                for a in range(n_rx):
+                    finite = np.flatnonzero(finite_cand[s, a])
+                    if len(finite) == 0:
+                        continue
+                    sub_blocked = blocked[t0:t1, a][:, finite]
+                    rows, cols = linear_sum_assignment(
+                        padded[t0:t1, a][:, finite]
+                    )
+                    for r, c in zip(rows, cols):
+                        if not sub_blocked[r, c]:
+                            claimed[t0 + r, a] = candidates[
+                                s, a, finite[c]
+                            ]
+                            claimed_mask[s, a, finite[c]] = True
+            # Advance: one Kalman tree over every (track, antenna) cell,
+            # one localization solve over every track.
+            q00, q01, q11 = dwna_process_noise(dt, cfg.tof_process_noise)
+            _filter_step(
+                claimed,
+                mean,
+                cov,
+                dt,
+                q00,
+                q01,
+                q11,
+                float(cfg.tof_measurement_noise),
+                cfg.coast_velocity_decay,
+            )
+            solved = lead.solver.solve(mean[:, :, 0]).positions
+            feasible = np.all(np.isfinite(solved), axis=1)
+            # NaN rows compare False everywhere, so gating the whole
+            # batch equals the staged finite-then-gate short circuit.
+            feasible &= lead.gate.admits(solved)
+            claims = np.count_nonzero(np.isfinite(claimed), axis=1)
+            for i, track in enumerate(all_tracks):
+                track._mean[:] = mean[i]
+                track._cov[:] = cov[i]
+                track._register(
+                    int(claims[i]), solved[i].copy(), bool(feasible[i])
+                )
+
+        # Leftovers: every finite candidate no track claimed, one
+        # vectorized mask instead of per-slot keep loops. Births run
+        # through one batched combo-solve across all slots (the gate,
+        # ghost images, and birth cap are cohort-wide spec state, read
+        # from the lead manager like the rest of the step).
+        keep = finite_cand & ~claimed_mask
+        leftovers = np.where(keep, candidates, np.nan)
+        leftover_powers = np.where(keep, powers, np.nan)
+        births_per = candidate_fixes_batched(
+            [[leftovers[s, a] for a in range(n_rx)] for s in range(n_rows)],
+            lead.solver,
+            gate=lead.gate,
+            power_slots=[
+                [leftover_powers[s, a] for a in range(n_rx)]
+                for s in range(n_rows)
+            ],
+            max_fixes=lead.max_births_per_frame,
+            ghost_images=lead.ghost_images,
+            seed_slots=[
+                m._birth_seeds(live) for m, live in zip(managers, live_per)
+            ],
+        )
+        out = []
+        for s, manager in enumerate(managers):
+            manager._adopt_births(births_per[s], live_per[s])
+            tracks = manager._finalize()
+            out.append([(t.track_id, t.position.copy()) for t in tracks])
+        return out

@@ -72,6 +72,13 @@ class SuccessiveCancel(Stage):
             relative_threshold_db=self.relative_threshold_db,
         )
 
+    def fuse_spec(self) -> str:
+        """Fusable: the rounds loop is one backend kernel call
+        (:func:`repro.kernels.cancellation.successive_cancel`) over the
+        tick's stacked (session, antenna) rows, stateless across ticks.
+        """
+        return "cancel"
+
     def process_tick(self, tick):
         n_rows, n_rx, n_bins = tick.power.shape
         result = self._contours(tick.power.reshape(n_rows * n_rx, n_bins))
@@ -156,6 +163,23 @@ class Associate(Stage):
             self.evict(slot)
             return
         self._managers[slot] = state["manager"]
+
+    def fuse_spec(self) -> str | None:
+        """``"associate"`` when the cohort can advance as one track bank.
+
+        The fused tick runs every slot's tracks through one
+        :class:`~repro.multi.tracks.TrackBank` step, whose batched
+        localization solve must equal the staged per-track
+        ``solve_one`` calls bitwise — true only for row-independent
+        solvers (the closed-form T geometry), so the warm-started
+        least-squares solver keeps the chain staged. The bank reads the
+        shared cohort constants (frame interval, lifecycle config, fix
+        gate, solver) from slot 0's manager; every slot manager comes
+        from one factory with one spec, which is what makes that sound.
+        """
+        if getattr(self.manager.solver, "row_independent", False):
+            return "associate"
+        return None
 
     def _step(
         self, manager: TrackManager, candidates: np.ndarray, powers: np.ndarray

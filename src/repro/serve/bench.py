@@ -1,0 +1,155 @@
+"""Multi-person serving gauge: staged vs fused K-person cohort ticks.
+
+One reusable measurement behind both ``benchmarks/bench_serving.py
+--multi`` and the multi-person row of the ``repro bench`` trajectory
+record: pre-materialize K-person session streams, feed them through one
+lockstep :class:`~repro.serve.ServingEngine` twice — fusion forced off
+(the staged per-stage loop with one :class:`~repro.multi.tracks.
+TrackManager.step` per slot) and on (one
+:class:`~repro.kernels.tick.MultiTickPlan` call per cohort tick) — and
+report aggregate frames/s, p95 latency, and the bitwise-identity
+verdict over every session's outputs, track identities included.
+
+Mixed cohorts are first-class: ``people_per_session`` may vary per
+session, in which case the engine serves several cohorts per tick
+(specs with different K never share a cohort), which is exactly the
+heterogeneous-deployment shape the serving tier promises.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from ..config import SystemConfig, default_config
+from ..kernels import backend_name
+from ..kernels.tick import enable_fusion, reset_fusion_override
+from ..rf.fmcw import range_axis
+from .engine import ServingEngine
+from .session import multi_session
+
+
+def materialize_multi_streams(
+    people_per_session: list[int],
+    duration_s: float,
+    seed: int = 0,
+    config: SystemConfig | None = None,
+    room=None,
+) -> tuple:
+    """Pre-synthesized K-person frame streams, one list per session.
+
+    Each session is an independent :class:`~repro.multi.MultiScenario`
+    of ``people_per_session[i]`` non-colliding walkers; synthesis runs
+    up front so the timed loop measures the serving tick surface only.
+
+    Returns:
+        ``(config, room, range_bin_m, frames, n_frames)`` where
+        ``frames[i]`` is session *i*'s list of sweep blocks.
+    """
+    from ..multi import MultiScenario
+    from ..sim import non_colliding_walks, through_wall_room
+    from ..sim.body import HumanBody
+
+    config = config or default_config()
+    if room is None:
+        room = through_wall_room()
+    spf = config.pipeline.sweeps_per_frame
+    range_bin_m = float(range_axis(config.fmcw).round_trip_per_bin_m)
+    frames = []
+    for i, k in enumerate(people_per_session):
+        rng = np.random.default_rng(seed + 17 * i)
+        walks = non_colliding_walks(
+            room, rng, count=k, duration_s=duration_s, min_separation_m=1.0
+        )
+        people = [(HumanBody(name=f"s{i}p{j}"), walk)
+                  for j, walk in enumerate(walks)]
+        out = MultiScenario(
+            people, room=room, config=config, seed=seed + 17 * i + 1
+        ).run()
+        frames.append(
+            [out.spectra[:, f * spf: (f + 1) * spf, :]
+             for f in range(out.num_sweeps // spf)]
+        )
+    n_frames = min(len(stream) for stream in frames)
+    return config, room, range_bin_m, [s[:n_frames] for s in frames], n_frames
+
+
+def multi_person_comparison(
+    people_per_session: list[int],
+    duration_s: float = 4.0,
+    seed: int = 0,
+    repeats: int = 3,
+    config: SystemConfig | None = None,
+) -> dict:
+    """Staged vs fused multi-person serving on identical frames.
+
+    Times the engine's tick path twice per repeat — fusion forced off
+    and on — alternating the two within each repeat so environmental
+    drift lands on both sides equally, keeping the elementwise per-tick
+    minimum across repeats (the same discipline as the single-person
+    tick-fusion comparison), and bit-checks the runs' session outputs
+    against each other.
+    """
+    from ..exec import results_identical
+
+    config, room, range_bin_m, frames, n_frames = materialize_multi_streams(
+        people_per_session, duration_s, seed=seed, config=config
+    )
+    specs = [
+        multi_session(config, range_bin_m, max_people=k, room=room)
+        for k in people_per_session
+    ]
+
+    def run_once(fused: bool):
+        enable_fusion(fused)
+        ticks = np.empty(n_frames)
+        with ServingEngine() as engine:
+            sessions = [engine.admit(spec) for spec in specs]
+            for f in range(n_frames):
+                for session, stream in zip(sessions, frames):
+                    engine.submit(session, stream[f])
+                start = perf_counter()
+                engine.tick()
+                ticks[f] = perf_counter() - start
+            results = [engine.close(s) for s in sessions]
+        return ticks, results
+
+    staged_ticks = fused_ticks = None
+    staged_results = fused_results = None
+    try:
+        for _ in range(max(repeats, 1)):
+            s, staged_results = run_once(False)
+            staged_ticks = (
+                s if staged_ticks is None else np.minimum(staged_ticks, s)
+            )
+            f, fused_results = run_once(True)
+            fused_ticks = (
+                f if fused_ticks is None else np.minimum(fused_ticks, f)
+            )
+    finally:
+        reset_fusion_override()
+    staged_s = float(staged_ticks.sum())
+    fused_s = float(fused_ticks.sum())
+    total = len(frames) * n_frames
+    p95 = [
+        1e3 * float(np.max([r.latency.p95_s for r in results]))
+        for results in (staged_results, fused_results)
+    ]
+    return {
+        "sessions": len(frames),
+        "people_per_session": list(people_per_session),
+        "frames_per_session": n_frames,
+        "backend": backend_name(),
+        "staged_s": staged_s,
+        "fused_s": fused_s,
+        "staged_fps": total / staged_s,
+        "fused_fps": total / fused_s,
+        "speedup": staged_s / fused_s,
+        "staged_p95_latency_ms": p95[0],
+        "fused_p95_latency_ms": p95[1],
+        "identical": all(
+            results_identical(a, b)
+            for a, b in zip(staged_results, fused_results)
+        ),
+    }

@@ -1,18 +1,19 @@
-"""Compiled tick plans: fused chain == staged loop, bitwise.
+"""K-person compiled tick plans: fused multi chain == staged loop, bitwise.
 
-The tick compiler (:mod:`repro.kernels.tick`) stitches the single-person
-stage chain into one backend call per cohort tick. These tests pin the
+The multi-person mirror of ``test_tick_fusion.py``. The tick compiler
+stitches background subtraction, successive cancellation, and the
+track-bank association into one fused call per cohort tick
+(:class:`repro.kernels.tick.MultiTickPlan`); these tests pin the
 contract that makes that safe to ship:
 
-* fused and staged execution produce **bit-identical** tick outputs and
-  stage state, per backend, including the NaN hold/outlier paths;
+* fused and staged execution produce **bit-identical** tick outputs,
+  track identities, and manager state, per backend, through track
+  birth, range crossings, coasting, and death;
 * lifecycle events (attach, evict, partial cohorts, snapshot/restore
   across a fused<->staged boundary, alternating execution on one
-  pipeline) never desynchronize the plan's resident state from the
-  stage slabs;
-* the ``reference`` backend never fuses, ``REPRO_FUSED=0`` /
-  :func:`enable_fusion` force the staged loop everywhere, and the
-  profiler reports the fused path under its own rows.
+  pipeline) never desynchronize the plan's resident state;
+* the profiler reports the fused sub-stages (``fused_cancel``,
+  ``fused_associate``) under their own rows.
 """
 
 from __future__ import annotations
@@ -20,25 +21,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import SystemConfig
 from repro.core.localize import TGeometrySolver
 from repro.geometry.antennas import t_array
 from repro.kernels import available_backends, use_backend
 from repro.kernels.profile import StageProfiler
 from repro.kernels.tick import (
-    TickPlan,
     compile_tick_plan,
     enable_fusion,
-    fused_enabled,
-    fusion_active,
     reset_fusion_override,
 )
-from repro.pipeline.runner import single_person_pipeline
+from repro.multi.tracks import TrackManager
+from repro.pipeline.multi import Associate
+from repro.pipeline.runner import multi_person_pipeline
 
 RANGE_BIN_M = 0.05
 N_RX = 3
 N_BINS = 121
-N_SESSIONS = 5
+N_SESSIONS = 4
+MAX_TARGETS = 3
+DT_S = 0.0125
+
+ARRAY = t_array()
 
 
 @pytest.fixture(autouse=True)
@@ -47,41 +50,61 @@ def _restore_fusion():
     reset_fusion_override()
 
 
-def _solver():
-    return TGeometrySolver(t_array())
+def _manager():
+    return TrackManager(DT_S, TGeometrySolver(t_array()))
 
 
-def _pipeline(config, n_sessions=N_SESSIONS, solver=True):
-    p = single_person_pipeline(
-        config,
-        RANGE_BIN_M,
-        solver=_solver() if solver else None,
-        localize=solver,
+def _pipeline(config, n_sessions=N_SESSIONS):
+    p = multi_person_pipeline(
+        config, RANGE_BIN_M, _manager(), MAX_TARGETS,
+        manager_factory=_manager,
     )
     p.attach_sessions(n_sessions)
     return p
 
 
-def _block(rng, kind, t, spf):
-    """One session's sweep block; ``kind`` picks the NaN-path regime."""
-    base = rng.standard_normal((N_RX, spf, N_BINS)) + 1j * rng.standard_normal(
-        (N_RX, spf, N_BINS)
+def _walkers(t, s):
+    """Two walkers whose round-trip ranges cross mid-run.
+
+    The second walker vanishes for a window (coast -> kill -> rebirth),
+    and the session offset ``s`` desynchronizes the cohort rows so no
+    two slots ever see the same frame.
+    """
+    u = 0.04 * (t + 3 * s)
+    people = [np.array([-1.2 + 1.1 * u, 1.0 + 0.6 * u, -0.4])]
+    if not 18 <= t < 30:
+        people.append(np.array([1.3 - 1.2 * u, 2.4 - 0.5 * u, -0.2]))
+    return people
+
+
+def _inject(base, pos, t, amp=4.0):
+    """One person's echo: a peak at her round-trip bin per antenna."""
+    rts = ARRAY.round_trip_distances(np.asarray(pos, dtype=np.float64))
+    for a, rt in enumerate(rts):
+        k = int(round(rt / RANGE_BIN_M))
+        if 1 <= k < N_BINS - 1:
+            base[a, :, k] += amp * np.exp(1j * (0.9 * t + 0.5 * a))
+            base[a, :, k + 1] += 0.5 * amp
+
+
+def _block(rng, t, s, spf, kind="walkers"):
+    """One session's sweep block; ``kind`` picks the detection regime."""
+    base = 0.05 * (
+        rng.standard_normal((N_RX, spf, N_BINS))
+        + 1j * rng.standard_normal((N_RX, spf, N_BINS))
     )
-    if kind == "target":
-        k = 35 + int(9 * np.sin(t * 0.4))
-        base[:, :, k] += 35.0 * np.exp(1j * 0.2 * t)
-        base[:, :, k + 1] += 20.0
-    elif kind == "ramp":  # monotone power: no local maximum -> all NaN
-        base = np.cumsum(np.abs(base), axis=2) + 0.0j
+    if kind == "walkers":
+        for pos in _walkers(t, s):
+            _inject(base, pos, t + s)
     elif kind == "still":  # identical frames -> zero diff -> silence
-        base = np.full((N_RX, spf, N_BINS), 2.0 + 1.0j)
+        base = np.full((N_RX, spf, N_BINS), 1.5 + 0.5j)
     return base
 
 
 def _tick_fields(tick):
     out = {}
     for f in ("slots", "indices", "times_s", "spectrum", "power",
-              "raw_tof_m", "tof_m", "motion", "positions"):
+              "candidates_m", "candidate_powers"):
         v = getattr(tick, f, None)
         if v is not None:
             out[f] = np.asarray(v).copy()
@@ -93,6 +116,31 @@ def _assert_ticks_equal(ta, tb, where=""):
     assert set(fa) == set(fb), (where, set(fa) ^ set(fb))
     for key, va in fa.items():
         assert np.array_equal(va, fb[key], equal_nan=True), (where, key)
+    tra = getattr(ta, "tracks", None)
+    trb = getattr(tb, "tracks", None)
+    assert (tra is None) == (trb is None), where
+    if tra is None:
+        return
+    assert len(tra) == len(trb), where
+    for row, (ra, rb) in enumerate(zip(tra, trb)):
+        assert len(ra) == len(rb), (where, row)
+        for (ia, pa), (ib, pb) in zip(ra, rb):
+            assert ia == ib, (where, row, ia, ib)
+            assert np.array_equal(pa, pb, equal_nan=True), (where, row, ia)
+
+
+def _manager_sig(m):
+    """Full state signature of one manager (identities included)."""
+    return (
+        m._next_id,
+        tuple(m._ever_confirmed),
+        len(m._history),
+        tuple(
+            (t.track_id, t.status, t.hits, t.misses, t.age, t.support,
+             t._mean.tobytes(), t._cov.tobytes(), t.position.tobytes())
+            for t in m.tracks
+        ),
+    )
 
 
 def _assert_state_equal(pa, pb, slots, where=""):
@@ -103,7 +151,10 @@ def _assert_state_equal(pa, pb, slots, where=""):
             assert set(da) == set(db), (where, slot, i)
             for key, va in da.items():
                 vb = db[key]
-                if isinstance(va, np.ndarray):
+                if key == "manager":
+                    assert _manager_sig(va) == _manager_sig(vb), (
+                        where, slot, key)
+                elif isinstance(va, np.ndarray):
                     assert np.array_equal(va, vb, equal_nan=True), (
                         where, slot, i, key)
                 else:
@@ -115,106 +166,29 @@ def _backends():
     return available_backends()
 
 
-class TestPlanCompilation:
-    def test_single_person_chain_compiles(self, config):
-        p = _pipeline(config)
-        plan = compile_tick_plan(p.stages)
-        assert isinstance(plan, TickPlan)
-        assert plan.localize is not None
-
-    def test_chain_without_solver_compiles(self, config):
-        p = _pipeline(config, solver=False)
-        plan = compile_tick_plan(p.stages)
-        assert isinstance(plan, TickPlan)
-        assert plan.localize is None
-
-    def test_multi_person_chain_compiles(self, config):
-        from repro.kernels.tick import MultiTickPlan
-        from repro.multi.tracks import TrackManager
-        from repro.pipeline.runner import multi_person_pipeline
-
-        solver = _solver()
-        p = multi_person_pipeline(
-            config, RANGE_BIN_M, TrackManager(0.0125, solver), 2,
-            manager_factory=lambda: TrackManager(0.0125, _solver()),
-        )
-        assert isinstance(compile_tick_plan(p.stages), MultiTickPlan)
-
-    def test_multi_person_least_squares_stays_staged(self, config):
-        from repro.core.localize import make_solver
-        from repro.multi.tracks import TrackManager
-        from repro.pipeline.runner import multi_person_pipeline
-
-        solver = make_solver(t_array(), method="least_squares")
-        p = multi_person_pipeline(
-            config, RANGE_BIN_M, TrackManager(0.0125, solver), 2
-        )
-        assert compile_tick_plan(p.stages) is None
-
-    def test_mismatched_chain_stays_staged(self, config):
-        p = _pipeline(config)
-        # A truncated or extended chain never matches the pattern.
-        assert compile_tick_plan(p.stages[:3]) is None
-        assert compile_tick_plan(list(p.stages) + [p.stages[-1]]) is None
-
-    def test_least_squares_solver_stays_staged(self, config):
-        from repro.core.localize import make_solver
-
-        p = single_person_pipeline(
-            config, RANGE_BIN_M,
-            solver=make_solver(t_array(), method="least_squares"),
-        )
-        assert compile_tick_plan(p.stages) is None
-
-
-class TestFusionSwitches:
-    def test_reference_backend_never_fuses(self):
-        enable_fusion(True)
-        with use_backend("reference"):
-            assert not fusion_active()
-        with use_backend("numpy"):
-            assert fusion_active()
-
-    def test_enable_fusion_overrides(self):
-        enable_fusion(False)
-        assert not fused_enabled()
-        with use_backend("numpy"):
-            assert not fusion_active()
-        enable_fusion(True)
-        assert fused_enabled()
-
-    def test_env_variable_respected(self, monkeypatch):
-        monkeypatch.setenv("REPRO_FUSED", "0")
-        reset_fusion_override()
-        assert not fused_enabled()
-        monkeypatch.setenv("REPRO_FUSED", "1")
-        reset_fusion_override()
-        assert fused_enabled()
-
-
 class TestFusedStagedParity:
-    """Fused == staged, bitwise, across backends and NaN regimes."""
+    """Fused == staged, bitwise, across backends and track lifecycles."""
 
     @pytest.mark.parametrize("backend", ["numpy", "reference", "numba"])
     def test_steady_parity(self, backend, config):
         if backend not in _backends():
             pytest.skip(f"{backend} unavailable")
-        rng_a = np.random.default_rng(11)
-        rng_b = np.random.default_rng(11)
+        rng_a = np.random.default_rng(21)
+        rng_b = np.random.default_rng(21)
         spf = config.pipeline.sweeps_per_frame
-        kinds = ["target", "still", "ramp", "target", "still"]
+        kinds = ["walkers", "still", "walkers", "walkers"]
         with use_backend(backend):
             enable_fusion(False)
             ps = _pipeline(config)
             enable_fusion(True)
             pf = _pipeline(config)
-            for t in range(25):
+            for t in range(40):
                 arr = np.stack(
-                    [_block(rng_a, kinds[s], t + s, spf)
+                    [_block(rng_a, t, s, spf, kinds[s])
                      for s in range(N_SESSIONS)]
                 )
                 arr_b = np.stack(
-                    [_block(rng_b, kinds[s], t + s, spf)
+                    [_block(rng_b, t, s, spf, kinds[s])
                      for s in range(N_SESSIONS)]
                 )
                 enable_fusion(False)
@@ -223,29 +197,32 @@ class TestFusedStagedParity:
                 tb = pf.tick(arr_b, np.arange(N_SESSIONS))
                 _assert_ticks_equal(ta, tb, f"tick{t}")
             _assert_state_equal(ps, pf, range(N_SESSIONS), "steady")
+            # The fuzz must actually exercise the track lifecycle:
+            # every walker slot birthed and confirmed at least one track.
+            for s in (0, 2, 3):
+                manager = ps.stage(Associate).manager_for(s)
+                assert manager._ever_confirmed, f"slot {s} never tracked"
 
     @pytest.mark.parametrize("backend", ["numpy", "numba"])
     def test_attach_evict_partial_cohorts(self, backend, config):
         if backend not in _backends():
             pytest.skip(f"{backend} unavailable")
-        rng = np.random.default_rng(5)
+        rng = np.random.default_rng(6)
         spf = config.pipeline.sweeps_per_frame
         with use_backend(backend):
             enable_fusion(False)
             ps = _pipeline(config, n_sessions=3)
             enable_fusion(True)
             pf = _pipeline(config, n_sessions=3)
-            plans = [None, None]
-            for t in range(30):
-                if t == 10:  # mid-stream grow + evict
+            for t in range(36):
+                if t == 12:  # mid-stream grow + evict
                     for p in (ps, pf):
                         p.attach_sessions(N_SESSIONS)
                         p.evict_session(1)
-                n = 3 if t < 10 else N_SESSIONS
+                n = 3 if t < 12 else N_SESSIONS
                 sl = np.arange(n) if t % 3 else np.arange(n)[::2].copy()
                 arr = np.stack(
-                    [_block(rng, "target" if t % 2 else "ramp", t + s, spf)
-                     for s in range(len(sl))]
+                    [_block(rng, t, int(s), spf) for s in sl]
                 )
                 enable_fusion(False)
                 ta = ps.tick(arr.copy(), sl)
@@ -260,17 +237,16 @@ class TestFusedStagedParity:
     ):
         if backend not in _backends():
             pytest.skip(f"{backend} unavailable")
-        rng = np.random.default_rng(3)
+        rng = np.random.default_rng(4)
         spf = config.pipeline.sweeps_per_frame
         with use_backend(backend):
             enable_fusion(True)
             pf = _pipeline(config)
             enable_fusion(False)
             ps = _pipeline(config)
-            for t in range(12):
+            for t in range(14):
                 arr = np.stack(
-                    [_block(rng, "target", t + s, spf)
-                     for s in range(N_SESSIONS)]
+                    [_block(rng, t, s, spf) for s in range(N_SESSIONS)]
                 )
                 enable_fusion(True)
                 pf.tick(arr.copy(), np.arange(N_SESSIONS))
@@ -278,37 +254,36 @@ class TestFusedStagedParity:
                 ps.tick(arr.copy(), np.arange(N_SESSIONS))
             # Migrate a fused-run session into a staged engine and a
             # staged-run session into a fused engine; they must stay in
-            # lockstep bit for bit.
+            # lockstep bit for bit, track identities included.
             snap_f = pf.snapshot_session(2)
             snap_s = ps.snapshot_session(2)
             enable_fusion(False)
             p_to_staged = _pipeline(config)
-            p_to_staged.restore_session(4, snap_f)
+            p_to_staged.restore_session(3, snap_f)
             enable_fusion(True)
             p_to_fused = _pipeline(config)
-            p_to_fused.restore_session(4, snap_s)
-            for t in range(10):
-                arr = _block(rng, "target" if t % 2 else "still", 50 + t,
-                             spf)[None]
+            p_to_fused.restore_session(3, snap_s)
+            for t in range(12):
+                arr = _block(rng, 14 + t, 2, spf,
+                             "walkers" if t % 3 else "still")[None]
                 enable_fusion(False)
-                ta = p_to_staged.tick(arr.copy(), np.array([4]))
+                ta = p_to_staged.tick(arr.copy(), np.array([3]))
                 enable_fusion(True)
-                tb = p_to_fused.tick(arr.copy(), np.array([4]))
+                tb = p_to_fused.tick(arr.copy(), np.array([3]))
                 _assert_ticks_equal(ta, tb, f"mig{t}")
-            _assert_state_equal(p_to_staged, p_to_fused, [4], "migration")
+            _assert_state_equal(p_to_staged, p_to_fused, [3], "migration")
 
     def test_alternating_execution_on_one_pipeline(self, config):
         """Flipping REPRO_FUSED mid-stream must not change outputs."""
-        rng = np.random.default_rng(9)
+        rng = np.random.default_rng(10)
         spf = config.pipeline.sweeps_per_frame
         with use_backend("numpy"):
             enable_fusion(False)
             p_ref = _pipeline(config)
             p_mix = _pipeline(config)
-            for t in range(16):
+            for t in range(20):
                 arr = np.stack(
-                    [_block(rng, "target", t + s, spf)
-                     for s in range(N_SESSIONS)]
+                    [_block(rng, t, s, spf) for s in range(N_SESSIONS)]
                 )
                 enable_fusion(False)
                 ta = p_ref.tick(arr.copy(), np.arange(N_SESSIONS))
@@ -319,7 +294,7 @@ class TestFusedStagedParity:
 
 
 class TestProfilerRows:
-    def test_fused_tick_and_dispatch_rows(self, config, monkeypatch):
+    def test_fused_sub_stage_rows(self, config, monkeypatch):
         from repro.kernels import profile as profile_mod
 
         monkeypatch.setattr(profile_mod, "_forced", True)
@@ -331,18 +306,18 @@ class TestProfilerRows:
             assert isinstance(p.profiler, StageProfiler)
             for t in range(4):
                 arr = np.stack(
-                    [_block(rng, "target", t + s, spf)
-                     for s in range(N_SESSIONS)]
+                    [_block(rng, t, s, spf) for s in range(N_SESSIONS)]
                 )
                 p.tick(arr, np.arange(N_SESSIONS))
             stats = p.profiler.as_dict()
             assert "fused_tick" in stats
-            assert "dispatch" in stats
-            assert "frame_average" in stats
-            assert stats["fused_tick"]["calls"] >= 3
+            assert "fused_cancel" in stats
+            assert "fused_associate" in stats
+            assert stats["fused_cancel"]["calls"] >= 3
             # The staged per-stage rows must be absent on the fused path
             # (all ticks after the first take the compiled plan).
-            assert stats.get("OutlierGate", {}).get("calls", 0) == 0
+            assert stats.get("SuccessiveCancel", {}).get("calls", 0) == 0
+            assert stats.get("Associate", {}).get("calls", 0) == 0
 
     def test_staged_rows_when_fusion_off(self, config, monkeypatch):
         from repro.kernels import profile as profile_mod
@@ -355,13 +330,12 @@ class TestProfilerRows:
             p = _pipeline(config)
             for t in range(3):
                 arr = np.stack(
-                    [_block(rng, "target", t + s, spf)
-                     for s in range(N_SESSIONS)]
+                    [_block(rng, t, s, spf) for s in range(N_SESSIONS)]
                 )
                 p.tick(arr, np.arange(N_SESSIONS))
             stats = p.profiler.as_dict()
             assert "fused_tick" not in stats
-            assert "dispatch" in stats
+            assert "fused_cancel" not in stats
             # First tick only primes background subtraction; the chain
             # proper runs on the remaining two.
-            assert stats["OutlierGate"]["calls"] == 2
+            assert stats["SuccessiveCancel"]["calls"] == 2
